@@ -1,0 +1,397 @@
+// Benchmarks mirroring the paper's evaluation, one per table/figure, at
+// sizes where `go test -bench=.` completes in minutes (DESIGN.md §3 maps
+// each to the girbench figure that runs the full-scale version), plus
+// ablation benchmarks for the design decisions DESIGN.md §4 calls out.
+package gir
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/girlib/gir/internal/datagen"
+	girint "github.com/girlib/gir/internal/gir"
+	"github.com/girlib/gir/internal/hull"
+	"github.com/girlib/gir/internal/pager"
+	"github.com/girlib/gir/internal/rtree"
+	"github.com/girlib/gir/internal/score"
+	"github.com/girlib/gir/internal/skyline"
+	"github.com/girlib/gir/internal/topk"
+	"github.com/girlib/gir/internal/vec"
+	"github.com/girlib/gir/internal/volume"
+)
+
+const (
+	benchN = 20000
+	benchK = 20
+)
+
+type benchEnv struct {
+	tree  *rtree.Tree
+	store *pager.MemStore
+	q     vec.Vector
+}
+
+func setupBench(b *testing.B, kind datagen.Kind, n, d int) *benchEnv {
+	b.Helper()
+	pts, err := datagen.Generate(kind, n, d, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := pager.NewMemStore()
+	tree := rtree.BulkLoad(store, d, pts, nil)
+	store.ResetStats()
+	return &benchEnv{tree: tree, store: store, q: datagen.Query(d, 7)}
+}
+
+func (e *benchEnv) girOnce(b *testing.B, m girint.Method, k int, star bool) *girint.Stats {
+	b.Helper()
+	res := topk.BRS(e.tree, score.Linear{}, e.q, k)
+	var st *girint.Stats
+	var err error
+	if star {
+		_, st, err = girint.ComputeStar(e.tree, res, girint.Options{Method: m})
+	} else {
+		_, st, err = girint.Compute(e.tree, res, girint.Options{Method: m})
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// BenchmarkFig6Skyline measures SL computation (the Figure 6(a) quantity
+// and the heart of SP) per distribution.
+func BenchmarkFig6Skyline(b *testing.B) {
+	for _, kind := range []datagen.Kind{datagen.IND, datagen.ANTI, datagen.COR} {
+		b.Run(string(kind), func(b *testing.B) {
+			env := setupBench(b, kind, benchN, 4)
+			b.ResetTimer()
+			var size int
+			for i := 0; i < b.N; i++ {
+				res := topk.BRS(env.tree, score.Linear{}, env.q, benchK)
+				sl := skyline.OfNonResult(env.tree, res)
+				size = len(sl.Records)
+			}
+			b.ReportMetric(float64(size), "|SL|")
+		})
+	}
+}
+
+// BenchmarkFig6HullCP measures the SL∩CH computation (Figure 6(b)).
+func BenchmarkFig6HullCP(b *testing.B) {
+	for _, kind := range []datagen.Kind{datagen.IND, datagen.COR} {
+		b.Run(string(kind), func(b *testing.B) {
+			env := setupBench(b, kind, benchN, 4)
+			b.ResetTimer()
+			var st *girint.Stats
+			for i := 0; i < b.N; i++ {
+				st = env.girOnce(b, girint.CP, benchK, false)
+			}
+			b.ReportMetric(float64(st.HullVertices), "|SL∩CH|")
+		})
+	}
+}
+
+// BenchmarkFig8Star measures FP's star maintenance (Figure 8(b)) across
+// dimensionalities.
+func BenchmarkFig8Star(b *testing.B) {
+	for _, d := range []int{2, 4, 6, 8} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			env := setupBench(b, datagen.IND, benchN, d)
+			b.ResetTimer()
+			var st *girint.Stats
+			for i := 0; i < b.N; i++ {
+				st = env.girOnce(b, girint.FP, benchK, false)
+			}
+			b.ReportMetric(float64(st.StarFacets), "facets")
+			b.ReportMetric(float64(st.Critical), "critical")
+		})
+	}
+}
+
+// BenchmarkFig14Volume measures the volume-ratio estimator on real GIRs.
+func BenchmarkFig14Volume(b *testing.B) {
+	for _, d := range []int{2, 4, 6} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			env := setupBench(b, datagen.IND, benchN, d)
+			res := topk.BRS(env.tree, score.Linear{}, env.q, benchK)
+			reg, _, err := girint.Compute(env.tree, res, girint.Options{Method: girint.FP})
+			if err != nil {
+				b.Fatal(err)
+			}
+			hs := reg.Halfspaces()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := volume.LogRatio(hs, d, volume.Options{Samples: 1000, Seed: int64(i + 1)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig15Methods is the headline comparison: CPU cost of CP vs SP
+// vs FP per distribution at the default dimensionality (Figure 15; the
+// I/O counterpart is the reads metric).
+func BenchmarkFig15Methods(b *testing.B) {
+	for _, kind := range []datagen.Kind{datagen.IND, datagen.ANTI, datagen.COR} {
+		for _, m := range []girint.Method{girint.CP, girint.SP, girint.FP} {
+			b.Run(fmt.Sprintf("%s/%s", kind, m), func(b *testing.B) {
+				if kind == datagen.ANTI && m != girint.FP {
+					b.Skip("ANTI skylines make SP/CP minutes-long at bench scale; run girbench -fig 15")
+				}
+				env := setupBench(b, kind, benchN, 4)
+				b.ResetTimer()
+				var reads int64
+				for i := 0; i < b.N; i++ {
+					before := env.store.Stats().Reads
+					env.girOnce(b, m, benchK, false)
+					reads += env.store.Stats().Reads - before
+				}
+				b.ReportMetric(float64(reads)/float64(b.N), "reads/op")
+			})
+		}
+	}
+}
+
+// BenchmarkFig16Cardinality scales n for the FP method (Figure 16's
+// headline series; SP/CP scale far worse, see girbench -fig 16).
+func BenchmarkFig16Cardinality(b *testing.B) {
+	for _, n := range []int{10000, 20000, 50000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			env := setupBench(b, datagen.IND, n, 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				env.girOnce(b, girint.FP, benchK, false)
+			}
+		})
+	}
+}
+
+// BenchmarkFig17RealData runs the three methods on the real-data
+// surrogates (Figure 17) at reduced cardinality.
+func BenchmarkFig17RealData(b *testing.B) {
+	for _, kind := range []datagen.Kind{datagen.HOTEL, datagen.HOUSE} {
+		for _, m := range []girint.Method{girint.CP, girint.SP, girint.FP} {
+			b.Run(fmt.Sprintf("%s/%s", kind, m), func(b *testing.B) {
+				d := datagen.HotelD
+				if kind == datagen.HOUSE {
+					d = datagen.HouseD
+				}
+				env := setupBench(b, kind, 30000, d)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					env.girOnce(b, m, benchK, false)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig18GIRStar measures the order-insensitive variant (Figure 18).
+func BenchmarkFig18GIRStar(b *testing.B) {
+	for _, m := range []girint.Method{girint.SP, girint.FP} {
+		b.Run(m.String(), func(b *testing.B) {
+			env := setupBench(b, datagen.IND, benchN, 4)
+			b.ResetTimer()
+			var st *girint.Stats
+			for i := 0; i < b.N; i++ {
+				st = env.girOnce(b, m, benchK, true)
+			}
+			b.ReportMetric(float64(st.RMinus), "|R-|")
+		})
+	}
+}
+
+// BenchmarkFig19NonLinear measures SP under the Section 7.2 non-linear
+// monotone scoring functions (Figure 19).
+func BenchmarkFig19NonLinear(b *testing.B) {
+	fns := map[string]score.Function{
+		"Polynomial": score.NewPolynomial(datagen.HotelD),
+		"Mixed":      score.Mixed{},
+		"Linear":     score.Linear{},
+	}
+	for name, fn := range fns {
+		b.Run(name, func(b *testing.B) {
+			env := setupBench(b, datagen.HOTEL, 30000, datagen.HotelD)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := topk.BRS(env.tree, fn, env.q, benchK)
+				if _, _, err := girint.Compute(env.tree, res, girint.Options{Method: girint.SP}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBRS isolates the top-k substrate all experiments share.
+func BenchmarkBRS(b *testing.B) {
+	env := setupBench(b, datagen.IND, 100000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topk.BRS(env.tree, score.Linear{}, env.q, benchK)
+	}
+}
+
+// --- Ablations for the design decisions DESIGN.md §4 records -------------
+
+// BenchmarkAblationReduce isolates the LP-based redundancy elimination:
+// GIR computation with and without the reduction step.
+func BenchmarkAblationReduce(b *testing.B) {
+	for _, skip := range []bool{false, true} {
+		name := "with-reduce"
+		if skip {
+			name = "skip-reduce"
+		}
+		b.Run(name, func(b *testing.B) {
+			env := setupBench(b, datagen.IND, benchN, 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := topk.BRS(env.tree, score.Linear{}, env.q, benchK)
+				if _, _, err := girint.Compute(env.tree, res, girint.Options{Method: girint.SP, SkipReduce: skip}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStarVsFullHull quantifies FP's core idea: maintaining
+// only the star of p_k versus building the full hull of {p_k} ∪ D\R.
+func BenchmarkAblationStarVsFullHull(b *testing.B) {
+	env := setupBench(b, datagen.IND, 5000, 4)
+	res := topk.BRS(env.tree, score.Linear{}, env.q, benchK)
+	inResult := map[int64]bool{}
+	for _, r := range res.Records {
+		inResult[r.ID] = true
+	}
+	var pts []vec.Vector
+	var walk func(id pager.PageID)
+	walk = func(id pager.PageID) {
+		n := env.tree.ReadNode(id)
+		for _, e := range n.Entries {
+			if n.Leaf {
+				if !inResult[e.RecID] {
+					pts = append(pts, e.Point())
+				}
+			} else {
+				walk(e.Child)
+			}
+		}
+	}
+	walk(env.tree.Root())
+	apex := vec.Vector(res.Kth().Point)
+
+	b.Run("star-only", func(b *testing.B) {
+		ids := make([]int64, len(pts))
+		for i := range ids {
+			ids[i] = int64(i)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := hull.NewStar(apex, pts, ids); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-hull", func(b *testing.B) {
+		all := append([]vec.Vector{apex}, pts...)
+		for i := 0; i < b.N; i++ {
+			if _, err := hull.Build(all); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationVolume compares the telescoping hit-and-run estimator
+// against naive uniform sampling at equal sample budgets.
+func BenchmarkAblationVolume(b *testing.B) {
+	env := setupBench(b, datagen.IND, benchN, 4)
+	res := topk.BRS(env.tree, score.Linear{}, env.q, benchK)
+	reg, _, err := girint.Compute(env.tree, res, girint.Options{Method: girint.FP})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := reg.Halfspaces()
+	b.Run("telescoping", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := volume.LogRatio(hs, 4, volume.Options{Samples: 1000, Seed: int64(i + 1)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			volume.BoxRatio(hs, 4, 1000*len(hs), int64(i+1))
+		}
+	})
+}
+
+// BenchmarkAblationFP2D compares the specialized two-dimensional FP
+// (angular sweep, Section 6.2) against the generic star maintenance.
+func BenchmarkAblationFP2D(b *testing.B) {
+	for _, generic := range []bool{false, true} {
+		name := "angular"
+		if generic {
+			name = "generic-star"
+		}
+		b.Run(name, func(b *testing.B) {
+			env := setupBench(b, datagen.IND, benchN, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := topk.BRS(env.tree, score.Linear{}, env.q, benchK)
+				opt := girint.Options{Method: girint.FP, Generic2DFP: generic}
+				if _, _, err := girint.Compute(env.tree, res, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPhase1Tighten measures the footnote-7 optimization:
+// tighter node pruning inside the Phase-1 cone at the price of one LP per
+// surviving heap entry.
+func BenchmarkAblationPhase1Tighten(b *testing.B) {
+	for _, tighten := range []bool{false, true} {
+		name := "plain"
+		if tighten {
+			name = "tightened"
+		}
+		b.Run(name, func(b *testing.B) {
+			env := setupBench(b, datagen.IND, benchN, 4)
+			b.ResetTimer()
+			var reads int64
+			for i := 0; i < b.N; i++ {
+				res := topk.BRS(env.tree, score.Linear{}, env.q, benchK)
+				before := env.store.Stats().Reads
+				opt := girint.Options{Method: girint.FP, Phase1Tighten: tighten}
+				if _, _, err := girint.Compute(env.tree, res, opt); err != nil {
+					b.Fatal(err)
+				}
+				reads += env.store.Stats().Reads - before
+			}
+			b.ReportMetric(float64(reads)/float64(b.N), "reads/op")
+		})
+	}
+}
+
+// BenchmarkAblationBulkVsInsert compares STR bulk loading with one-at-a-
+// time R* insertion for index construction.
+func BenchmarkAblationBulkVsInsert(b *testing.B) {
+	pts, _ := datagen.Generate(datagen.IND, 5000, 4, 1)
+	b.Run("str-bulkload", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rtree.BulkLoad(pager.NewMemStore(), 4, pts, nil)
+		}
+	})
+	b.Run("rstar-insert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			t := rtree.New(pager.NewMemStore(), 4)
+			for j, p := range pts {
+				t.Insert(int64(j), p)
+			}
+		}
+	})
+}

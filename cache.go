@@ -1,0 +1,64 @@
+package gir
+
+import (
+	"github.com/girlib/gir/internal/cache"
+	"github.com/girlib/gir/internal/topk"
+	"github.com/girlib/gir/internal/vec"
+)
+
+// Cache is a GIR-keyed top-k result cache (the caching application from
+// the paper's Introduction): a query whose vector lands inside a cached
+// result's GIR is served without touching the index.
+type Cache struct {
+	inner *cache.Cache
+}
+
+// NewCache returns a cache holding at most capacity entries (LRU).
+func NewCache(capacity int) *Cache { return &Cache{inner: cache.New(capacity)} }
+
+// CachedResult is a cache hit.
+type CachedResult struct {
+	// Records holds min(k, cached k) records, in exact result order.
+	Records []Record
+	// Complete is true when the cached entry covered the requested k;
+	// false means Records is an exact prefix and the caller should compute
+	// the remainder (the paper's progressive-reporting case [31]).
+	Complete bool
+}
+
+// Put caches a result with its order-sensitive GIR. Order-insensitive
+// regions are rejected (serving an ordered list from one is unsound).
+func (c *Cache) Put(g *GIR, res *TopKResult) bool {
+	if g == nil || res == nil {
+		return false
+	}
+	recs := make([]topk.Record, len(res.Records))
+	for i, r := range res.Records {
+		recs[i] = topk.Record{ID: r.ID, Point: vec.Vector(r.Attrs), Score: r.Score}
+	}
+	return c.inner.Put(g.internalRegion(), recs)
+}
+
+// Lookup serves a top-k query from the cache if some cached GIR contains
+// q. See CachedResult for partial-hit semantics.
+func (c *Cache) Lookup(q []float64, k int) (*CachedResult, bool) {
+	e, ok := c.inner.Lookup(vec.Vector(q), k)
+	if !ok {
+		return nil, false
+	}
+	limit := k
+	if limit > e.K {
+		limit = e.K
+	}
+	out := &CachedResult{Complete: k <= e.K}
+	for _, r := range e.Records[:limit] {
+		out.Records = append(out.Records, Record{ID: r.ID, Attrs: r.Point, Score: r.Score})
+	}
+	return out, true
+}
+
+// Stats returns (exact hits, partial hits, misses).
+func (c *Cache) Stats() (hits, partial, misses int64) { return c.inner.Stats() }
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int { return c.inner.Len() }

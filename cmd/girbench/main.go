@@ -1,0 +1,90 @@
+// Command girbench regenerates the paper's evaluation figures as printed
+// tables (see DESIGN.md §3 for the per-figure index and EXPERIMENTS.md for
+// paper-vs-measured comparisons).
+//
+// Usage:
+//
+//	girbench -fig 15                # one figure
+//	girbench                        # all figures
+//	girbench -n 1000000 -queries 20 # closer to paper scale
+//
+// Cells whose skyline/hull sizes would take hours (the paper's own SP/CP
+// charts reach 10⁶–10⁸ ms) are printed as skip(reason).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/girlib/gir/internal/bench"
+)
+
+func main() {
+	cfg := bench.Default()
+	fig := flag.Int("fig", 0, "figure to reproduce (6, 8, 14, 15, 16, 17, 18, 19); 0 = all")
+	flag.IntVar(&cfg.N, "n", cfg.N, "synthetic dataset cardinality (paper: 1000000)")
+	flag.IntVar(&cfg.Queries, "queries", cfg.Queries, "queries averaged per cell (paper: 100)")
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "deterministic seed")
+	flag.IntVar(&cfg.RealN, "realn", cfg.RealN, "cap HOUSE/HOTEL surrogate cardinality (0 = paper sizes)")
+	flag.DurationVar(&cfg.Budget, "budget", cfg.Budget, "wall-time budget per cell")
+	flag.IntVar(&cfg.SkylineCap, "skycap", cfg.SkylineCap, "abort SP/CP cells whose skyline exceeds this")
+	dims := flag.String("dims", joinInts(cfg.Dims), "comma-separated dimensionality sweep")
+	ks := flag.String("ks", joinInts(cfg.Ks), "comma-separated k sweep")
+	nsweep := flag.String("nsweep", joinInts(cfg.NSweep), "comma-separated cardinality sweep (figs 16/18)")
+	latency := flag.Duration("iolat", 100*time.Microsecond, "simulated latency per 4KiB page read")
+	flag.Parse()
+
+	var err error
+	if cfg.Dims, err = parseInts(*dims); err != nil {
+		fatal("bad -dims: %v", err)
+	}
+	if cfg.Ks, err = parseInts(*ks); err != nil {
+		fatal("bad -ks: %v", err)
+	}
+	if cfg.NSweep, err = parseInts(*nsweep); err != nil {
+		fatal("bad -nsweep: %v", err)
+	}
+	cfg.Cost.ReadLatency = *latency
+
+	fmt.Printf("girbench: n=%d queries=%d seed=%d budget=%v (paper scale: -n 1000000 -queries 100)\n",
+		cfg.N, cfg.Queries, cfg.Seed, cfg.Budget)
+	start := time.Now()
+	h := bench.New(cfg, os.Stdout)
+	if err := h.Run(*fig); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("\ntotal: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "girbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ",")
+}

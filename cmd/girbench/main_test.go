@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("2, 3,4")
+	if err != nil || len(got) != 3 || got[0] != 2 || got[2] != 4 {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+	if _, err := parseInts("2,x"); err == nil {
+		t.Error("bad int accepted")
+	}
+	got, err = parseInts("5,")
+	if err != nil || len(got) != 1 {
+		t.Errorf("trailing comma: %v, %v", got, err)
+	}
+}
+
+func TestJoinInts(t *testing.T) {
+	if got := joinInts([]int{1, 2, 3}); got != "1,2,3" {
+		t.Errorf("joinInts = %q", got)
+	}
+	if got := joinInts(nil); got != "" {
+		t.Errorf("joinInts(nil) = %q", got)
+	}
+}

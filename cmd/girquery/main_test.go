@@ -1,0 +1,51 @@
+package main
+
+import (
+	"testing"
+
+	gir "github.com/girlib/gir"
+)
+
+func TestParseQuery(t *testing.T) {
+	q, err := parseQuery("0.1, 0.2,0.3", 3, 1)
+	if err != nil || len(q) != 3 || q[1] != 0.2 {
+		t.Errorf("parseQuery = %v, %v", q, err)
+	}
+	if _, err := parseQuery("0.1,0.2", 3, 1); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := parseQuery("0.1,zz,0.3", 3, 1); err == nil {
+		t.Error("bad float accepted")
+	}
+	q, err = parseQuery("", 4, 7)
+	if err != nil || len(q) != 4 {
+		t.Errorf("default query = %v, %v", q, err)
+	}
+}
+
+func TestParseScoringAndMethod(t *testing.T) {
+	for name, want := range map[string]gir.Scoring{"linear": gir.Linear, "Polynomial": gir.Polynomial, "MIXED": gir.Mixed} {
+		got, err := parseScoring(name)
+		if err != nil || got != want {
+			t.Errorf("parseScoring(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseScoring("cubic"); err == nil {
+		t.Error("unknown scoring accepted")
+	}
+	for name, want := range map[string]gir.Method{"sp": gir.SP, "CP": gir.CP, "fp": gir.FP, "Exhaustive": gir.Exhaustive} {
+		got, err := parseMethod(name)
+		if err != nil || got != want {
+			t.Errorf("parseMethod(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseMethod("magic"); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestFmtVec(t *testing.T) {
+	if got := fmtVec([]float64{0.5, 0.25}); got != "(0.500, 0.250)" {
+		t.Errorf("fmtVec = %q", got)
+	}
+}

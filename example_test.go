@@ -1,0 +1,43 @@
+package gir_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	gir "github.com/girlib/gir"
+)
+
+// Example demonstrates the full pipeline on a small deterministic
+// dataset: top-k query, GIR computation with FP, and the membership test
+// that powers result caching.
+func Example() {
+	// Forty records on a deterministic grid-ish layout.
+	r := rand.New(rand.NewSource(42))
+	points := make([][]float64, 40)
+	for i := range points {
+		points[i] = []float64{r.Float64(), r.Float64()}
+	}
+	ds, err := gir.NewDataset(points)
+	if err != nil {
+		panic(err)
+	}
+
+	q := []float64{0.6, 0.4}
+	res, _ := ds.TopK(q, 3)
+	fmt.Printf("top-3 ids: %d %d %d\n", res.Records[0].ID, res.Records[1].ID, res.Records[2].ID)
+
+	g, _ := ds.ComputeGIR(res, gir.FP)
+	fmt.Printf("query inside own GIR: %v\n", g.Contains(q))
+	fmt.Printf("constraints: %d\n", len(g.Constraints()))
+
+	// A tiny nudge stays inside; a flipped preference does not.
+	fmt.Printf("nudged query preserved: %v\n", g.Contains([]float64{0.61, 0.41}))
+	fmt.Printf("flipped query preserved: %v\n", g.Contains([]float64{0.05, 0.95}))
+
+	// Output:
+	// top-3 ids: 9 16 18
+	// query inside own GIR: true
+	// constraints: 2
+	// nudged query preserved: true
+	// flipped query preserved: false
+}

@@ -1,0 +1,122 @@
+// Result caching: the paper's third application (Section 1). Top-k results
+// are cached together with their GIRs; a new query whose weight vector
+// falls inside a cached region is answered without touching the index at
+// all. Users of a recommendation service tweak weights in small steps, so
+// consecutive query vectors cluster — exactly the workload where GIR
+// caching shines.
+//
+// This example simulates sessions of users nudging their preference
+// weights, and reports hit rates and saved disk reads.
+//
+// Run with: go run ./examples/caching
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	gir "github.com/girlib/gir"
+	"github.com/girlib/gir/internal/datagen"
+)
+
+func main() {
+	const (
+		n        = 100000
+		d        = 4
+		k        = 10
+		sessions = 40
+		steps    = 12 // weight tweaks per session
+	)
+	pts := datagen.Independent(n, d, 3)
+	raw := make([][]float64, len(pts))
+	for i, p := range pts {
+		raw[i] = p
+	}
+	ds, err := gir.NewDataset(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cache := gir.NewCache(64)
+	r := rand.New(rand.NewSource(7))
+
+	var served, computed, girBuilt int
+	var serveReads, girReads int64
+	for s := 0; s < sessions; s++ {
+		// Each session starts from a fresh preference vector…
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = 0.15 + 0.7*r.Float64()
+		}
+		for step := 0; step < steps; step++ {
+			if hit, ok := cache.Lookup(q, k); ok && hit.Complete {
+				served++
+			} else {
+				ds.ResetIOStats()
+				res, err := ds.TopK(q, k)
+				if err != nil {
+					log.Fatal(err)
+				}
+				computed++
+				serveReads += ds.IOStats().PageReads
+				// Cache the result keyed by its GIR. This is a one-time
+				// cost per distinct result that amortizes over later hits
+				// (a production system would build it asynchronously).
+				ds.ResetIOStats()
+				g, err := ds.ComputeGIR(res, gir.FP)
+				if err != nil {
+					log.Fatal(err)
+				}
+				girBuilt++
+				girReads += ds.IOStats().PageReads
+				cache.Put(g, res) // Put needs only the records; res is fine
+			}
+			// …then nudges one weight slightly, as slide-bar users do.
+			j := r.Intn(d)
+			q[j] = clamp(q[j] + 0.015*r.NormFloat64())
+		}
+	}
+
+	// Baseline: the same workload with no cache.
+	ds.ResetIOStats()
+	r = rand.New(rand.NewSource(7))
+	for s := 0; s < sessions; s++ {
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = 0.15 + 0.7*r.Float64()
+		}
+		for step := 0; step < steps; step++ {
+			if _, err := ds.TopK(q, k); err != nil {
+				log.Fatal(err)
+			}
+			j := r.Intn(d)
+			q[j] = clamp(q[j] + 0.015*r.NormFloat64())
+		}
+	}
+	readsNoCache := ds.IOStats().PageReads
+
+	total := sessions * steps
+	fmt.Printf("workload: %d sessions × %d weight tweaks = %d top-%d queries over %d records\n",
+		sessions, steps, total, k, n)
+	fmt.Printf("\nwith GIR cache:  %4d served from cache (%.0f%%), %d computed (+%d GIR builds)\n",
+		served, 100*float64(served)/float64(total), computed, girBuilt)
+	fmt.Printf("query-time reads: %5d with cache vs %6d without (%.1fx fewer)\n",
+		serveReads, readsNoCache, float64(readsNoCache)/float64(serveReads))
+	fmt.Printf("one-time GIR-build reads: %d (amortized over %d cache hits)\n",
+		girReads, served)
+	hits, partial, misses := cache.Stats()
+	fmt.Printf("cache stats:     %d exact hits, %d partial, %d misses, %d entries\n",
+		hits, partial, misses, cache.Len())
+	fmt.Println("\nEvery cached answer is exact: the GIR guarantees the served list is")
+	fmt.Println("identical — composition and order — to what BRS would have returned.")
+}
+
+func clamp(x float64) float64 {
+	if x < 0.01 {
+		return 0.01
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,125 @@
+// Quickstart: the paper's restaurant-recommendation scenario (Section 1).
+//
+// A rating site stores, for each restaurant, average user ratings on four
+// factors — food quality, ambience, value for money, service. A user asks
+// for a top-10 recommendation with her own weights. We answer the query,
+// compute its Global Immutable Region, and print the Figure-1 interface
+// artifacts: slide-bar bounds per weight with "what changes at each
+// tipping point", the radar-chart polygons, and the robustness score.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	gir "github.com/girlib/gir"
+)
+
+var factors = []string{"Food quality", "Ambience", "Value", "Service"}
+
+func main() {
+	// 5000 synthetic restaurants; ratings correlate mildly (good kitchens
+	// tend to have good service), which is realistic for rating sites.
+	r := rand.New(rand.NewSource(2014))
+	restaurants := make([][]float64, 5000)
+	for i := range restaurants {
+		base := 0.2 + 0.6*r.Float64()
+		rec := make([]float64, 4)
+		for j := range rec {
+			rec[j] = clamp(base + 0.25*r.NormFloat64())
+		}
+		restaurants[i] = rec
+	}
+	ds, err := gir.NewDataset(restaurants)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's example weights (60, 50, 60, 70 on a 0–100 scale).
+	q := []float64{0.60, 0.50, 0.60, 0.70}
+	res, err := ds.TopK(q, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Top-10 restaurants for weights (60, 50, 60, 70):")
+	for i, rec := range res.Records {
+		fmt.Printf("  %2d. restaurant #%-5d  score %.3f\n", i+1, rec.ID, rec.Score)
+	}
+
+	g, err := ds.ComputeGIR(res, gir.FP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGIR computed with FP in %v: %d bounding conditions "+
+		"(from %d critical restaurants out of %d non-results)\n",
+		g.Stats.Elapsed.Round(1000), g.Stats.Constraints, g.Stats.CriticalCount, ds.Len()-10)
+
+	fmt.Println("\nSlide-bar bounds (Figure 1a): each weight may move in its range")
+	fmt.Println("without changing the recommendation; at a bound, the shown change occurs.")
+	for i, iv := range g.LIRs() {
+		fmt.Printf("\n  %-13s %s\n", factors[i], slider(iv.Lo, iv.Hi, q[i]))
+		fmt.Printf("     range [%2.0f, %2.0f] around %2.0f\n", iv.Lo*100, iv.Hi*100, q[i]*100)
+		fmt.Printf("     at %2.0f: %s\n", iv.Lo*100, iv.LoPerturbation)
+		fmt.Printf("     at %2.0f: %s\n", iv.Hi*100, iv.HiPerturbation)
+	}
+
+	inner, outer := g.RadarBounds()
+	fmt.Println("\nRadar-chart tipping points (Figure 1b):")
+	fmt.Printf("  inner polygon: %v\n", scale100(inner))
+	fmt.Printf("  outer polygon: %v\n", scale100(outer))
+
+	lo, hi := g.MAH()
+	fmt.Println("\nSimultaneous-readjustment bounds (MAH): all four weights may move")
+	fmt.Println("anywhere inside these ranges at the same time:")
+	for i := range lo {
+		fmt.Printf("  %-13s [%2.0f, %2.0f]\n", factors[i], lo[i]*100, hi[i]*100)
+	}
+
+	if ratio, err := g.VolumeRatio(gir.VolumeOptions{Samples: 2000}); err == nil {
+		fmt.Printf("\nRobustness: the recommendation survives %.1f%% of all possible\n", 100*ratio)
+		fmt.Println("weight settings — the sensitivity measure of the paper's Figure 14.")
+	}
+}
+
+// slider renders a text slide-bar with lower/upper marks and the current
+// thumb, like Figure 1(a).
+func slider(lo, hi, cur float64) string {
+	const width = 40
+	bar := []byte(strings.Repeat("-", width+1))
+	set := func(x float64, c byte) {
+		i := int(x*width + 0.5)
+		if i < 0 {
+			i = 0
+		}
+		if i > width {
+			i = width
+		}
+		bar[i] = c
+	}
+	set(lo, '[')
+	set(hi, ']')
+	set(cur, 'O')
+	return "0 " + string(bar) + " 100"
+}
+
+func scale100(v []float64) []int {
+	out := make([]int, len(v))
+	for i, x := range v {
+		out[i] = int(x*100 + 0.5)
+	}
+	return out
+}
+
+func clamp(x float64) float64 {
+	if x < 0.01 {
+		return 0.01
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,234 @@
+// Package gir is a Go implementation of Global Immutable Region (GIR)
+// computation for top-k queries, reproducing Zhang, Mouratidis & Pang,
+// "Global Immutable Region Computation", SIGMOD 2014.
+//
+// A top-k query scores every record of a dataset with a weighted sum
+// S(p,q) = Σ w_i·p_i and returns the k best. The GIR is the maximal region
+// of weight vectors q' for which the current top-k result — composition
+// and order — stays exactly the same. It is a convex polytope (an
+// intersection of half-spaces through the origin, clipped to the query
+// space) and supports three applications: guiding weight readjustment,
+// quantifying result robustness, and caching results.
+//
+// Basic use:
+//
+//	ds, _ := gir.NewDataset(points)          // bulk-loads an R*-tree
+//	res, _ := ds.TopK(q, 10)                 // BRS top-k
+//	g, _ := ds.ComputeGIR(res, gir.FP)       // facet-pruning GIR
+//	g.Contains(q2)                           // would q2 change the result?
+//	g.LIRs()                                 // per-weight validity ranges
+//	g.VolumeRatio(...)                       // robustness measure
+//
+// The heavy lifting lives in internal packages: an R*-tree over a
+// simulated paged disk, the BRS top-k and BBS skyline algorithms, a
+// d-dimensional convex-hull kernel (including the star-only incremental
+// hull that powers FP), a simplex LP solver for minimal H-representations,
+// and Monte-Carlo volume estimation.
+package gir
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	girint "github.com/girlib/gir/internal/gir"
+	"github.com/girlib/gir/internal/pager"
+	"github.com/girlib/gir/internal/rtree"
+	"github.com/girlib/gir/internal/score"
+	"github.com/girlib/gir/internal/topk"
+	"github.com/girlib/gir/internal/vec"
+)
+
+// Method selects the Phase-2 GIR algorithm.
+type Method int
+
+// Phase-2 algorithms (see DESIGN.md and the paper's Sections 5–6).
+const (
+	// SP prunes candidate records to the skyline of the non-result set.
+	// Works for every monotone scoring function.
+	SP Method = iota
+	// CP prunes further, to skyline records on the skyline's convex hull.
+	// Linear scoring only.
+	CP
+	// FP computes only the hull facets incident to the k-th result record
+	// — the paper's fastest and most scalable algorithm. Linear only.
+	FP
+	// Exhaustive derives one half-space per non-result record (the
+	// Section 3.3 baseline). Use only on small datasets, e.g. to validate.
+	Exhaustive
+)
+
+func (m Method) String() string { return m.internal().String() }
+
+func (m Method) internal() girint.Method {
+	switch m {
+	case SP:
+		return girint.SP
+	case CP:
+		return girint.CP
+	case FP:
+		return girint.FP
+	case Exhaustive:
+		return girint.Exhaustive
+	}
+	panic(fmt.Sprintf("gir: unknown method %d", int(m)))
+}
+
+// Scoring identifies a scoring function family for TopKFunc.
+type Scoring int
+
+// Scoring function families (Section 7.2 of the paper).
+const (
+	// Linear is S(p,q) = Σ w_i·p_i (the default).
+	Linear Scoring = iota
+	// Polynomial is S(p,q) = Σ w_i·p_i^(d−i), monotone non-linear.
+	Polynomial
+	// Mixed cycles x², eˣ, log(1+x), √x across dimensions.
+	Mixed
+)
+
+func (s Scoring) function(d int) score.Function {
+	switch s {
+	case Linear:
+		return score.Linear{}
+	case Polynomial:
+		return score.NewPolynomial(d)
+	case Mixed:
+		return score.Mixed{}
+	}
+	panic(fmt.Sprintf("gir: unknown scoring %d", int(s)))
+}
+
+// Record is one dataset record in a top-k result.
+type Record struct {
+	ID    int64
+	Attrs []float64
+	Score float64
+}
+
+// IOStats reports simulated disk activity.
+type IOStats struct {
+	PageReads  int64
+	PageWrites int64
+	// IOTime is PageReads × the dataset's per-read latency.
+	IOTime time.Duration
+}
+
+// Dataset is an indexed collection of records in [0,1]^d, stored in an
+// R*-tree over simulated 4 KiB disk pages.
+type Dataset struct {
+	tree  *rtree.Tree
+	store pager.Store
+	cost  pager.CostModel
+	file  *pager.FileStore // non-nil when disk-backed (Close releases it)
+}
+
+// NewDataset bulk-loads (STR) an R*-tree over the given points; record ids
+// are the point indices. Every point must have the same dimension d ≥ 2
+// and coordinates in [0,1].
+func NewDataset(points [][]float64) (*Dataset, error) {
+	if len(points) == 0 {
+		return nil, errors.New("gir: empty dataset")
+	}
+	d := len(points[0])
+	if d < 2 {
+		return nil, fmt.Errorf("gir: dimension %d not supported (need ≥ 2)", d)
+	}
+	pts := make([]vec.Vector, len(points))
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("gir: point %d has dimension %d, want %d", i, len(p), d)
+		}
+		for j, x := range p {
+			if x < 0 || x > 1 {
+				return nil, fmt.Errorf("gir: point %d coordinate %d = %v outside [0,1]", i, j, x)
+			}
+		}
+		pts[i] = vec.Vector(p)
+	}
+	store := pager.NewMemStore()
+	tree := rtree.BulkLoad(store, d, pts, nil)
+	store.ResetStats()
+	return &Dataset{tree: tree, store: store, cost: pager.DefaultCostModel}, nil
+}
+
+// Insert adds a record dynamically (R* insertion with forced reinsert).
+func (ds *Dataset) Insert(id int64, p []float64) error {
+	if len(p) != ds.tree.Dim() {
+		return fmt.Errorf("gir: dimension mismatch")
+	}
+	ds.tree.Insert(id, vec.Vector(p))
+	return nil
+}
+
+// Delete removes the record with the given id and coordinates; it reports
+// whether the record was found.
+func (ds *Dataset) Delete(id int64, p []float64) bool {
+	return ds.tree.Delete(id, vec.Vector(p))
+}
+
+// Len returns the number of records.
+func (ds *Dataset) Len() int { return ds.tree.Len() }
+
+// Dim returns the data dimensionality.
+func (ds *Dataset) Dim() int { return ds.tree.Dim() }
+
+// SetIOLatency configures the simulated per-page read latency used by
+// IOStats (default 100µs; see DESIGN.md §5).
+func (ds *Dataset) SetIOLatency(l time.Duration) { ds.cost = pager.CostModel{ReadLatency: l} }
+
+// IOStats returns the cumulative simulated I/O counters.
+func (ds *Dataset) IOStats() IOStats {
+	s := ds.store.Stats()
+	return IOStats{PageReads: s.Reads, PageWrites: s.Writes, IOTime: ds.cost.IOTime(s)}
+}
+
+// ResetIOStats zeroes the I/O counters (typically before a measurement).
+func (ds *Dataset) ResetIOStats() { ds.store.ResetStats() }
+
+// TopKResult is a top-k answer plus the retained traversal state the GIR
+// algorithms resume from. A result can power exactly one GIR computation
+// (the retained search heap is consumed); run TopK again for another.
+type TopKResult struct {
+	Records []Record
+	K       int
+
+	inner    *topk.Result
+	consumed bool
+}
+
+// TopK answers a top-k query with linear scoring. The query vector must
+// have the dataset's dimension and nonnegative weights.
+func (ds *Dataset) TopK(q []float64, k int) (*TopKResult, error) {
+	return ds.TopKFunc(q, k, Linear)
+}
+
+// TopKFunc answers a top-k query under the given scoring family.
+func (ds *Dataset) TopKFunc(q []float64, k int, s Scoring) (*TopKResult, error) {
+	if len(q) != ds.tree.Dim() {
+		return nil, fmt.Errorf("gir: query has dimension %d, want %d", len(q), ds.tree.Dim())
+	}
+	for _, w := range q {
+		if w < 0 {
+			return nil, errors.New("gir: query weights must be nonnegative")
+		}
+	}
+	if k <= 0 || k > ds.tree.Len() {
+		return nil, fmt.Errorf("gir: k = %d out of range (dataset has %d records)", k, ds.tree.Len())
+	}
+	res := topk.BRS(ds.tree, s.function(ds.tree.Dim()), vec.Vector(q), k)
+	out := &TopKResult{K: k, inner: res}
+	for _, r := range res.Records {
+		out.Records = append(out.Records, Record{ID: r.ID, Attrs: r.Point, Score: r.Score})
+	}
+	return out, nil
+}
+
+// take marks the result consumed, returning an error on reuse.
+func (r *TopKResult) take() (*topk.Result, error) {
+	if r.consumed || r.inner == nil {
+		return nil, errors.New("gir: this TopKResult cannot power a GIR computation (already used, or a records-only copy); run TopK again")
+	}
+	r.consumed = true
+	return r.inner, nil
+}

@@ -1,0 +1,315 @@
+package gir_test
+
+import (
+	"math/rand"
+	"testing"
+
+	gir "github.com/girlib/gir"
+)
+
+func randomPoints(r *rand.Rand, n, d int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = make([]float64, d)
+		for j := range pts[i] {
+			pts[i][j] = r.Float64()
+		}
+	}
+	return pts
+}
+
+func TestEndToEnd(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	ds, err := gir.NewDataset(randomPoints(r, 500, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 500 || ds.Dim() != 3 {
+		t.Fatalf("Len=%d Dim=%d", ds.Len(), ds.Dim())
+	}
+	q := []float64{0.6, 0.5, 0.7}
+	res, err := ds.TopK(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 10 {
+		t.Fatalf("%d records", len(res.Records))
+	}
+	for i := 1; i < 10; i++ {
+		if res.Records[i].Score > res.Records[i-1].Score {
+			t.Fatal("records out of order")
+		}
+	}
+	g, err := ds.ComputeGIR(res, gir.FP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Contains(q) {
+		t.Error("GIR does not contain its own query")
+	}
+	if !g.OrderSensitive() {
+		t.Error("ComputeGIR produced an order-insensitive region")
+	}
+	if g.Stats.Method != "FP" {
+		t.Errorf("method = %q", g.Stats.Method)
+	}
+	// Visualization accessors.
+	ivs := g.LIRs()
+	if len(ivs) != 3 {
+		t.Fatalf("%d LIRs", len(ivs))
+	}
+	for i, iv := range ivs {
+		if iv.Lo > q[i] || iv.Hi < q[i] {
+			t.Errorf("LIR %d = [%v,%v] excludes weight %v", i, iv.Lo, iv.Hi, q[i])
+		}
+		if iv.LoPerturbation == "" || iv.HiPerturbation == "" {
+			t.Error("missing perturbation description")
+		}
+	}
+	lo, hi := g.MAH()
+	for i := range lo {
+		if lo[i] > q[i] || hi[i] < q[i] {
+			t.Errorf("MAH excludes the query in dimension %d", i)
+		}
+	}
+	inner, outer := g.RadarBounds()
+	if len(inner) != 3 || len(outer) != 3 {
+		t.Error("radar bounds have wrong dimension")
+	}
+	ratio, err := g.VolumeRatio(gir.VolumeOptions{Samples: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio <= 0 || ratio > 1 {
+		t.Errorf("volume ratio = %v", ratio)
+	}
+	if g.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestResultConsumedOnce(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	ds, _ := gir.NewDataset(randomPoints(r, 200, 2))
+	res, _ := ds.TopK([]float64{0.5, 0.5}, 5)
+	if _, err := ds.ComputeGIR(res, gir.FP); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.ComputeGIR(res, gir.SP); err == nil {
+		t.Error("reusing a consumed TopKResult must fail")
+	}
+}
+
+func TestAllMethodsAgreeOnMembership(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	ds, _ := gir.NewDataset(randomPoints(r, 300, 3))
+	q := []float64{0.4, 0.8, 0.3}
+	regions := map[gir.Method]*gir.GIR{}
+	for _, m := range []gir.Method{gir.SP, gir.CP, gir.FP, gir.Exhaustive} {
+		res, _ := ds.TopK(q, 8)
+		g, err := ds.ComputeGIR(res, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		regions[m] = g
+	}
+	for trial := 0; trial < 300; trial++ {
+		p := []float64{r.Float64(), r.Float64(), r.Float64()}
+		want := regions[gir.Exhaustive].Contains(p)
+		for m, g := range regions {
+			if g.Contains(p) != want {
+				t.Fatalf("%v disagrees with Exhaustive at %v", m, p)
+			}
+		}
+	}
+}
+
+func TestGIRStarAPI(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	ds, _ := gir.NewDataset(randomPoints(r, 300, 3))
+	q := []float64{0.5, 0.6, 0.4}
+	res, _ := ds.TopK(q, 6)
+	star, err := ds.ComputeGIRStar(res, gir.FP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if star.OrderSensitive() {
+		t.Error("GIR* marked order-sensitive")
+	}
+	if !star.Contains(q) {
+		t.Error("GIR* excludes its query")
+	}
+	// GIR ⊆ GIR*.
+	res2, _ := ds.TopK(q, 6)
+	g, err := ds.ComputeGIR(res2, gir.FP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		p := []float64{r.Float64(), r.Float64(), r.Float64()}
+		if g.Contains(p) && !star.Contains(p) {
+			t.Fatalf("point %v in GIR but not GIR*", p)
+		}
+	}
+}
+
+func TestNonLinearScoring(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	ds, _ := gir.NewDataset(randomPoints(r, 250, 4))
+	q := []float64{0.7, 0.3, 0.5, 0.6}
+	for _, s := range []gir.Scoring{gir.Polynomial, gir.Mixed} {
+		res, err := ds.TopKFunc(q, 5, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ds.ComputeGIR(res, gir.SP); err != nil {
+			t.Errorf("SP with scoring %d: %v", s, err)
+		}
+		res2, _ := ds.TopKFunc(q, 5, s)
+		if _, err := ds.ComputeGIR(res2, gir.FP); err == nil {
+			t.Errorf("FP accepted non-linear scoring %d", s)
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := gir.NewDataset(nil); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := gir.NewDataset([][]float64{{0.5}}); err == nil {
+		t.Error("1-d dataset accepted")
+	}
+	if _, err := gir.NewDataset([][]float64{{0.5, 1.5}}); err == nil {
+		t.Error("out-of-range coordinate accepted")
+	}
+	if _, err := gir.NewDataset([][]float64{{0.5, 0.5}, {0.1}}); err == nil {
+		t.Error("ragged dataset accepted")
+	}
+	r := rand.New(rand.NewSource(6))
+	ds, _ := gir.NewDataset(randomPoints(r, 50, 2))
+	if _, err := ds.TopK([]float64{0.5}, 5); err == nil {
+		t.Error("wrong-dimension query accepted")
+	}
+	if _, err := ds.TopK([]float64{0.5, -0.1}, 5); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := ds.TopK([]float64{0.5, 0.5}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := ds.TopK([]float64{0.5, 0.5}, 51); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestInsertDelete(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	ds, _ := gir.NewDataset(randomPoints(r, 100, 2))
+	p := []float64{1, 1} // dominates every uniform draw from [0,1)²
+	if err := ds.Insert(1000, p); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := ds.TopK([]float64{0.5, 0.5}, 1)
+	if res.Records[0].ID != 1000 {
+		t.Errorf("dominating insert is not top-1 (got %d)", res.Records[0].ID)
+	}
+	if !ds.Delete(1000, p) {
+		t.Error("Delete failed")
+	}
+	if ds.Delete(1000, p) {
+		t.Error("double Delete succeeded")
+	}
+	res2, _ := ds.TopK([]float64{0.5, 0.5}, 1)
+	if res2.Records[0].ID == 1000 {
+		t.Error("deleted record still returned")
+	}
+}
+
+func TestIOStatsAndLatency(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	ds, _ := gir.NewDataset(randomPoints(r, 5000, 3))
+	ds.ResetIOStats()
+	res, _ := ds.TopK([]float64{0.5, 0.5, 0.5}, 10)
+	_ = res
+	s := ds.IOStats()
+	if s.PageReads == 0 {
+		t.Error("top-k performed no reads")
+	}
+	ds.SetIOLatency(1000000) // 1ms
+	s2 := ds.IOStats()
+	if s2.IOTime.Milliseconds() != s2.PageReads {
+		t.Errorf("IOTime %v inconsistent with %d reads at 1ms", s2.IOTime, s2.PageReads)
+	}
+}
+
+func TestCacheAPI(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	ds, _ := gir.NewDataset(randomPoints(r, 400, 3))
+	q := []float64{0.5, 0.6, 0.7}
+	res, _ := ds.TopK(q, 10)
+	recs := res.Records
+	g, err := ds.ComputeGIR(res, gir.FP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := gir.NewCache(8)
+	// Need an unconsumed result to cache; re-run the query.
+	res2, _ := ds.TopK(q, 10)
+	if !c.Put(g, res2) {
+		t.Fatal("Put failed")
+	}
+	hit, ok := c.Lookup(q, 10)
+	if !ok || !hit.Complete || len(hit.Records) != 10 {
+		t.Fatalf("lookup: ok=%v %+v", ok, hit)
+	}
+	for i := range recs {
+		if hit.Records[i].ID != recs[i].ID {
+			t.Fatal("cached order differs")
+		}
+	}
+	// Smaller k: exact prefix.
+	hit3, ok := c.Lookup(q, 3)
+	if !ok || !hit3.Complete || len(hit3.Records) != 3 {
+		t.Fatal("prefix lookup failed")
+	}
+	// Larger k: partial.
+	hit20, ok := c.Lookup(q, 20)
+	if !ok || hit20.Complete || len(hit20.Records) != 10 {
+		t.Fatal("partial lookup failed")
+	}
+	if hits, partial, _ := c.Stats(); hits != 2 || partial != 1 {
+		t.Errorf("stats: hits=%d partial=%d", hits, partial)
+	}
+}
+
+// The headline claim, end to end: every query vector inside the GIR gives
+// the same ranked answer.
+func TestCachedAnswersMatchFreshOnes(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	ds, _ := gir.NewDataset(randomPoints(r, 600, 3))
+	q := []float64{0.55, 0.45, 0.65}
+	res, _ := ds.TopK(q, 8)
+	g, err := ds.ComputeGIR(res, gir.FP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for trial := 0; trial < 4000 && checked < 25; trial++ {
+		p := []float64{r.Float64(), r.Float64(), r.Float64()}
+		if !g.Contains(p) || p[0] == 0 || p[1] == 0 || p[2] == 0 {
+			continue
+		}
+		checked++
+		fresh, err := ds.TopK(p, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range fresh.Records {
+			if fresh.Records[i].ID != res.Records[i].ID {
+				t.Fatalf("result differs at rank %d for in-GIR vector %v", i, p)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("GIR too small for rejection sampling; covered by internal tests")
+	}
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/girlib/gir/internal/pager"
+)
+
+// tinyConfig keeps every cell milliseconds-sized.
+func tinyConfig() Config {
+	return Config{
+		N:          2000,
+		Dims:       []int{2, 3},
+		Ks:         []int{5, 10},
+		DefaultD:   3,
+		DefaultK:   5,
+		NSweep:     []int{1000, 2000},
+		Queries:    2,
+		Seed:       1,
+		RealN:      2000,
+		Budget:     20 * time.Second,
+		SkylineCap: 5000,
+		Cost:       pager.DefaultCostModel,
+	}
+}
+
+// Every figure must run end to end and produce non-empty tables with a
+// row per sweep value.
+func TestAllFiguresRun(t *testing.T) {
+	for _, fig := range []int{6, 8, 14, 15, 16, 17, 18, 19} {
+		var buf bytes.Buffer
+		h := New(tinyConfig(), &buf)
+		if err := h.Run(fig); err != nil {
+			t.Fatalf("figure %d: %v", fig, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "===") {
+			t.Errorf("figure %d produced no table header", fig)
+		}
+		if strings.Count(out, "\n") < 4 {
+			t.Errorf("figure %d produced too little output:\n%s", fig, out)
+		}
+	}
+}
+
+func TestRunAllAndUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	h := New(tinyConfig(), &buf)
+	if err := h.Run(99); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestSkylineCapSkips(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.SkylineCap = 1 // force every SP/CP cell to skip
+	var buf bytes.Buffer
+	h := New(cfg, &buf)
+	if err := h.Run(15); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "skip(|SL|>") {
+		t.Error("cap did not produce skip cells")
+	}
+	// FP must never be skipped by the cap.
+	for _, line := range strings.Split(buf.String(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 4 && strings.HasPrefix(fields[3], "skip(|SL|") {
+			t.Errorf("FP column skipped: %q", line)
+		}
+	}
+}
+
+func TestCellFormatting(t *testing.T) {
+	c := Cell{CPU: 1500 * time.Microsecond, IO: 3 * time.Millisecond}
+	if got := c.fmtTime(false); got != "1.50" {
+		t.Errorf("CPU cell = %q", got)
+	}
+	if got := c.fmtTime(true); got != "3.00" {
+		t.Errorf("IO cell = %q", got)
+	}
+	s := Cell{Skipped: true, Reason: "x"}
+	if got := s.fmtTime(false); got != "skip(x)" {
+		t.Errorf("skip cell = %q", got)
+	}
+	if got := s.fmtValue(); got != "skip(x)" {
+		t.Errorf("skip value = %q", got)
+	}
+	v := Cell{Value: 12.345}
+	if got := v.fmtValue(); got != "12.35" && got != "12.34" {
+		t.Errorf("value cell = %q", got)
+	}
+}
+
+func TestDatasetCaching(t *testing.T) {
+	h := New(tinyConfig(), &bytes.Buffer{})
+	t1, s1, err := h.dataset("IND", 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, s2, err := h.dataset("IND", 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 || s1 != s2 {
+		t.Error("identical cell rebuilt the dataset")
+	}
+	t3, _, err := h.dataset("IND", 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3 == t1 {
+		t.Error("different cell reused the dataset")
+	}
+}

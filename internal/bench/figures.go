@@ -1,0 +1,390 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/girlib/gir/internal/datagen"
+	girint "github.com/girlib/gir/internal/gir"
+	"github.com/girlib/gir/internal/hull"
+	"github.com/girlib/gir/internal/pager"
+	"github.com/girlib/gir/internal/rtree"
+	"github.com/girlib/gir/internal/score"
+	"github.com/girlib/gir/internal/topk"
+	"github.com/girlib/gir/internal/vec"
+	"github.com/girlib/gir/internal/volume"
+)
+
+var synthKinds = []datagen.Kind{datagen.IND, datagen.ANTI, datagen.COR}
+
+// Fig6 reproduces Figure 6: cardinality of SL (a) and SL∩CH (b) versus
+// dimensionality, per synthetic distribution, at the default k.
+func (h *Harness) Fig6() error {
+	h.header("Figure 6(a): |SL| vs d",
+		fmt.Sprintf("skyline of D\\R; n=%d, k=%d (paper: n=1M)", h.Cfg.N, h.Cfg.DefaultK))
+	slSizes := map[string]int{}
+	h.row(append([]string{"d"}, kindNames()...)...)
+	for _, d := range h.Cfg.Dims {
+		cells := []string{fmt.Sprintf("%d", d)}
+		for _, kind := range synthKinds {
+			tree, _, err := h.dataset(kind, h.Cfg.N, d)
+			if err != nil {
+				return err
+			}
+			size, complete := h.probeSkyline(tree, score.Linear{}, h.queryVec(d, 0), h.Cfg.DefaultK, h.Cfg.SkylineCap)
+			if !complete {
+				cells = append(cells, fmt.Sprintf(">%d", h.Cfg.SkylineCap))
+				slSizes[cellKey(kind, d)] = -1
+			} else {
+				cells = append(cells, fmt.Sprintf("%d", size))
+				slSizes[cellKey(kind, d)] = size
+			}
+		}
+		h.row(cells...)
+	}
+
+	h.header("Figure 6(b): |SL∩CH| vs d", "skyline records on the convex hull of SL")
+	h.row(append([]string{"d"}, kindNames()...)...)
+	for _, d := range h.Cfg.Dims {
+		cells := []string{fmt.Sprintf("%d", d)}
+		for _, kind := range synthKinds {
+			sl := slSizes[cellKey(kind, d)]
+			if sl < 0 || sl > cpHullCap(d) {
+				cells = append(cells, "skip(hull)")
+				continue
+			}
+			tree, store, err := h.dataset(kind, h.Cfg.N, d)
+			if err != nil {
+				return err
+			}
+			_, _, st, err := h.timeGIR(tree, store, score.Linear{}, h.queryVec(d, 0), h.Cfg.DefaultK, girint.CP, false)
+			if err != nil {
+				cells = append(cells, "skip("+err.Error()+")")
+				continue
+			}
+			cells = append(cells, fmt.Sprintf("%d", st.HullVertices))
+		}
+		h.row(cells...)
+	}
+	return nil
+}
+
+// Fig8 reproduces Figure 8: total facets on CH' (a) and facets incident to
+// p_k (b) versus dimensionality.
+func (h *Harness) Fig8() error {
+	const facetBudget = 300_000
+	h.header("Figure 8(a): facets on CH' vs d",
+		fmt.Sprintf("full convex hull of {p_k} ∪ D\\R; facet budget %d per cell", facetBudget))
+	h.row(append([]string{"d"}, kindNames()...)...)
+	for _, d := range h.Cfg.Dims {
+		cells := []string{fmt.Sprintf("%d", d)}
+		for _, kind := range synthKinds {
+			tree, _, err := h.dataset(kind, h.Cfg.N, d)
+			if err != nil {
+				return err
+			}
+			res := topk.BRS(tree, score.Linear{}, h.queryVec(d, 0), h.Cfg.DefaultK)
+			pts := collectNonResult(tree, res)
+			pts = append(pts, res.Kth().Point)
+			full, err := hull.BuildLimited(pts, facetBudget)
+			switch err {
+			case nil:
+				cells = append(cells, fmt.Sprintf("%d", full.NumFacets()))
+			case hull.ErrBudget:
+				cells = append(cells, fmt.Sprintf(">%d", facetBudget))
+			default:
+				cells = append(cells, "skip("+err.Error()+")")
+			}
+		}
+		h.row(cells...)
+	}
+
+	h.header("Figure 8(b): facets incident to p_k vs d", "FP's star; also reports critical records")
+	h.row(append([]string{"d"}, kindNames()...)...)
+	for _, d := range h.Cfg.Dims {
+		cells := []string{fmt.Sprintf("%d", d)}
+		for _, kind := range synthKinds {
+			tree, store, err := h.dataset(kind, h.Cfg.N, d)
+			if err != nil {
+				return err
+			}
+			_, _, st, err := h.timeGIR(tree, store, score.Linear{}, h.queryVec(d, 0), h.Cfg.DefaultK, girint.FP, false)
+			if err != nil {
+				cells = append(cells, "skip("+err.Error()+")")
+				continue
+			}
+			cells = append(cells, fmt.Sprintf("%d (%d crit)", st.StarFacets, st.Critical))
+		}
+		h.row(cells...)
+	}
+	return nil
+}
+
+// Fig14 reproduces Figure 14: log10 of the GIR volume ratio — (a) versus d
+// on synthetic data, (b) versus k on the real-data surrogates.
+func (h *Harness) Fig14() error {
+	h.header("Figure 14(a): log10(GIR volume ratio) vs d",
+		fmt.Sprintf("synthetic data, k=%d, mean over %d queries", h.Cfg.DefaultK, h.Cfg.Queries))
+	h.row(append([]string{"d"}, kindNames()...)...)
+	for _, d := range h.Cfg.Dims {
+		cells := []string{fmt.Sprintf("%d", d)}
+		for _, kind := range synthKinds {
+			tree, _, err := h.dataset(kind, h.Cfg.N, d)
+			if err != nil {
+				return err
+			}
+			v, err := h.meanLogVolume(tree, d, h.Cfg.DefaultK)
+			if err != nil {
+				cells = append(cells, "skip("+err.Error()+")")
+				continue
+			}
+			cells = append(cells, fmt.Sprintf("%.2f", v))
+		}
+		h.row(cells...)
+	}
+
+	h.header("Figure 14(b): log10(GIR volume ratio) vs k", "real-data surrogates HOUSE and HOTEL")
+	h.row("k", "HOUSE", "HOTEL")
+	for _, k := range h.Cfg.Ks {
+		cells := []string{fmt.Sprintf("%d", k)}
+		for _, kind := range []datagen.Kind{datagen.HOUSE, datagen.HOTEL} {
+			tree, _, d, err := h.realDataset(kind)
+			if err != nil {
+				return err
+			}
+			v, err := h.meanLogVolume(tree, d, k)
+			if err != nil {
+				cells = append(cells, "skip("+err.Error()+")")
+				continue
+			}
+			cells = append(cells, fmt.Sprintf("%.2f", v))
+		}
+		h.row(cells...)
+	}
+	return nil
+}
+
+// meanLogVolume averages log10 volume ratio over the harness queries,
+// using FP to obtain the region.
+func (h *Harness) meanLogVolume(tree *rtree.Tree, d, k int) (float64, error) {
+	var sum float64
+	var count int
+	for qi := 0; qi < h.Cfg.Queries; qi++ {
+		q := h.queryVec(d, qi)
+		res := topk.BRS(tree, score.Linear{}, q, k)
+		reg, _, err := girint.Compute(tree, res, girint.Options{Method: girint.FP})
+		if err != nil {
+			return 0, err
+		}
+		lv, err := volume.LogRatio(reg.Halfspaces(), d, volume.Options{Samples: 1500, Seed: h.Cfg.Seed + int64(qi)})
+		if err != nil {
+			if err == volume.ErrEmpty {
+				continue // degenerate region; matches the paper's averaging over valid queries
+			}
+			return 0, err
+		}
+		sum += lv / math.Ln10
+		count++
+	}
+	if count == 0 {
+		return 0, volume.ErrEmpty
+	}
+	return sum / float64(count), nil
+}
+
+// methodTable measures CP/SP/FP over a sweep and prints paired CPU and I/O
+// tables from a single set of measurements.
+func (h *Harness) methodTable(title, caption, axis string, sweep []string, measure func(i, mi int) Cell) {
+	methods := []string{"CP", "SP", "FP"}
+	rows := make([][]Cell, len(sweep))
+	for i := range sweep {
+		rows[i] = make([]Cell, len(methods))
+		for mi := range methods {
+			rows[i][mi] = measure(i, mi)
+		}
+	}
+	for _, io := range []bool{false, true} {
+		label := "CPU time (ms)"
+		if io {
+			label = "I/O time (ms)"
+		}
+		h.header(fmt.Sprintf("%s: %s", title, label), caption)
+		h.row(append([]string{axis}, methods...)...)
+		for i, sv := range sweep {
+			cells := []string{sv}
+			for mi := range methods {
+				cells = append(cells, rows[i][mi].fmtTime(io))
+			}
+			h.row(cells...)
+		}
+	}
+}
+
+var timedMethods = []girint.Method{girint.CP, girint.SP, girint.FP}
+
+// Fig15 reproduces Figure 15: CPU and I/O time versus d for each synthetic
+// distribution and method.
+func (h *Harness) Fig15() error {
+	var outerErr error
+	for _, kind := range synthKinds {
+		sweep := make([]string, len(h.Cfg.Dims))
+		for i, d := range h.Cfg.Dims {
+			sweep[i] = fmt.Sprintf("%d", d)
+		}
+		h.methodTable(fmt.Sprintf("Figure 15 (%s)", kind),
+			fmt.Sprintf("n=%d, k=%d, vs d; paper: Figures 15(a)-(f)", h.Cfg.N, h.Cfg.DefaultK),
+			"d", sweep, func(i, mi int) Cell {
+				tree, store, err := h.dataset(kind, h.Cfg.N, h.Cfg.Dims[i])
+				if err != nil {
+					outerErr = err
+					return Cell{Skipped: true, Reason: err.Error()}
+				}
+				return h.runMethodCell(tree, store, score.Linear{}, h.Cfg.Dims[i], h.Cfg.DefaultK, timedMethods[mi], false)
+			})
+	}
+	return outerErr
+}
+
+// Fig16 reproduces Figure 16: CPU and I/O time versus cardinality (IND).
+func (h *Harness) Fig16() error {
+	return h.cardinalitySweep("Figure 16", false)
+}
+
+// Fig18 reproduces Figure 18: order-insensitive GIR*, CPU and I/O versus
+// cardinality (IND).
+func (h *Harness) Fig18() error {
+	return h.cardinalitySweep("Figure 18 (GIR*)", true)
+}
+
+func (h *Harness) cardinalitySweep(title string, star bool) error {
+	d, k := h.Cfg.DefaultD, h.Cfg.DefaultK
+	var outerErr error
+	sweep := make([]string, len(h.Cfg.NSweep))
+	for i, n := range h.Cfg.NSweep {
+		sweep[i] = fmt.Sprintf("%d", n)
+	}
+	h.methodTable(title+" vs n (IND)",
+		fmt.Sprintf("d=%d, k=%d; paper sweeps 0.5M..20M", d, k),
+		"n", sweep, func(i, mi int) Cell {
+			tree, store, err := h.dataset(datagen.IND, h.Cfg.NSweep[i], d)
+			if err != nil {
+				outerErr = err
+				return Cell{Skipped: true, Reason: err.Error()}
+			}
+			return h.runMethodCell(tree, store, score.Linear{}, d, k, timedMethods[mi], star)
+		})
+	return outerErr
+}
+
+// Fig17 reproduces Figure 17: CPU and I/O time versus k on the real-data
+// surrogates.
+func (h *Harness) Fig17() error {
+	var outerErr error
+	for _, kind := range []datagen.Kind{datagen.HOTEL, datagen.HOUSE} {
+		sweep := make([]string, len(h.Cfg.Ks))
+		for i, k := range h.Cfg.Ks {
+			sweep[i] = fmt.Sprintf("%d", k)
+		}
+		h.methodTable(fmt.Sprintf("Figure 17 (%s)", kind), "real-data surrogate, vs k",
+			"k", sweep, func(i, mi int) Cell {
+				tree, store, d, err := h.realDataset(kind)
+				if err != nil {
+					outerErr = err
+					return Cell{Skipped: true, Reason: err.Error()}
+				}
+				return h.runMethodCell(tree, store, score.Linear{}, d, h.Cfg.Ks[i], timedMethods[mi], false)
+			})
+	}
+	return outerErr
+}
+
+// Fig19 reproduces Figure 19: SP under non-linear monotone scoring
+// functions versus k on HOTEL.
+func (h *Harness) Fig19() error {
+	tree, store, d, err := h.realDataset(datagen.HOTEL)
+	if err != nil {
+		return err
+	}
+	fns := []score.Function{score.NewPolynomial(d), score.Mixed{}, score.Linear{}}
+	names := []string{"Polynomial", "Mixed", "Linear"}
+	rows := make([][]Cell, len(h.Cfg.Ks))
+	for i, k := range h.Cfg.Ks {
+		rows[i] = make([]Cell, len(fns))
+		for fi, fn := range fns {
+			rows[i][fi] = h.runMethodCell(tree, store, fn, d, k, girint.SP, false)
+		}
+	}
+	for _, io := range []bool{false, true} {
+		label := "CPU time (ms)"
+		if io {
+			label = "I/O time (ms)"
+		}
+		h.header(fmt.Sprintf("Figure 19: %s vs k (HOTEL, SP)", label),
+			"non-linear monotone scoring functions, Section 7.2")
+		h.row(append([]string{"k"}, names...)...)
+		for i, k := range h.Cfg.Ks {
+			cells := []string{fmt.Sprintf("%d", k)}
+			for fi := range fns {
+				cells = append(cells, rows[i][fi].fmtTime(io))
+			}
+			h.row(cells...)
+		}
+	}
+	return nil
+}
+
+// Run executes the named figure (6, 8, 14..19) or all of them (0).
+func (h *Harness) Run(fig int) error {
+	figs := map[int]func() error{
+		6: h.Fig6, 8: h.Fig8, 14: h.Fig14, 15: h.Fig15,
+		16: h.Fig16, 17: h.Fig17, 18: h.Fig18, 19: h.Fig19,
+	}
+	if fig != 0 {
+		f, ok := figs[fig]
+		if !ok {
+			return fmt.Errorf("bench: no figure %d (have 6, 8, 14-19)", fig)
+		}
+		return f()
+	}
+	for _, n := range []int{6, 8, 14, 15, 16, 17, 18, 19} {
+		if err := figs[n](); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func kindNames() []string {
+	out := make([]string, len(synthKinds))
+	for i, k := range synthKinds {
+		out[i] = string(k)
+	}
+	return out
+}
+
+func cellKey(kind datagen.Kind, d int) string { return fmt.Sprintf("%s/%d", kind, d) }
+
+// collectNonResult reads every non-result record (for the Figure 8(a)
+// full-hull count; unavoidable full scan, small-scale cells only).
+func collectNonResult(tree *rtree.Tree, res *topk.Result) []vec.Vector {
+	inResult := make(map[int64]bool, len(res.Records))
+	for _, r := range res.Records {
+		inResult[r.ID] = true
+	}
+	var pts []vec.Vector
+	var walk func(id pager.PageID)
+	walk = func(id pager.PageID) {
+		n := tree.ReadNode(id)
+		for _, e := range n.Entries {
+			if n.Leaf {
+				if !inResult[e.RecID] {
+					pts = append(pts, e.Point())
+				}
+			} else {
+				walk(e.Child)
+			}
+		}
+	}
+	walk(tree.Root())
+	return pts
+}

@@ -1,0 +1,109 @@
+// Package cache implements GIR-based top-k result caching, one of the
+// three applications motivating the paper (Introduction): cached results
+// are keyed by their GIR, and a new query whose vector falls inside a
+// cached region is answered without touching the index.
+//
+// Semantics follow the paper:
+//   - same k: the cached result is returned as-is;
+//   - smaller k: the prefix is exact (the GIR preserves the full order);
+//   - larger k: the cached records are an exact prefix that can be
+//     reported immediately while the remainder is computed [31].
+package cache
+
+import (
+	"sync"
+
+	"github.com/girlib/gir/internal/gir"
+	"github.com/girlib/gir/internal/topk"
+	"github.com/girlib/gir/internal/vec"
+)
+
+// Entry is one cached result with its immutable region.
+type Entry struct {
+	Region  *gir.Region
+	Records []topk.Record // the cached top-k, in score order
+	K       int
+
+	lastUse int64
+}
+
+// Cache holds up to Capacity entries with LRU eviction.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	clock    int64
+	entries  []*Entry
+
+	hits, misses, partial int64
+}
+
+// New returns a cache holding at most capacity entries (≥ 1).
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{capacity: capacity}
+}
+
+// Lookup finds a cached entry whose GIR contains q. The boolean reports a
+// usable hit: exact when k ≤ entry.K (use Records[:k]), partial otherwise
+// (an exact prefix of the desired result; the caller computes the rest).
+// Entries are only usable if their region is order-sensitive or k
+// requirements allow; regions stored by Put are always order-sensitive.
+func (c *Cache) Lookup(q vec.Vector, k int) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries {
+		if len(q) == e.Region.Dim && e.Region.Contains(q, 0) {
+			c.clock++
+			e.lastUse = c.clock
+			if k <= e.K {
+				c.hits++
+			} else {
+				c.partial++
+			}
+			return e, true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores a result and its order-sensitive GIR, evicting the least
+// recently used entry if full. Order-insensitive regions are rejected:
+// serving a cached *ordered* list from them would be unsound.
+func (c *Cache) Put(reg *gir.Region, records []topk.Record) bool {
+	if reg == nil || !reg.OrderSensitive {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock++
+	e := &Entry{Region: reg, Records: records, K: len(records), lastUse: c.clock}
+	if len(c.entries) < c.capacity {
+		c.entries = append(c.entries, e)
+		return true
+	}
+	victim := 0
+	for i, ent := range c.entries {
+		if ent.lastUse < c.entries[victim].lastUse {
+			victim = i
+		}
+	}
+	c.entries[victim] = e
+	return true
+}
+
+// Stats returns (hits, partial hits, misses).
+func (c *Cache) Stats() (hits, partial, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.partial, c.misses
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

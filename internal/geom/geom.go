@@ -1,0 +1,240 @@
+// Package geom provides the geometric primitives behind GIR computation:
+// half-spaces, H-polytopes, minimal representations of polyhedral cones,
+// exact 2-D polygon clipping, Chebyshev centres and line–polytope
+// intersections.
+//
+// The GIR of a top-k query is the intersection of half-spaces whose bounding
+// hyperplanes pass through the origin (a polyhedral cone) clipped to the
+// query space [0,1]^d. This package supplies the machinery; the gir package
+// attaches top-k semantics (which records produced which half-space).
+package geom
+
+import (
+	"math"
+
+	"github.com/girlib/gir/internal/lp"
+	"github.com/girlib/gir/internal/vec"
+)
+
+// Halfspace is the closed region {x : A·x ≥ B}.
+type Halfspace struct {
+	A vec.Vector
+	B float64
+}
+
+// Contains reports whether x satisfies the half-space within tol.
+func (h Halfspace) Contains(x vec.Vector, tol float64) bool {
+	return vec.Dot(h.A, x) >= h.B-tol
+}
+
+// Slack returns A·x − B, the signed margin of x (≥ 0 inside).
+func (h Halfspace) Slack(x vec.Vector) float64 { return vec.Dot(h.A, x) - h.B }
+
+// BoxHalfspaces returns the 2d half-spaces describing [0,1]^d.
+func BoxHalfspaces(d int) []Halfspace {
+	out := make([]Halfspace, 0, 2*d)
+	for i := 0; i < d; i++ {
+		lo := Halfspace{A: vec.Basis(d, i), B: 0}
+		hi := Halfspace{A: vec.Scale(-1, vec.Basis(d, i)), B: -1}
+		out = append(out, lo, hi)
+	}
+	return out
+}
+
+// ContainsAll reports whether x satisfies every half-space within tol.
+func ContainsAll(hs []Halfspace, x vec.Vector, tol float64) bool {
+	for _, h := range hs {
+		if !h.Contains(x, tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// ReduceCone returns the indices of a minimal subset of the given
+// origin-anchored half-space normals {x : a_i·x ≥ 0} whose intersection
+// equals the intersection of all of them. By LP duality (Farkas' lemma),
+// a_i is redundant iff a_i lies in the conical hull of the others.
+//
+// Near-parallel duplicates are collapsed first (keeping the lowest index),
+// since a pair of mutually redundant constraints would otherwise survive
+// the one-at-a-time elimination.
+func ReduceCone(normals []vec.Vector, tol float64) []int {
+	n := len(normals)
+	if n == 0 {
+		return nil
+	}
+	d := len(normals[0])
+	unit := make([]vec.Vector, n)
+	alive := make([]bool, n)
+	for i, a := range normals {
+		if nm := vec.Norm(a); nm > tol {
+			unit[i] = vec.Scale(1/nm, a)
+			alive[i] = true
+		}
+	}
+	// Collapse duplicates (same direction).
+	for i := 0; i < n; i++ {
+		if !alive[i] {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if alive[j] && vec.Equal(unit[i], unit[j], 1e-9) {
+				alive[j] = false
+			}
+		}
+	}
+	// One-at-a-time conical membership elimination.
+	for i := 0; i < n; i++ {
+		if !alive[i] {
+			continue
+		}
+		gens := make([]vec.Vector, 0, n)
+		for j := 0; j < n; j++ {
+			if j != i && alive[j] {
+				gens = append(gens, unit[j])
+			}
+		}
+		if len(gens) == 0 {
+			continue
+		}
+		if inCone(unit[i], gens, d) {
+			alive[i] = false
+		}
+	}
+	keep := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if alive[i] {
+			keep = append(keep, i)
+		}
+	}
+	return keep
+}
+
+// inCone reports whether target ∈ {Σ λ_j g_j : λ ≥ 0}.
+func inCone(target vec.Vector, gens []vec.Vector, d int) bool {
+	cons := make([]lp.Constraint, d)
+	for row := 0; row < d; row++ {
+		coef := make([]float64, len(gens))
+		for j, g := range gens {
+			coef[j] = g[row]
+		}
+		cons[row] = lp.Constraint{Coef: coef, Op: lp.EQ, RHS: target[row]}
+	}
+	return lp.Feasible(len(gens), cons)
+}
+
+// ChebyshevCenter computes the centre and radius of the largest inscribed
+// ball of the polytope given by the half-spaces (which should include box
+// constraints if boundedness is not otherwise guaranteed). All coordinates
+// of the centre are nonnegative by construction (our query spaces live in
+// the positive orthant). ok is false if the region is empty or unbounded.
+func ChebyshevCenter(hs []Halfspace, d int) (center vec.Vector, radius float64, ok bool) {
+	// Variables: x_1..x_d, r. Maximize r subject to a_i·x − ||a_i||·r ≥ b_i.
+	nv := d + 1
+	cons := make([]lp.Constraint, 0, len(hs))
+	for _, h := range hs {
+		coef := make([]float64, nv)
+		copy(coef, h.A)
+		coef[d] = -vec.Norm(h.A)
+		cons = append(cons, lp.Constraint{Coef: coef, Op: lp.GE, RHS: h.B})
+	}
+	obj := make([]float64, nv)
+	obj[d] = 1
+	sol := lp.Maximize(obj, cons)
+	if sol.Status != lp.Optimal {
+		return nil, 0, false
+	}
+	c := make(vec.Vector, d)
+	copy(c, sol.X[:d])
+	return c, sol.X[d], sol.X[d] > 0
+}
+
+// LineClip intersects the line {x + t·u : t ∈ ℝ} with the polytope given by
+// the half-spaces, returning the feasible parameter interval [tmin, tmax].
+// If the line misses the polytope, tmin > tmax.
+func LineClip(hs []Halfspace, x, u vec.Vector) (tmin, tmax float64) {
+	tmin, tmax = math.Inf(-1), math.Inf(1)
+	for _, h := range hs {
+		au := vec.Dot(h.A, u)
+		slack := h.Slack(x) // a·x − b; need a·x + t·a·u ≥ b ⇒ t·au ≥ −slack
+		switch {
+		case math.Abs(au) < 1e-15:
+			if slack < 0 {
+				return 1, 0 // line entirely outside this half-space
+			}
+		case au > 0:
+			if t := -slack / au; t > tmin {
+				tmin = t
+			}
+		default:
+			if t := -slack / au; t < tmax {
+				tmax = t
+			}
+		}
+	}
+	return tmin, tmax
+}
+
+// --- Exact 2-D polygon machinery -------------------------------------------
+
+// UnitSquare returns the unit box as a counter-clockwise polygon.
+func UnitSquare() []vec.Vector {
+	return []vec.Vector{{0, 0}, {1, 0}, {1, 1}, {0, 1}}
+}
+
+// ClipPolygon clips a convex polygon (vertices in order) against the
+// half-plane h using the Sutherland–Hodgman rule, returning the surviving
+// polygon (possibly empty).
+func ClipPolygon(poly []vec.Vector, h Halfspace) []vec.Vector {
+	if len(poly) == 0 {
+		return nil
+	}
+	out := make([]vec.Vector, 0, len(poly)+2)
+	prev := poly[len(poly)-1]
+	prevIn := h.Slack(prev) >= 0
+	for _, cur := range poly {
+		curIn := h.Slack(cur) >= 0
+		if curIn != prevIn {
+			out = append(out, segmentCross(prev, cur, h))
+		}
+		if curIn {
+			out = append(out, cur)
+		}
+		prev, prevIn = cur, curIn
+	}
+	return out
+}
+
+// segmentCross returns the point where segment pq crosses the boundary of h.
+func segmentCross(p, q vec.Vector, h Halfspace) vec.Vector {
+	sp, sq := h.Slack(p), h.Slack(q)
+	t := sp / (sp - sq)
+	return vec.Add(p, vec.Scale(t, vec.Sub(q, p)))
+}
+
+// PolygonArea returns the absolute area of a simple polygon (shoelace).
+func PolygonArea(poly []vec.Vector) float64 {
+	if len(poly) < 3 {
+		return 0
+	}
+	var s float64
+	for i, p := range poly {
+		q := poly[(i+1)%len(poly)]
+		s += p[0]*q[1] - q[0]*p[1]
+	}
+	return math.Abs(s) / 2
+}
+
+// ClipToPolygon clips the unit square by every half-space, yielding the
+// exact GIR polygon in two dimensions.
+func ClipToPolygon(hs []Halfspace) []vec.Vector {
+	poly := UnitSquare()
+	for _, h := range hs {
+		poly = ClipPolygon(poly, h)
+		if len(poly) == 0 {
+			return nil
+		}
+	}
+	return poly
+}

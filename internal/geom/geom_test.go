@@ -1,0 +1,273 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/girlib/gir/internal/vec"
+)
+
+func TestHalfspaceContains(t *testing.T) {
+	h := Halfspace{A: vec.Vector{1, -1}, B: 0} // x ≥ y
+	if !h.Contains(vec.Vector{2, 1}, 0) {
+		t.Error("(2,1) should satisfy x ≥ y")
+	}
+	if h.Contains(vec.Vector{1, 2}, 0) {
+		t.Error("(1,2) should not satisfy x ≥ y")
+	}
+	if !h.Contains(vec.Vector{1, 1}, 1e-12) {
+		t.Error("boundary point should satisfy within tolerance")
+	}
+	if got := h.Slack(vec.Vector{3, 1}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Slack = %v", got)
+	}
+}
+
+func TestBoxHalfspaces(t *testing.T) {
+	for d := 1; d <= 6; d++ {
+		hs := BoxHalfspaces(d)
+		if len(hs) != 2*d {
+			t.Fatalf("d=%d: got %d half-spaces", d, len(hs))
+		}
+		mid := make(vec.Vector, d)
+		for i := range mid {
+			mid[i] = 0.5
+		}
+		if !ContainsAll(hs, mid, 0) {
+			t.Errorf("d=%d: centre not inside box", d)
+		}
+		out := mid.Clone()
+		out[0] = 1.5
+		if ContainsAll(hs, out, 0) {
+			t.Errorf("d=%d: point outside box accepted", d)
+		}
+		out[0] = -0.5
+		if ContainsAll(hs, out, 0) {
+			t.Errorf("d=%d: negative point accepted", d)
+		}
+	}
+}
+
+func TestReduceConeDropsObviousRedundancy(t *testing.T) {
+	// In 2-d: x ≥ 0, y ≥ 0, and x+y ≥ 0 (redundant).
+	normals := []vec.Vector{{1, 0}, {0, 1}, {1, 1}}
+	keep := ReduceCone(normals, 1e-12)
+	if len(keep) != 2 || keep[0] != 0 || keep[1] != 1 {
+		t.Errorf("keep = %v, want [0 1]", keep)
+	}
+}
+
+func TestReduceConeKeepsEssential(t *testing.T) {
+	normals := []vec.Vector{{1, 0}, {0, 1}}
+	keep := ReduceCone(normals, 1e-12)
+	if len(keep) != 2 {
+		t.Errorf("keep = %v, want both", keep)
+	}
+}
+
+func TestReduceConeDuplicates(t *testing.T) {
+	normals := []vec.Vector{{1, 1}, {2, 2}, {0.5, 0.5}}
+	keep := ReduceCone(normals, 1e-12)
+	if len(keep) != 1 || keep[0] != 0 {
+		t.Errorf("keep = %v, want [0]", keep)
+	}
+}
+
+func TestReduceConeZeroNormal(t *testing.T) {
+	normals := []vec.Vector{{0, 0}, {1, 0}}
+	keep := ReduceCone(normals, 1e-12)
+	if len(keep) != 1 || keep[0] != 1 {
+		t.Errorf("keep = %v, want [1]", keep)
+	}
+}
+
+// Property: the region defined by the reduced cone equals the original
+// region at random sample points.
+func TestReduceConePreservesRegion(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 2 + r.Intn(3)
+		n := 3 + r.Intn(8)
+		normals := make([]vec.Vector, n)
+		for i := range normals {
+			normals[i] = make(vec.Vector, d)
+			for j := range normals[i] {
+				normals[i][j] = r.NormFloat64()
+			}
+		}
+		keep := ReduceCone(normals, 1e-12)
+		kept := make(map[int]bool, len(keep))
+		for _, k := range keep {
+			kept[k] = true
+		}
+		inside := func(set []vec.Vector, x vec.Vector) bool {
+			for _, a := range set {
+				if vec.Dot(a, x) < -1e-9 {
+					return false
+				}
+			}
+			return true
+		}
+		reduced := make([]vec.Vector, 0, len(keep))
+		for _, k := range keep {
+			reduced = append(reduced, normals[k])
+		}
+		for trial := 0; trial < 50; trial++ {
+			x := make(vec.Vector, d)
+			for j := range x {
+				x[j] = r.NormFloat64()
+			}
+			// Membership in the full set must match membership in the
+			// reduced set, except within numerical tolerance of a boundary.
+			full := inside(normals, x)
+			red := inside(reduced, x)
+			if full != red {
+				// Tolerate only genuine boundary cases.
+				var minSlack float64 = math.Inf(1)
+				for _, a := range normals {
+					if s := math.Abs(vec.Dot(a, x)); s < minSlack {
+						minSlack = s
+					}
+				}
+				if minSlack > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(17))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChebyshevCenterUnitBox(t *testing.T) {
+	for d := 1; d <= 5; d++ {
+		c, r, ok := ChebyshevCenter(BoxHalfspaces(d), d)
+		if !ok {
+			t.Fatalf("d=%d: no centre", d)
+		}
+		if math.Abs(r-0.5) > 1e-7 {
+			t.Errorf("d=%d: radius = %v, want 0.5", d, r)
+		}
+		for j := 0; j < d; j++ {
+			if math.Abs(c[j]-0.5) > 1e-6 {
+				t.Errorf("d=%d: centre = %v", d, c)
+				break
+			}
+		}
+	}
+}
+
+func TestChebyshevCenterWedge(t *testing.T) {
+	// Cone x ≥ y clipped to the box: centre must satisfy the constraints
+	// strictly.
+	hs := append(BoxHalfspaces(2), Halfspace{A: vec.Vector{1, -1}, B: 0})
+	c, r, ok := ChebyshevCenter(hs, 2)
+	if !ok || r <= 0 {
+		t.Fatalf("no interior: c=%v r=%v ok=%v", c, r, ok)
+	}
+	if !ContainsAll(hs, c, 1e-9) {
+		t.Errorf("centre %v outside region", c)
+	}
+	if c[0]-c[1] < r*math.Sqrt2/2-1e-6 {
+		t.Errorf("centre %v too close to the wedge boundary for radius %v", c, r)
+	}
+}
+
+func TestChebyshevCenterEmpty(t *testing.T) {
+	hs := append(BoxHalfspaces(1), Halfspace{A: vec.Vector{1}, B: 2}) // x ≥ 2 in [0,1]
+	if _, _, ok := ChebyshevCenter(hs, 1); ok {
+		t.Error("expected empty region")
+	}
+}
+
+func TestLineClipBox(t *testing.T) {
+	hs := BoxHalfspaces(2)
+	x := vec.Vector{0.5, 0.5}
+	tmin, tmax := LineClip(hs, x, vec.Vector{1, 0})
+	if math.Abs(tmin+0.5) > 1e-12 || math.Abs(tmax-0.5) > 1e-12 {
+		t.Errorf("horizontal clip = [%v, %v]", tmin, tmax)
+	}
+	tmin, tmax = LineClip(hs, x, vec.Vector{1, 1})
+	if math.Abs(tmin+0.5) > 1e-12 || math.Abs(tmax-0.5) > 1e-12 {
+		t.Errorf("diagonal clip = [%v, %v]", tmin, tmax)
+	}
+}
+
+func TestLineClipMiss(t *testing.T) {
+	// Line parallel to a violated half-space: empty interval.
+	hs := []Halfspace{{A: vec.Vector{0, 1}, B: 1}} // y ≥ 1
+	tmin, tmax := LineClip(hs, vec.Vector{0, 0}, vec.Vector{1, 0})
+	if tmin <= tmax {
+		t.Errorf("expected empty interval, got [%v, %v]", tmin, tmax)
+	}
+}
+
+func TestClipPolygonHalfPlane(t *testing.T) {
+	poly := ClipPolygon(UnitSquare(), Halfspace{A: vec.Vector{1, -1}, B: 0}) // x ≥ y
+	if got := PolygonArea(poly); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("area = %v, want 0.5", got)
+	}
+}
+
+func TestClipToPolygonWedge(t *testing.T) {
+	// Wedge between x ≥ y and x ≤ 2y within the unit square.
+	hs := []geomHS{{vec.Vector{1, -1}, 0}, {vec.Vector{-1, 2}, 0}}
+	poly := ClipToPolygon([]Halfspace{{A: hs[0].a, B: hs[0].b}, {A: hs[1].a, B: hs[1].b}})
+	// Area: ∫ between lines y=x/2 and y=x over the square = exact value
+	// 0.5·(1·1) − 0.5·(1·0.5) = 0.25.
+	if got := PolygonArea(poly); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("area = %v, want 0.25", got)
+	}
+}
+
+type geomHS struct {
+	a vec.Vector
+	b float64
+}
+
+func TestClipToPolygonEmpty(t *testing.T) {
+	hs := []Halfspace{{A: vec.Vector{1, 0}, B: 2}} // x ≥ 2: misses the box
+	if poly := ClipToPolygon(hs); len(poly) != 0 {
+		t.Errorf("expected empty polygon, got %v", poly)
+	}
+}
+
+// Property: clipping by a random half-plane never increases area, and the
+// surviving vertices satisfy the half-plane.
+func TestClipPolygonProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		poly := UnitSquare()
+		area := PolygonArea(poly)
+		for i := 0; i < 4; i++ {
+			h := Halfspace{A: vec.Vector{r.NormFloat64(), r.NormFloat64()}, B: r.NormFloat64() * 0.3}
+			if vec.Norm(h.A) < 1e-9 {
+				continue
+			}
+			poly = ClipPolygon(poly, h)
+			na := PolygonArea(poly)
+			if na > area+1e-9 {
+				return false
+			}
+			area = na
+			for _, p := range poly {
+				if !h.Contains(p, 1e-7) {
+					return false
+				}
+			}
+			if len(poly) == 0 {
+				return true
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(23))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,233 @@
+package gir
+
+import (
+	"fmt"
+
+	"github.com/girlib/gir/internal/hull"
+	"github.com/girlib/gir/internal/rtree"
+	"github.com/girlib/gir/internal/score"
+	"github.com/girlib/gir/internal/skyline"
+	"github.com/girlib/gir/internal/topk"
+	"github.com/girlib/gir/internal/vec"
+)
+
+// Method selects the Phase-2 algorithm.
+type Method int8
+
+// Phase-2 algorithms.
+const (
+	// SP prunes non-result records to the skyline of D\R (Section 5.1).
+	// It is the only method valid for non-linear monotone scoring
+	// functions (Section 7.2).
+	SP Method = iota
+	// CP prunes to skyline records on the convex hull of the skyline,
+	// SL ∩ CH (Section 5.2). Linear scoring only.
+	CP
+	// FP computes only the convex-hull facets incident to p_k, refining
+	// them against the R-tree (Section 6). Linear scoring only. This is
+	// the paper's headline algorithm.
+	FP
+	// Exhaustive is the Section 3.3 baseline: every record contributes a
+	// half-space. Only viable on small data; used for validation.
+	Exhaustive
+)
+
+func (m Method) String() string {
+	switch m {
+	case SP:
+		return "SP"
+	case CP:
+		return "CP"
+	case FP:
+		return "FP"
+	case Exhaustive:
+		return "Exhaustive"
+	}
+	return fmt.Sprintf("gir.Method(%d)", int8(m))
+}
+
+// Options configures a GIR computation.
+type Options struct {
+	Method Method
+	// SkipReduce keeps the raw constraint set instead of computing the
+	// minimal representation (useful when only membership tests are
+	// needed, or to measure the reduction step separately).
+	SkipReduce bool
+	// Generic2DFP disables the specialized two-dimensional FP (the
+	// angular-sweep variant of Section 6.2) and runs the generic star
+	// maintenance instead. Both are exact; the flag exists for the
+	// ablation benchmark.
+	Generic2DFP bool
+	// Phase1Tighten enables the footnote-7 optimization: FP's second step
+	// additionally prunes an R-tree node when no query vector inside the
+	// Phase-1 cone lets any record under the node's MBB overtake p_k
+	// (one small LP per surviving heap entry). It trades CPU for I/O;
+	// see BenchmarkAblationPhase1Tighten.
+	Phase1Tighten bool
+}
+
+// Compute derives the order-sensitive GIR of the given top-k result.
+// It consumes the retained search heap inside res; compute the GIR before
+// reusing res for anything else.
+func Compute(tree *rtree.Tree, res *topk.Result, opt Options) (*Region, *Stats, error) {
+	d := tree.Dim()
+	st := &Stats{Method: opt.Method.String(), TSize: len(res.T)}
+	if _, ok := res.Func.(score.Function); !ok {
+		return nil, nil, fmt.Errorf("gir: scoring function %q is not separable; exact GIRs need S(p,q)=Σ wᵢ·gᵢ(pᵢ) — use BuildOracle for an approximate region (Section 7.2)", res.Func.Name())
+	}
+	if opt.Method != SP && opt.Method != Exhaustive && !score.IsLinear(res.Func) {
+		return nil, nil, fmt.Errorf("gir: method %v requires a linear scoring function; use SP (Section 7.2)", opt.Method)
+	}
+
+	cons := phase1(res)
+
+	var phase2 []Constraint
+	var err error
+	switch opt.Method {
+	case SP:
+		phase2 = spPhase2(tree, res, st)
+	case CP:
+		phase2, err = cpPhase2(tree, res, st)
+	case FP:
+		if d == 2 && !opt.Generic2DFP && !opt.Phase1Tighten {
+			phase2, err = fp2dPhase2(tree, res, st)
+		} else {
+			var pruner *phase1Pruner
+			if opt.Phase1Tighten {
+				pruner = newPhase1Pruner(cons, sepFunc(res).Transform(res.Kth().Point), d)
+			}
+			phase2, err = fpPhase2(tree, res, st, pruner)
+		}
+	case Exhaustive:
+		phase2 = exhaustivePhase2(tree, res, st)
+	default:
+		err = fmt.Errorf("gir: unknown method %v", opt.Method)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	cons = append(cons, phase2...)
+	st.RawConstraints = len(cons)
+	if !opt.SkipReduce {
+		cons = reduce(cons)
+	}
+	st.Constraints = len(cons)
+
+	reg := &Region{Dim: d, Query: res.Query.Clone(), Constraints: cons, OrderSensitive: true}
+	return reg, st, nil
+}
+
+// sepFunc returns the separable scoring function of a result; Compute and
+// ComputeStar guarantee the assertion before any helper runs.
+func sepFunc(res *topk.Result) score.Function { return res.Func.(score.Function) }
+
+// phase1 derives the k−1 reorder constraints that preserve the score order
+// within the result (Section 4): (g(p_i) − g(p_{i+1}))·q' ≥ 0.
+func phase1(res *topk.Result) []Constraint {
+	g := sepFunc(res).Transform
+	cons := make([]Constraint, 0, len(res.Records)-1)
+	for i := 0; i+1 < len(res.Records); i++ {
+		a, b := res.Records[i], res.Records[i+1]
+		cons = append(cons, Constraint{
+			Normal: vec.Sub(g(a.Point), g(b.Point)),
+			Kind:   Reorder,
+			A:      a.ID,
+			B:      b.ID,
+		})
+	}
+	return cons
+}
+
+// replaceConstraint builds the Phase-2 half-space keeping non-result
+// record p below result record anchor: (g(anchor) − g(p))·q' ≥ 0.
+func replaceConstraint(f score.Function, anchor, p topk.Record) Constraint {
+	return Constraint{
+		Normal: vec.Sub(f.Transform(anchor.Point), f.Transform(p.Point)),
+		Kind:   Replace,
+		A:      anchor.ID,
+		B:      p.ID,
+	}
+}
+
+// spPhase2 implements Skyline Pruning: one constraint per skyline record
+// of D\R.
+func spPhase2(tree *rtree.Tree, res *topk.Result, st *Stats) []Constraint {
+	before := tree.Store().Stats().Reads
+	sl := skyline.OfNonResult(tree, res)
+	st.NodesRead = int(tree.Store().Stats().Reads - before)
+	st.SkylineSize = len(sl.Records)
+	pk := res.Kth()
+	cons := make([]Constraint, 0, len(sl.Records))
+	for _, p := range sl.Records {
+		cons = append(cons, replaceConstraint(sepFunc(res), pk, p))
+	}
+	return cons
+}
+
+// cpPhase2 implements Convex-hull Pruning: constraints only from skyline
+// records that are vertices of the convex hull of SL (Section 5.2: the
+// hull is computed over the skyline records only, never the full D\R).
+func cpPhase2(tree *rtree.Tree, res *topk.Result, st *Stats) ([]Constraint, error) {
+	before := tree.Store().Stats().Reads
+	sl := skyline.OfNonResult(tree, res)
+	st.NodesRead = int(tree.Store().Stats().Reads - before)
+	st.SkylineSize = len(sl.Records)
+	pk := res.Kth()
+
+	onHull := sl.Records
+	if len(sl.Records) > tree.Dim()+1 {
+		pts := make([]vec.Vector, len(sl.Records))
+		for i, r := range sl.Records {
+			pts[i] = r.Point
+		}
+		h, err := hull.Build(pts)
+		switch err {
+		case nil:
+			verts := h.VertexIndices()
+			onHull = make([]topk.Record, len(verts))
+			for i, v := range verts {
+				onHull[i] = sl.Records[v]
+			}
+		case hull.ErrDegenerate:
+			// The skyline lies in a lower-dimensional flat: every record
+			// may be extreme, so fall back to the full skyline (a correct
+			// superset; SP semantics).
+		default:
+			return nil, err
+		}
+	}
+	st.HullVertices = len(onHull)
+	cons := make([]Constraint, 0, len(onHull))
+	for _, p := range onHull {
+		cons = append(cons, replaceConstraint(sepFunc(res), pk, p))
+	}
+	return cons, nil
+}
+
+// exhaustivePhase2 is the Section 3.3 baseline: scan the dataset, one
+// half-space per non-result record. Exponential-grade intersection cost is
+// deferred to the reduction step; do not use beyond small n.
+func exhaustivePhase2(tree *rtree.Tree, res *topk.Result, st *Stats) []Constraint {
+	inResult := make(map[int64]bool, len(res.Records))
+	for _, r := range res.Records {
+		inResult[r.ID] = true
+	}
+	pk := res.Kth()
+	var cons []Constraint
+	before := tree.Store().Stats().Reads
+	var rec func(n *rtree.Node)
+	rec = func(n *rtree.Node) {
+		for _, e := range n.Entries {
+			if n.Leaf {
+				if !inResult[e.RecID] {
+					cons = append(cons, replaceConstraint(sepFunc(res), pk, topk.Record{ID: e.RecID, Point: e.Point()}))
+				}
+			} else {
+				rec(tree.ReadNode(e.Child))
+			}
+		}
+	}
+	rec(tree.ReadNode(tree.Root()))
+	st.NodesRead = int(tree.Store().Stats().Reads - before)
+	return cons
+}

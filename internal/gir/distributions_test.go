@@ -1,0 +1,123 @@
+package gir
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/girlib/gir/internal/datagen"
+	"github.com/girlib/gir/internal/pager"
+	"github.com/girlib/gir/internal/rtree"
+	"github.com/girlib/gir/internal/score"
+	"github.com/girlib/gir/internal/topk"
+	"github.com/girlib/gir/internal/vec"
+)
+
+// Cross-distribution validation: the uniform-data property tests in
+// gir_test.go are repeated here on the benchmark distributions (COR and
+// ANTI stress very different skyline/hull shapes) and on the real-data
+// surrogates. Methods must agree with the exhaustive baseline everywhere.
+func TestMethodsAgreeAcrossDistributions(t *testing.T) {
+	cases := []struct {
+		kind datagen.Kind
+		n, d int
+	}{
+		{datagen.COR, 400, 3},
+		{datagen.ANTI, 300, 3},
+		{datagen.COR, 300, 4},
+		{datagen.ANTI, 250, 2},
+		{datagen.HOUSE, 400, datagen.HouseD},
+		{datagen.HOTEL, 400, datagen.HotelD},
+	}
+	for _, tc := range cases {
+		t.Run(string(tc.kind), func(t *testing.T) {
+			pts, err := datagen.Generate(tc.kind, tc.n, tc.d, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree := rtree.BulkLoad(pager.NewMemStore(), tc.d, pts, nil)
+			r := rand.New(rand.NewSource(5))
+			for trial := 0; trial < 3; trial++ {
+				q := datagen.Query(tc.d, int64(trial+10))
+				k := 2 + r.Intn(8)
+				fresh := func() *topk.Result { return topk.BRS(tree, score.Linear{}, q, k) }
+				base, _, err := Compute(tree, fresh(), Options{Method: Exhaustive})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, m := range []Method{SP, CP, FP} {
+					reg, _, err := Compute(tree, fresh(), Options{Method: m})
+					if err != nil {
+						t.Fatalf("%v on %s: %v", m, tc.kind, err)
+					}
+					if !reg.Contains(q, 1e-9) {
+						t.Fatalf("%v on %s: query outside region", m, tc.kind)
+					}
+					for probe := 0; probe < 120; probe++ {
+						p := make(vec.Vector, tc.d)
+						for j := range p {
+							p[j] = r.Float64()
+						}
+						if reg.Contains(p, 1e-9) != base.Contains(p, 1e-9) &&
+							minAbsSlack(base, p) > 1e-6 {
+							t.Fatalf("%v on %s disagrees with baseline at %v", m, tc.kind, p)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// ANTI data maximizes skyline sizes; the pruning chain |critical| ≤
+// |SL∩CH| ≤ |SL| (Figures 6 and 8) must hold there too.
+func TestPruningChainOnAnti(t *testing.T) {
+	pts := datagen.AntiCorrelated(2000, 4, 9)
+	tree := rtree.BulkLoad(pager.NewMemStore(), 4, pts, nil)
+	q := datagen.Query(4, 21)
+	fresh := func() *topk.Result { return topk.BRS(tree, score.Linear{}, q, 10) }
+	_, stSP, err := Compute(tree, fresh(), Options{Method: SP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stCP, err := Compute(tree, fresh(), Options{Method: CP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stFP, err := Compute(tree, fresh(), Options{Method: FP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stSP.SkylineSize < stCP.HullVertices {
+		t.Errorf("|SL| = %d < |SL∩CH| = %d", stSP.SkylineSize, stCP.HullVertices)
+	}
+	if stCP.HullVertices < stFP.Critical {
+		t.Errorf("|SL∩CH| = %d < critical = %d", stCP.HullVertices, stFP.Critical)
+	}
+	if stFP.NodesPruned == 0 && stFP.NodesRead > 10 {
+		t.Error("FP step 2 pruned nothing on ANTI data with many reads")
+	}
+}
+
+// The defining property on the HOTEL surrogate: cached-style reuse of the
+// region must be sound on realistic mixed-correlation data.
+func TestDefiningPropertyOnHotel(t *testing.T) {
+	pts := datagen.Hotel(3000, 4)
+	tree := rtree.BulkLoad(pager.NewMemStore(), datagen.HotelD, pts, nil)
+	q := datagen.Query(datagen.HotelD, 33)
+	res := topk.BRS(tree, score.Linear{}, q, 10)
+	want := res.Records
+	reg, _, err := Compute(tree, res, Options{Method: FP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(17))
+	for _, p := range insideSamples(r, reg, 20) {
+		if !allPositive(p) {
+			continue
+		}
+		got := topk.BRS(tree, score.Linear{}, p, 10)
+		if !sameTopK(got.Records, want) && minAbsSlack(reg, p) > 1e-7 {
+			t.Fatalf("result changed inside the GIR at %v", p)
+		}
+	}
+}

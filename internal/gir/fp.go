@@ -1,0 +1,154 @@
+package gir
+
+import (
+	"errors"
+
+	"github.com/girlib/gir/internal/hull"
+	"github.com/girlib/gir/internal/lp"
+	"github.com/girlib/gir/internal/rtree"
+	"github.com/girlib/gir/internal/topk"
+	"github.com/girlib/gir/internal/vec"
+)
+
+// phase1Pruner implements the footnote-7 optimization: an R-tree node is
+// additionally prunable when, for every query vector inside the Phase-1
+// cone (clipped to [0,1]^d), even the node's MBB top corner cannot
+// overtake p_k. Any constraint such a node could contribute is implied by
+// the Phase-1 half-spaces, so dropping it leaves the region unchanged.
+type phase1Pruner struct {
+	cons []lp.Constraint // Phase-1 normals (≥ 0) plus q_i ≤ 1 rows
+	pk   vec.Vector      // g(p_k)
+	d    int
+}
+
+func newPhase1Pruner(phase1 []Constraint, pk vec.Vector, d int) *phase1Pruner {
+	cons := make([]lp.Constraint, 0, len(phase1)+d)
+	for _, c := range phase1 {
+		cons = append(cons, lp.Constraint{Coef: c.Normal, Op: lp.GE, RHS: 0})
+	}
+	for i := 0; i < d; i++ {
+		row := make([]float64, d)
+		row[i] = 1
+		cons = append(cons, lp.Constraint{Coef: row, Op: lp.LE, RHS: 1})
+	}
+	return &phase1Pruner{cons: cons, pk: pk, d: d}
+}
+
+// canAffect reports whether some record below the MBB corner hi can
+// overtake p_k for some query vector inside the Phase-1 cone.
+func (pp *phase1Pruner) canAffect(hi vec.Vector) bool {
+	obj := vec.Sub(hi, pp.pk)
+	sol := lp.Maximize(obj, pp.cons)
+	// The feasible set always contains q = 0 (objective 0) and is
+	// box-bounded, so Optimal is the only expected status; be conservative
+	// on anything else.
+	if sol.Status != lp.Optimal {
+		return true
+	}
+	return sol.Objective > 1e-12
+}
+
+// fpPhase2 implements Facet Pruning (Section 6): maintain only the convex-
+// hull facets of {p_k} ∪ D\R that are incident to p_k, first over the
+// in-memory set T (step 1), then refining against the R-tree through the
+// retained BRS search heap (step 2). The records incident to the final
+// facets — the critical records — are the only non-result records that can
+// bound the GIR.
+//
+// The generic star structure covers every dimensionality d ≥ 2; for d = 2
+// it degenerates exactly to the paper's two rotating facets (the star of a
+// convex-polygon vertex always has two edges), so no separate 2-d code
+// path is required for correctness. See BenchmarkAblationFP2D for the
+// measured difference against a specialized angular-sort variant.
+func fpPhase2(tree *rtree.Tree, res *topk.Result, st *Stats, pruner *phase1Pruner) ([]Constraint, error) {
+	pk := res.Kth()
+
+	star, err := buildStar(tree, res, pk, st)
+	if err != nil {
+		if errors.Is(err, hull.ErrDegenerate) {
+			// The known records span a lower-dimensional flat; SP is always
+			// applicable and exact, so degrade gracefully.
+			return spPhase2(tree, res, st), nil
+		}
+		return nil, err
+	}
+
+	// Step 2: refine against records still on disk, pruning heap entries
+	// whose MBB lies below every facet incident to p_k (and, with the
+	// footnote-7 pruner, entries that cannot matter inside the Phase-1
+	// cone).
+	prunable := func(lo, hi vec.Vector) bool {
+		if !star.MBBAboveAny(lo, hi) {
+			return true
+		}
+		return pruner != nil && !pruner.canAffect(hi)
+	}
+	h := res.Heap
+	for h.Len() > 0 {
+		it := h.PopItem()
+		if prunable(it.Rect.Lo, it.Rect.Hi) {
+			st.NodesPruned++
+			continue
+		}
+		n := tree.ReadNode(it.Child)
+		st.NodesRead++
+		for _, e := range n.Entries {
+			if n.Leaf {
+				star.Add(e.Point(), e.RecID)
+			} else {
+				if prunable(e.Rect.Lo, e.Rect.Hi) {
+					st.NodesPruned++
+					continue
+				}
+				key := res.Func.MaxScore(e.Rect.Lo, e.Rect.Hi, res.Query)
+				h.PushItem(topk.NodeItem{Key: key, Child: e.Child, Rect: e.Rect.Clone()})
+			}
+		}
+	}
+
+	st.StarFacets = star.NumFacets()
+	ids := star.Critical()
+	pts := star.CriticalPoints()
+	st.Critical = len(ids)
+	cons := make([]Constraint, 0, len(ids))
+	for i, id := range ids {
+		cons = append(cons, replaceConstraint(sepFunc(res), pk, topk.Record{ID: id, Point: pts[i]}))
+	}
+	return cons, nil
+}
+
+// buildStar runs FP's first step: seed the star of p_k with the paper's
+// virtual axis-projection points plus the in-memory set T (using the
+// max-per-dimension heuristic of Section 6.3.1, which initialSimplex's
+// greedy extent selection subsumes). If apex plus seeds are degenerate, it
+// pulls additional records from the search heap until a full-dimensional
+// simplex exists.
+func buildStar(tree *rtree.Tree, res *topk.Result, pk topk.Record, st *Stats) (*hull.Star, error) {
+	seeds, ids := hull.VirtualSeeds(pk.Point)
+	for _, rec := range res.T {
+		seeds = append(seeds, rec.Point)
+		ids = append(ids, rec.ID)
+	}
+	star, err := hull.NewStar(pk.Point, seeds, ids)
+	for errors.Is(err, hull.ErrDegenerate) && res.Heap.Len() > 0 {
+		// Pull one more node's worth of records and retry.
+		it := res.Heap.PopItem()
+		n := tree.ReadNode(it.Child)
+		st.NodesRead++
+		for _, e := range n.Entries {
+			if n.Leaf {
+				seeds = append(seeds, e.Point())
+				ids = append(ids, e.RecID)
+				// Record it in T as well so that a later SP fallback (or any
+				// other consumer of the encountered set) still sees it.
+				rec := topk.Record{ID: e.RecID, Point: e.Point(), Score: res.Func.Score(e.Point(), res.Query)}
+				res.T = append(res.T, rec)
+			} else {
+				key := res.Func.MaxScore(e.Rect.Lo, e.Rect.Hi, res.Query)
+				res.Heap.PushItem(topk.NodeItem{Key: key, Child: e.Child, Rect: e.Rect.Clone()})
+			}
+		}
+		star, err = hull.NewStar(pk.Point, seeds, ids)
+	}
+	return star, err
+}

@@ -1,0 +1,243 @@
+package gir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/girlib/gir/internal/pager"
+	"github.com/girlib/gir/internal/rtree"
+	"github.com/girlib/gir/internal/score"
+	"github.com/girlib/gir/internal/topk"
+	"github.com/girlib/gir/internal/vec"
+)
+
+// The exact-GIR cross-check: for LINEAR scoring, the oracle's membership
+// must coincide with the FP polytope's.
+func TestOracleMatchesPolytopeForLinear(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 2 + r.Intn(3)
+		fx := makeFixture(r, 80+r.Intn(200), d, 2+r.Intn(6), score.Linear{})
+		reg, _, err := Compute(fx.tree, fx.fresh(), Options{Method: FP})
+		if err != nil {
+			return false
+		}
+		oracle := BuildOracle(fx.tree, fx.fresh())
+		for trial := 0; trial < 60; trial++ {
+			p := make(vec.Vector, d)
+			for j := range p {
+				p[j] = r.Float64()
+			}
+			if oracle.Preserves(p) != reg.Contains(p, 1e-9) && minAbsSlack(reg, p) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(173))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// bruteTopK recomputes the top-k by scanning all points under any scoring
+// function; the independent correctness oracle for Oracle.Preserves.
+func bruteTopK(pts []vec.Vector, f score.General, q vec.Vector, k int) []int64 {
+	type sc struct {
+		id int64
+		s  float64
+	}
+	all := make([]sc, len(pts))
+	for i, p := range pts {
+		all[i] = sc{int64(i), f.Score(p, q)}
+	}
+	for i := 0; i < k; i++ { // selection sort prefix (k small)
+		best := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].s > all[best].s {
+				best = j
+			}
+		}
+		all[i], all[best] = all[best], all[i]
+	}
+	out := make([]int64, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].id
+	}
+	return out
+}
+
+// The headline test for the general-function extension: under the
+// NON-separable Leontief function, the oracle's verdict must agree with
+// recomputing the top-k from scratch.
+func TestOracleLeontief(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 2 + r.Intn(2)
+		n := 60 + r.Intn(150)
+		pts := make([]vec.Vector, n)
+		for i := range pts {
+			pts[i] = make(vec.Vector, d)
+			for j := range pts[i] {
+				pts[i][j] = r.Float64()
+			}
+		}
+		tree := rtree.BulkLoad(pager.NewMemStore(), d, pts, nil)
+		q := make(vec.Vector, d)
+		for j := range q {
+			q[j] = 0.2 + 0.7*r.Float64()
+		}
+		k := 2 + r.Intn(5)
+		fn := score.Leontief{}
+		res := topk.BRS(tree, fn, q, k)
+		// Sanity: BRS with Leontief matches brute force.
+		want := bruteTopK(pts, fn, q, k)
+		for i := range want {
+			if res.Records[i].ID != want[i] {
+				return false
+			}
+		}
+		oracle := BuildOracle(tree, res)
+		for trial := 0; trial < 40; trial++ {
+			p := make(vec.Vector, d)
+			for j := range p {
+				p[j] = 0.01 + 0.98*r.Float64()
+			}
+			got := oracle.Preserves(p)
+			fresh := bruteTopK(pts, fn, p, k)
+			same := true
+			for i := range fresh {
+				if fresh[i] != res.Records[i].ID {
+					same = false
+					break
+				}
+			}
+			// Ties (zero-measure but possible with min-compositions) are
+			// the only tolerated disagreement; detect via score equality.
+			if got != same {
+				kth := fn.Score(res.Records[k-1].Point, p)
+				tie := false
+				for _, pt := range pts {
+					if s := fn.Score(pt, p); s == kth {
+						tie = true
+					}
+				}
+				if !tie {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(179))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Exact GIR computation must refuse non-separable functions with a clear
+// error pointing at the oracle.
+func TestComputeRejectsNonSeparable(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	pts := make([]vec.Vector, 100)
+	for i := range pts {
+		pts[i] = vec.Vector{r.Float64(), r.Float64()}
+	}
+	tree := rtree.BulkLoad(pager.NewMemStore(), 2, pts, nil)
+	res := topk.BRS(tree, score.Leontief{}, vec.Vector{0.5, 0.6}, 5)
+	if _, _, err := Compute(tree, res, Options{Method: SP}); err == nil {
+		t.Error("Compute accepted a non-separable function")
+	}
+	res2 := topk.BRS(tree, score.Leontief{}, vec.Vector{0.5, 0.6}, 5)
+	if _, _, err := ComputeStar(tree, res2, Options{Method: SP}); err == nil {
+		t.Error("ComputeStar accepted a non-separable function")
+	}
+}
+
+func TestOracleLIRBisection(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	fx := makeFixture(r, 200, 3, 5, score.Linear{})
+	reg, _, err := Compute(fx.tree, fx.fresh(), Options{Method: FP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := BuildOracle(fx.tree, fx.fresh())
+	for dim := 0; dim < 3; dim++ {
+		lo, hi := oracle.LIR(dim, 1e-7)
+		if lo > fx.q[dim] || hi < fx.q[dim] {
+			t.Fatalf("dim %d: LIR [%v,%v] excludes the weight %v", dim, lo, hi, fx.q[dim])
+		}
+		// Interior of the interval must preserve; compare against the
+		// exact polytope region (linear case).
+		for _, frac := range []float64{0.1, 0.5, 0.9} {
+			p := fx.q.Clone()
+			p[dim] = lo + (hi-lo)*frac
+			if !reg.Contains(p, 1e-5) {
+				t.Fatalf("dim %d: bisected LIR point %v outside the exact region", dim, p)
+			}
+		}
+	}
+}
+
+func TestOraclePreservesSetLooser(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	fx := makeFixture(r, 200, 3, 6, score.Linear{})
+	oracle := BuildOracle(fx.tree, fx.fresh())
+	for trial := 0; trial < 300; trial++ {
+		p := vec.Vector{r.Float64(), r.Float64(), r.Float64()}
+		if oracle.Preserves(p) && !oracle.PreservesSet(p) {
+			t.Fatalf("order preserved but composition not, at %v", p)
+		}
+	}
+}
+
+func TestOracleVolumeRatio(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	fx := makeFixture(r, 150, 2, 3, score.Linear{})
+	reg, _, err := Compute(fx.tree, fx.fresh(), Options{Method: FP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := BuildOracle(fx.tree, fx.fresh())
+	got := oracle.VolumeRatio(40000, 1)
+	// Cross-check against the exact 2-d polytope area.
+	exact := exact2DArea(reg)
+	if exact > 0.02 && (got < exact*0.7 || got > exact*1.3) {
+		t.Errorf("oracle volume %v vs exact %v", got, exact)
+	}
+}
+
+func exact2DArea(reg *Region) float64 {
+	// Clip the unit square by the region's half-spaces (shoelace).
+	type pt = vec.Vector
+	poly := []pt{{0, 0}, {1, 0}, {1, 1}, {0, 1}}
+	for _, c := range reg.Constraints {
+		var out []pt
+		n := len(poly)
+		for i := 0; i < n; i++ {
+			a, b := poly[i], poly[(i+1)%n]
+			sa, sb := vec.Dot(c.Normal, a), vec.Dot(c.Normal, b)
+			if sa >= 0 {
+				out = append(out, a)
+			}
+			if (sa >= 0) != (sb >= 0) {
+				t := sa / (sa - sb)
+				out = append(out, pt{a[0] + t*(b[0]-a[0]), a[1] + t*(b[1]-a[1])})
+			}
+		}
+		poly = out
+		if len(poly) == 0 {
+			return 0
+		}
+	}
+	var s float64
+	for i, p := range poly {
+		q := poly[(i+1)%len(poly)]
+		s += p[0]*q[1] - q[0]*p[1]
+	}
+	if s < 0 {
+		s = -s
+	}
+	return s / 2
+}

@@ -1,0 +1,148 @@
+// Package gir implements the paper's contribution: computation of the
+// Global Immutable Region of a top-k query — the maximal locus of query
+// vectors that preserve the current result — via the three Phase-2
+// algorithms SP (Skyline Pruning), CP (Convex-hull Pruning) and FP (Facet
+// Pruning), plus the order-insensitive variant GIR* and an exhaustive
+// baseline used for validation (Section 3.3).
+package gir
+
+import (
+	"fmt"
+
+	"github.com/girlib/gir/internal/geom"
+	"github.com/girlib/gir/internal/vec"
+)
+
+// ConstraintKind distinguishes the two condition families of Definition 1.
+type ConstraintKind int8
+
+// Constraint kinds.
+const (
+	// Reorder constraints preserve the order between adjacent result
+	// records: crossing the boundary swaps records A and B in the result.
+	Reorder ConstraintKind = iota
+	// Replace constraints keep non-result record B below result record A:
+	// crossing the boundary lets B replace (or, in GIR*, reach) A.
+	Replace
+)
+
+func (k ConstraintKind) String() string {
+	if k == Reorder {
+		return "reorder"
+	}
+	return "replace"
+}
+
+// Constraint is one bounding half-space {q' : Normal·q' ≥ 0} of a GIR,
+// annotated with the pair of records responsible for it. The hyperplane
+// passes through the origin of query space (Section 3.2).
+type Constraint struct {
+	Normal vec.Vector
+	Kind   ConstraintKind
+	A, B   int64 // record ids: A stays ahead of B on the inside
+}
+
+// Describe renders the result perturbation incurred when the query vector
+// moves onto this constraint's boundary (Section 3.2).
+func (c Constraint) Describe() string {
+	if c.Kind == Reorder {
+		return fmt.Sprintf("records %d and %d swap positions", c.A, c.B)
+	}
+	return fmt.Sprintf("record %d overtakes result record %d", c.B, c.A)
+}
+
+// Halfspace converts the constraint to its geometric form.
+func (c Constraint) Halfspace() geom.Halfspace {
+	return geom.Halfspace{A: c.Normal, B: 0}
+}
+
+// Region is a computed (order-sensitive or order-insensitive) global
+// immutable region: the polyhedral cone ∩{Normal_i·q' ≥ 0} clipped to the
+// query space [0,1]^d. Constraints hold a minimal (irredundant) set unless
+// the computation was asked to skip reduction.
+type Region struct {
+	Dim            int
+	Query          vec.Vector // the original query vector (always inside)
+	Constraints    []Constraint
+	OrderSensitive bool
+}
+
+// Contains reports whether q lies inside the region (within tol).
+func (r *Region) Contains(q vec.Vector, tol float64) bool {
+	if len(q) != r.Dim {
+		return false
+	}
+	for _, x := range q {
+		if x < -tol || x > 1+tol {
+			return false
+		}
+	}
+	for _, c := range r.Constraints {
+		if vec.Dot(c.Normal, q) < -tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Halfspaces returns the cone constraints as half-spaces (without the box).
+func (r *Region) Halfspaces() []geom.Halfspace {
+	out := make([]geom.Halfspace, len(r.Constraints))
+	for i, c := range r.Constraints {
+		out[i] = c.Halfspace()
+	}
+	return out
+}
+
+// HalfspacesWithBox returns cone constraints plus the [0,1]^d box.
+func (r *Region) HalfspacesWithBox() []geom.Halfspace {
+	return append(r.Halfspaces(), geom.BoxHalfspaces(r.Dim)...)
+}
+
+// BindingConstraint returns the index of the constraint with the smallest
+// slack at q (the one the query would hit first moving outward along its
+// gradient), or -1 if the region has no constraints.
+func (r *Region) BindingConstraint(q vec.Vector) int {
+	best, bestSlack := -1, 0.0
+	for i, c := range r.Constraints {
+		s := vec.Dot(c.Normal, q) / vec.Norm(c.Normal)
+		if best == -1 || s < bestSlack {
+			best, bestSlack = i, s
+		}
+	}
+	return best
+}
+
+// Stats reports what a GIR computation did — the quantities plotted in the
+// paper's Figures 6, 8 and 15–18.
+type Stats struct {
+	Method         string
+	TSize          int // non-result records retained by BRS
+	SkylineSize    int // |SL| (SP, CP)
+	HullVertices   int // |SL ∩ CH| (CP)
+	StarFacets     int // facets incident to p_k at the end (FP)
+	Critical       int // critical records (FP)
+	RMinus         int // |R⁻| (GIR* only)
+	NodesRead      int // index nodes fetched in Phase 2
+	NodesPruned    int // heap entries pruned without a read in Phase 2 (FP)
+	RawConstraints int // constraints before redundancy elimination
+	Constraints    int // constraints in the final minimal representation
+}
+
+// reduce eliminates redundant constraints via conical-membership LPs,
+// preserving attribution.
+func reduce(cons []Constraint) []Constraint {
+	if len(cons) <= 1 {
+		return cons
+	}
+	normals := make([]vec.Vector, len(cons))
+	for i, c := range cons {
+		normals[i] = c.Normal
+	}
+	keep := geom.ReduceCone(normals, 1e-12)
+	out := make([]Constraint, len(keep))
+	for i, k := range keep {
+		out[i] = cons[k]
+	}
+	return out
+}

@@ -1,0 +1,785 @@
+// Package hull implements convex hulls in arbitrary (low) dimension:
+//
+//   - Build: a full incremental convex hull (quickhull with conflict lists,
+//     in the spirit of Clarkson's randomized incremental construction),
+//     used by the CP algorithm and by the facet-counting experiments.
+//   - Star: an incremental structure that maintains ONLY the hull facets
+//     incident to a pinned apex vertex. This is the kernel of the paper's
+//     FP (Facet Pruning) algorithm: the apex is the k-th result record p_k,
+//     and the star's non-apex vertices are the critical records.
+//
+// Correctness of star-only maintenance rests on two facts proved in the
+// paper (Section 6) and re-derived in DESIGN.md: (i) a ridge containing the
+// apex is shared by exactly two facets that both contain the apex, so
+// horizon ridges through the apex are discoverable inside the star; and
+// (ii) a new point changes the star iff it lies strictly above one of the
+// star's facet planes.
+package hull
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/girlib/gir/internal/vec"
+)
+
+// Tol is the default geometric tolerance: points within Tol of a facet
+// plane are treated as lying on it (and therefore "not above" it, the safe
+// direction for pruning).
+const Tol = 1e-10
+
+// ErrDegenerate is returned when the input points do not span the space
+// (they lie in a lower-dimensional flat), so no full-dimensional hull
+// exists.
+var ErrDegenerate = errors.New("hull: input points are affinely dependent (degenerate)")
+
+// Facet is one (d−1)-dimensional face of a hull: d vertex indices, an
+// outward unit normal and its offset (Normal·x = Offset on the plane;
+// interior points satisfy Normal·x < Offset).
+type Facet struct {
+	Vertices []int
+	Normal   vec.Vector
+	Offset   float64
+}
+
+// Above reports whether p lies strictly above the facet plane (outside).
+func (f *Facet) Above(p vec.Vector) bool { return vec.Dot(f.Normal, p) > f.Offset+Tol }
+
+// Slack returns Normal·p − Offset.
+func (f *Facet) Slack(p vec.Vector) float64 { return vec.Dot(f.Normal, p) - f.Offset }
+
+// maxOverBox returns max_{x ∈ [lo,hi]} n·x, the "beneath-and-beyond" bound
+// used to prune R-tree MBBs against facet planes.
+func maxOverBox(n, lo, hi vec.Vector) float64 {
+	var s float64
+	for i, ni := range n {
+		if ni > 0 {
+			s += ni * hi[i]
+		} else {
+			s += ni * lo[i]
+		}
+	}
+	return s
+}
+
+// initialSimplex greedily selects d+1 affinely independent point indices,
+// optionally forcing the inclusion of index `force` (pass -1 to disable).
+// It returns ErrDegenerate if the points span a lower-dimensional flat.
+func initialSimplex(pts []vec.Vector, d int, force int) ([]int, error) {
+	if len(pts) < d+1 {
+		return nil, ErrDegenerate
+	}
+	chosen := make([]int, 0, d+1)
+	used := make([]bool, len(pts))
+	if force >= 0 {
+		chosen = append(chosen, force)
+		used[force] = true
+	} else {
+		// Start from the two points with extreme first coordinates.
+		lo, hi := 0, 0
+		for i, p := range pts {
+			if p[0] < pts[lo][0] {
+				lo = i
+			}
+			if p[0] > pts[hi][0] {
+				hi = i
+			}
+		}
+		if lo == hi {
+			hi = (lo + 1) % len(pts)
+		}
+		chosen = append(chosen, lo)
+		used[lo] = true
+	}
+	// Orthonormal basis of the affine hull of the chosen points.
+	basis := make([]vec.Vector, 0, d)
+	origin := pts[chosen[0]]
+	residual := func(p vec.Vector) vec.Vector {
+		r := vec.Sub(p, origin)
+		for _, b := range basis {
+			vec.AXPY(-vec.Dot(r, b), b, r)
+		}
+		return r
+	}
+	for len(chosen) < d+1 {
+		best, bestNorm := -1, 0.0
+		var bestRes vec.Vector
+		for i, p := range pts {
+			if used[i] {
+				continue
+			}
+			r := residual(p)
+			if n := vec.Norm(r); n > bestNorm {
+				best, bestNorm, bestRes = i, n, r
+			}
+		}
+		if best < 0 || bestNorm < Tol {
+			return nil, ErrDegenerate
+		}
+		chosen = append(chosen, best)
+		used[best] = true
+		basis = append(basis, vec.Scale(1/bestNorm, bestRes))
+	}
+	return chosen, nil
+}
+
+// centroidOf returns the mean of the given points.
+func centroidOf(pts []vec.Vector, idx []int) vec.Vector {
+	d := len(pts[idx[0]])
+	c := make(vec.Vector, d)
+	for _, i := range idx {
+		vec.AXPY(1, pts[i], c)
+	}
+	return vec.Scale(1/float64(len(idx)), c)
+}
+
+// facetThrough builds the oriented facet through the d points indexed by
+// verts, with `interior` strictly below it. ok=false on degeneracy.
+func facetThrough(pts []vec.Vector, verts []int, interior vec.Vector) (*Facet, bool) {
+	d := len(interior)
+	span := make([]vec.Vector, d)
+	for i, v := range verts {
+		span[i] = pts[v]
+	}
+	n, off, ok := vec.HyperplaneThrough(span, Tol)
+	if !ok {
+		return nil, false
+	}
+	if vec.Dot(n, interior) > off {
+		n, off = vec.Scale(-1, n), -off
+	}
+	vcopy := make([]int, d)
+	copy(vcopy, verts)
+	return &Facet{Vertices: vcopy, Normal: n, Offset: off}, true
+}
+
+// ridgeKey builds a canonical string key from sorted vertex ids.
+func ridgeKey(ids []int) string {
+	s := make([]int, len(ids))
+	copy(s, ids)
+	sort.Ints(s)
+	b := make([]byte, 0, 8*len(s))
+	for _, v := range s {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	return string(b)
+}
+
+// Hull is a full convex hull built by Build.
+type Hull struct {
+	Dim    int
+	Points []vec.Vector
+	facets []*bFacet
+	alive  int
+}
+
+type bFacet struct {
+	Facet
+	neighbors []int // facet id opposite each vertex position
+	outside   []int // conflict list (point ids strictly above)
+	furthest  int   // position in outside of the max-slack point
+	alive     bool
+}
+
+// ErrBudget is returned by BuildLimited when the facet count exceeds the
+// caller's budget.
+var ErrBudget = errors.New("hull: facet budget exceeded")
+
+// BuildLimited is Build with an abort threshold on the number of live
+// facets. Counting experiments (Figure 8a) use it so that exploding hulls
+// in high dimension report "over budget" instead of running for hours.
+func BuildLimited(points []vec.Vector, maxFacets int) (*Hull, error) {
+	return build(points, maxFacets)
+}
+
+// Build computes the convex hull of the points (each of dimension d ≥ 2,
+// all equal dimension). It requires the points to span the full space.
+func Build(points []vec.Vector) (*Hull, error) {
+	return build(points, 0)
+}
+
+func build(points []vec.Vector, maxFacets int) (*Hull, error) {
+	if len(points) == 0 {
+		return nil, ErrDegenerate
+	}
+	d := len(points[0])
+	if d < 2 {
+		return nil, fmt.Errorf("hull: dimension %d not supported", d)
+	}
+	simplex, err := initialSimplex(points, d, -1)
+	if err != nil {
+		return nil, err
+	}
+	h := &Hull{Dim: d, Points: points}
+	interior := centroidOf(points, simplex)
+
+	// d+1 simplex facets: facet i omits simplex[i]; its neighbor opposite
+	// vertex simplex[j] is facet j.
+	ids := make([]int, d+1)
+	for i := 0; i <= d; i++ {
+		verts := make([]int, 0, d)
+		for j := 0; j <= d; j++ {
+			if j != i {
+				verts = append(verts, simplex[j])
+			}
+		}
+		f, ok := facetThrough(points, verts, interior)
+		if !ok {
+			return nil, ErrDegenerate
+		}
+		bf := &bFacet{Facet: *f, alive: true}
+		ids[i] = len(h.facets)
+		h.facets = append(h.facets, bf)
+		h.alive++
+	}
+	for i := 0; i <= d; i++ {
+		bf := h.facets[ids[i]]
+		bf.neighbors = make([]int, d)
+		for pos, v := range bf.Vertices {
+			// The ridge omitting vertex v is shared with the facet that
+			// omits every simplex vertex except... by construction, facet j
+			// where simplex[j] == v.
+			for j := 0; j <= d; j++ {
+				if simplex[j] == v {
+					bf.neighbors[pos] = ids[j]
+					break
+				}
+			}
+		}
+	}
+
+	// Distribute points into conflict lists.
+	inSimplex := make(map[int]bool, d+1)
+	for _, s := range simplex {
+		inSimplex[s] = true
+	}
+	for pi := range points {
+		if inSimplex[pi] {
+			continue
+		}
+		h.assign(pi, ids)
+	}
+
+	// Process facets with nonempty conflict lists.
+	queue := make([]int, 0, len(h.facets))
+	for _, id := range ids {
+		if len(h.facets[id].outside) > 0 {
+			queue = append(queue, id)
+		}
+	}
+	for len(queue) > 0 {
+		fid := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		f := h.facets[fid]
+		if !f.alive || len(f.outside) == 0 {
+			continue
+		}
+		p := f.outside[f.furthest]
+		newIDs, err := h.addPoint(p, fid, interior)
+		if err != nil {
+			return nil, err
+		}
+		if maxFacets > 0 && h.alive > maxFacets {
+			return nil, ErrBudget
+		}
+		for _, id := range newIDs {
+			if len(h.facets[id].outside) > 0 {
+				queue = append(queue, id)
+			}
+		}
+	}
+	return h, nil
+}
+
+// assign places point pi into the conflict list of the first facet (among
+// candidates) it lies strictly above. Returns true if assigned.
+func (h *Hull) assign(pi int, candidates []int) bool {
+	p := h.Points[pi]
+	for _, id := range candidates {
+		f := h.facets[id]
+		if !f.alive {
+			continue
+		}
+		if s := f.Slack(p); s > Tol {
+			if len(f.outside) == 0 || s > f.Slack(h.Points[f.outside[f.furthest]]) {
+				f.furthest = len(f.outside)
+			}
+			f.outside = append(f.outside, pi)
+			return true
+		}
+	}
+	return false
+}
+
+// addPoint inserts point pi, known to be above facet startID, and returns
+// the ids of the newly created facets.
+func (h *Hull) addPoint(pi, startID int, interior vec.Vector) ([]int, error) {
+	p := h.Points[pi]
+	// BFS for the visible set.
+	visible := map[int]bool{startID: true}
+	stack := []int{startID}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range h.facets[id].neighbors {
+			if visible[nb] || !h.facets[nb].alive {
+				continue
+			}
+			if h.facets[nb].Slack(p) > Tol {
+				visible[nb] = true
+				stack = append(stack, nb)
+			}
+		}
+	}
+	// Horizon ridges: (facet in visible) × (neighbor not visible).
+	type horizon struct {
+		ridge  []int // d−1 vertex ids
+		hidden int   // facet id on the far side
+	}
+	var ridges []horizon
+	for id := range visible {
+		f := h.facets[id]
+		for pos, nb := range f.neighbors {
+			if visible[nb] {
+				continue
+			}
+			ridge := make([]int, 0, len(f.Vertices)-1)
+			for j, v := range f.Vertices {
+				if j != pos {
+					ridge = append(ridge, v)
+				}
+			}
+			ridges = append(ridges, horizon{ridge, nb})
+		}
+	}
+	// Build one new facet per horizon ridge.
+	newIDs := make([]int, 0, len(ridges))
+	ridgeToNew := make(map[string][2]int, len(ridges)*h.Dim) // key → (facet id, vertex pos)
+	for _, hz := range ridges {
+		verts := append(append(make([]int, 0, h.Dim), hz.ridge...), pi)
+		f, ok := facetThrough(h.Points, verts, interior)
+		if !ok {
+			return nil, fmt.Errorf("hull: degenerate facet while inserting point %d", pi)
+		}
+		bf := &bFacet{Facet: *f, alive: true, neighbors: make([]int, h.Dim)}
+		id := len(h.facets)
+		h.facets = append(h.facets, bf)
+		h.alive++
+		newIDs = append(newIDs, id)
+		// Neighbor opposite pi (the last vertex) is the hidden facet.
+		for pos, v := range bf.Vertices {
+			if v == pi {
+				bf.neighbors[pos] = hz.hidden
+			}
+		}
+		// Fix the hidden facet's back-pointer (it pointed at a dying facet).
+		hidden := h.facets[hz.hidden]
+		hk := ridgeKey(hz.ridge)
+		for pos := range hidden.neighbors {
+			ridge := make([]int, 0, h.Dim-1)
+			for j, v := range hidden.Vertices {
+				if j != pos {
+					ridge = append(ridge, v)
+				}
+			}
+			if ridgeKey(ridge) == hk {
+				hidden.neighbors[pos] = id
+				break
+			}
+		}
+		// Ridges of the new facet that contain pi pair up new facets.
+		for pos, v := range bf.Vertices {
+			if v == pi {
+				continue
+			}
+			ridge := make([]int, 0, h.Dim-1)
+			for j, w := range bf.Vertices {
+				if j != pos {
+					ridge = append(ridge, w)
+				}
+			}
+			key := ridgeKey(ridge)
+			if prev, seen := ridgeToNew[key]; seen {
+				bf.neighbors[pos] = prev[0]
+				h.facets[prev[0]].neighbors[prev[1]] = id
+			} else {
+				ridgeToNew[key] = [2]int{id, pos}
+			}
+		}
+	}
+	// Reassign orphaned conflict points; kill the visible facets.
+	for id := range visible {
+		f := h.facets[id]
+		f.alive = false
+		h.alive--
+		for _, opi := range f.outside {
+			if opi != pi {
+				h.assign(opi, newIDs)
+			}
+		}
+		f.outside = nil
+	}
+	return newIDs, nil
+}
+
+// NumFacets returns the number of facets on the hull.
+func (h *Hull) NumFacets() int { return h.alive }
+
+// Facets returns the live facets.
+func (h *Hull) Facets() []*Facet {
+	out := make([]*Facet, 0, h.alive)
+	for _, f := range h.facets {
+		if f.alive {
+			out = append(out, &f.Facet)
+		}
+	}
+	return out
+}
+
+// VertexIndices returns the sorted indices of points that are hull
+// vertices.
+func (h *Hull) VertexIndices() []int {
+	seen := map[int]bool{}
+	for _, f := range h.facets {
+		if !f.alive {
+			continue
+		}
+		for _, v := range f.Vertices {
+			seen[v] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Contains reports whether p lies inside or on the hull (below every
+// facet plane, within tolerance).
+func (h *Hull) Contains(p vec.Vector) bool {
+	for _, f := range h.facets {
+		if f.alive && f.Slack(p) > Tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IncidentFacets returns the facets having the given point index as a
+// vertex (the "star" of that vertex, extracted from the full hull).
+func (h *Hull) IncidentFacets(idx int) []*Facet {
+	var out []*Facet
+	for _, f := range h.facets {
+		if !f.alive {
+			continue
+		}
+		for _, v := range f.Vertices {
+			if v == idx {
+				out = append(out, &f.Facet)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// --- Star: facets incident to a pinned apex --------------------------------
+
+// Star incrementally maintains the convex-hull facets incident to a pinned
+// apex over a growing point set. Points are fed one at a time with Add;
+// the structure is exact provided every added point has apex-score strictly
+// below the apex in the pinning direction (guaranteed in FP, where the apex
+// is the k-th result record and added points are non-result records).
+type Star struct {
+	Dim  int
+	apex vec.Vector
+
+	pts      []vec.Vector // non-apex points referenced by facets
+	ids      []int64      // caller's id per point; virtual points get negative ids
+	interior vec.Vector   // fixed interior reference for orientation
+
+	facets []*sFacet
+	alive  int
+}
+
+type sFacet struct {
+	verts  []int // positions into pts; −1 denotes the apex
+	normal vec.Vector
+	offset float64
+	alive  bool
+}
+
+// apexID is the sentinel vertex id for the apex inside Star facets.
+const apexID = -1
+
+// NewStar builds the initial star from the apex and at least d seed points
+// (with caller ids). Seeds that are affinely dependent are skipped; if no
+// non-degenerate simplex exists among them, ErrDegenerate is returned.
+// Virtual seeds (axis projections of the apex, per Section 6.2/6.3 of the
+// paper) should be given negative ids; they participate in the geometry but
+// are excluded from Critical().
+func NewStar(apex vec.Vector, seeds []vec.Vector, seedIDs []int64) (*Star, error) {
+	d := len(apex)
+	if d < 2 {
+		return nil, fmt.Errorf("hull: dimension %d not supported", d)
+	}
+	if len(seeds) != len(seedIDs) {
+		panic("hull: seeds and seedIDs length mismatch")
+	}
+	all := make([]vec.Vector, 0, len(seeds)+1)
+	all = append(all, apex)
+	all = append(all, seeds...)
+	simplex, err := initialSimplex(all, d, 0) // force apex (index 0)
+	if err != nil {
+		return nil, err
+	}
+	s := &Star{Dim: d, apex: apex, interior: centroidOf(all, simplex)}
+	// Register the chosen seed points.
+	pos := make(map[int]int, d) // index in `all` → index in s.pts
+	for _, si := range simplex {
+		if si == 0 {
+			continue
+		}
+		pos[si] = len(s.pts)
+		s.pts = append(s.pts, all[si])
+		s.ids = append(s.ids, seedIDs[si-1])
+	}
+	// Simplex facets containing the apex: omit one non-apex vertex each.
+	for _, omit := range simplex {
+		if omit == 0 {
+			continue
+		}
+		verts := make([]int, 0, d)
+		for _, si := range simplex {
+			if si == omit {
+				continue
+			}
+			if si == 0 {
+				verts = append(verts, apexID)
+			} else {
+				verts = append(verts, pos[si])
+			}
+		}
+		if !s.addFacet(verts) {
+			return nil, ErrDegenerate
+		}
+	}
+	// Feed the unused seeds through the normal incremental path.
+	used := make(map[int]bool, len(simplex))
+	for _, si := range simplex {
+		used[si] = true
+	}
+	for i := 1; i < len(all); i++ {
+		if !used[i] {
+			s.Add(all[i], seedIDs[i-1])
+		}
+	}
+	return s, nil
+}
+
+// point resolves a facet vertex id to coordinates.
+func (s *Star) point(v int) vec.Vector {
+	if v == apexID {
+		return s.apex
+	}
+	return s.pts[v]
+}
+
+// addFacet creates an oriented facet through the given vertex ids
+// (one of which must be apexID). Returns false on degeneracy.
+func (s *Star) addFacet(verts []int) bool {
+	span := make([]vec.Vector, len(verts))
+	for i, v := range verts {
+		span[i] = s.point(v)
+	}
+	n, off, ok := vec.HyperplaneThrough(span, Tol)
+	if !ok {
+		return false
+	}
+	if vec.Dot(n, s.interior) > off {
+		n, off = vec.Scale(-1, n), -off
+	}
+	s.facets = append(s.facets, &sFacet{verts: verts, normal: n, offset: off, alive: true})
+	s.alive++
+	return true
+}
+
+// Add processes a new point with the caller's id. It returns true if the
+// star changed (p is a new critical-candidate vertex), false if p was
+// discarded (below every incident facet).
+func (s *Star) Add(p vec.Vector, id int64) bool {
+	// Visible star facets.
+	var visible []*sFacet
+	for _, f := range s.facets {
+		if f.alive && vec.Dot(f.normal, p) > f.offset+Tol {
+			visible = append(visible, f)
+		}
+	}
+	if len(visible) == 0 {
+		return false
+	}
+	// Horizon ridges through the apex: each apex-ridge is shared by exactly
+	// two star facets; it is a horizon ridge iff exactly one of them is
+	// visible.
+	type ridgeInfo struct {
+		verts []int
+		count int
+	}
+	ridges := map[string]*ridgeInfo{}
+	for _, f := range visible {
+		for pos, v := range f.verts {
+			if v == apexID {
+				continue // omitting the apex gives a non-apex ridge
+			}
+			ridge := make([]int, 0, s.Dim-1)
+			for j, w := range f.verts {
+				if j != pos {
+					ridge = append(ridge, w)
+				}
+			}
+			key := ridgeKey(ridge)
+			if ri, ok := ridges[key]; ok {
+				ri.count++
+			} else {
+				ridges[key] = &ridgeInfo{verts: ridge, count: 1}
+			}
+		}
+	}
+	pID := len(s.pts)
+	s.pts = append(s.pts, p.Clone())
+	s.ids = append(s.ids, id)
+	created := 0
+	for _, ri := range ridges {
+		if ri.count != 1 {
+			continue // interior ridge of the visible region
+		}
+		verts := append(append(make([]int, 0, s.Dim), ri.verts...), pID)
+		if s.addFacet(verts) {
+			created++
+		}
+	}
+	for _, f := range visible {
+		f.alive = false
+		s.alive--
+	}
+	if created == 0 {
+		// Degenerate corner case: p swallowed every facet it saw without
+		// replacements (numerically near-coplanar). Keep the old facets to
+		// stay conservative.
+		for _, f := range visible {
+			f.alive = true
+			s.alive++
+		}
+		return false
+	}
+	return true
+}
+
+// AboveAny reports whether p lies strictly above at least one star facet
+// (i.e. whether Add would change the star).
+func (s *Star) AboveAny(p vec.Vector) bool {
+	for _, f := range s.facets {
+		if f.alive && vec.Dot(f.normal, p) > f.offset+Tol {
+			return true
+		}
+	}
+	return false
+}
+
+// MBBAboveAny reports whether any point of the axis-aligned box [lo,hi]
+// lies strictly above some star facet. R-tree nodes for which this is
+// false are pruned by FP's second step.
+func (s *Star) MBBAboveAny(lo, hi vec.Vector) bool {
+	for _, f := range s.facets {
+		if f.alive && maxOverBox(f.normal, lo, hi) > f.offset+Tol {
+			return true
+		}
+	}
+	return false
+}
+
+// NumFacets returns the number of live facets incident to the apex.
+func (s *Star) NumFacets() int { return s.alive }
+
+// Critical returns the caller ids of the non-virtual records incident to
+// the star's facets — the paper's critical records — in sorted order.
+func (s *Star) Critical() []int64 {
+	seen := map[int64]bool{}
+	for _, f := range s.facets {
+		if !f.alive {
+			continue
+		}
+		for _, v := range f.verts {
+			if v == apexID {
+				continue
+			}
+			if id := s.ids[v]; id >= 0 {
+				seen[id] = true
+			}
+		}
+	}
+	out := make([]int64, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CriticalPoints returns the coordinates of the critical records, aligned
+// with Critical().
+func (s *Star) CriticalPoints() []vec.Vector {
+	ids := s.Critical()
+	byID := map[int64]vec.Vector{}
+	for i, id := range s.ids {
+		if id >= 0 {
+			byID[id] = s.pts[i]
+		}
+	}
+	out := make([]vec.Vector, len(ids))
+	for i, id := range ids {
+		out[i] = byID[id]
+	}
+	return out
+}
+
+// Facets returns copies of the live facets (vertex ids use −1 for the
+// apex and otherwise the caller ids passed to Add/NewStar).
+func (s *Star) Facets() []Facet {
+	out := make([]Facet, 0, s.alive)
+	for _, f := range s.facets {
+		if !f.alive {
+			continue
+		}
+		verts := make([]int, len(f.verts))
+		for i, v := range f.verts {
+			if v == apexID {
+				verts[i] = apexID
+			} else {
+				verts[i] = int(s.ids[v])
+			}
+		}
+		out = append(out, Facet{Vertices: verts, Normal: f.normal.Clone(), Offset: f.offset})
+	}
+	return out
+}
+
+// VirtualSeeds returns the paper's axis-projection points for an apex:
+// for each dimension i with apex[i] > 0, the point apex[i]·e_i, with
+// negative ids −1−i. They seed the star when few real points are known
+// (Section 6.2 and footnote 6) and are excluded from Critical().
+func VirtualSeeds(apex vec.Vector) (pts []vec.Vector, ids []int64) {
+	for i, x := range apex {
+		if x <= Tol {
+			continue
+		}
+		v := make(vec.Vector, len(apex))
+		v[i] = x
+		pts = append(pts, v)
+		ids = append(ids, int64(-1-i))
+	}
+	return pts, ids
+}

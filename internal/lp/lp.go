@@ -1,0 +1,362 @@
+// Package lp implements a small dense linear-programming solver (two-phase
+// primal simplex) sufficient for the geometric subproblems in this library:
+// conical-membership redundancy tests for half-spaces, feasibility checks,
+// Chebyshev centres of H-polytopes, and linear objectives over the GIR.
+//
+// The solver handles problems of the form
+//
+//	minimize    c·x
+//	subject to  a_i·x {≤,=,≥} b_i   (i = 1..m)
+//	            x ≥ 0
+//
+// Problem sizes here are tiny by LP standards (dimension ≤ ~10, rows up to a
+// few thousand), so a dense tableau with recomputed reduced costs is both
+// simple and fast enough. Dantzig pricing is used with a switch to Bland's
+// rule after a fixed number of iterations to guarantee termination.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op is a constraint comparison operator.
+type Op int8
+
+// Constraint operators.
+const (
+	LE Op = iota // a·x ≤ b
+	EQ           // a·x = b
+	GE           // a·x ≥ b
+)
+
+// Constraint is a single linear constraint a·x Op b.
+type Constraint struct {
+	Coef []float64
+	Op   Op
+	RHS  float64
+}
+
+// Problem is a linear program in the form documented at the package level.
+// All variables are implicitly nonnegative.
+type Problem struct {
+	NumVars     int
+	Objective   []float64 // minimized; nil means pure feasibility (c = 0)
+	Constraints []Constraint
+}
+
+// Status describes the outcome of Solve.
+type Status int8
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterationLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterationLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("lp.Status(%d)", int8(s))
+}
+
+// Solution is the result of Solve. X is populated only when Status ==
+// Optimal.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+const (
+	eps          = 1e-9
+	blandAfter   = 2000  // iterations before switching to Bland's rule
+	maxIter      = 50000 // hard cap; reached only on pathological input
+	phase1FeasTo = 1e-7  // tolerance on the phase-1 objective
+)
+
+type tableau struct {
+	m, cols int       // rows, columns excluding RHS
+	t       []float64 // m × (cols+1), row-major; last column is RHS
+	basis   []int     // basic variable of each row
+	nArt    int       // number of artificial variables (last nArt columns)
+}
+
+func (tb *tableau) at(i, j int) float64     { return tb.t[i*(tb.cols+1)+j] }
+func (tb *tableau) set(i, j int, v float64) { tb.t[i*(tb.cols+1)+j] = v }
+func (tb *tableau) rhs(i int) float64       { return tb.t[i*(tb.cols+1)+tb.cols] }
+func (tb *tableau) row(i int) []float64     { return tb.t[i*(tb.cols+1) : (i+1)*(tb.cols+1)] }
+
+// pivot performs a full tableau pivot on (r, c), making column c basic in
+// row r.
+func (tb *tableau) pivot(r, c int) {
+	pr := tb.row(r)
+	inv := 1 / pr[c]
+	for j := range pr {
+		pr[j] *= inv
+	}
+	pr[c] = 1 // exact
+	for i := 0; i < tb.m; i++ {
+		if i == r {
+			continue
+		}
+		ri := tb.row(i)
+		f := ri[c]
+		if f == 0 {
+			continue
+		}
+		for j := range ri {
+			ri[j] -= f * pr[j]
+		}
+		ri[c] = 0 // exact
+	}
+	tb.basis[r] = c
+}
+
+// simplex runs the primal simplex on the tableau for cost vector c (length
+// tb.cols), with columns j where banned[j] is true never entering the basis.
+// It returns the final status and the iteration count consumed.
+func (tb *tableau) simplex(c []float64, banned []bool, iterBudget int) (Status, int) {
+	red := make([]float64, tb.cols)
+	for iter := 0; iter < iterBudget; iter++ {
+		// Reduced costs: r_j = c_j − Σ_i c_basis(i) · T[i][j].
+		copy(red, c)
+		for i := 0; i < tb.m; i++ {
+			cb := c[tb.basis[i]]
+			if cb == 0 {
+				continue
+			}
+			ri := tb.row(i)
+			for j := 0; j < tb.cols; j++ {
+				red[j] -= cb * ri[j]
+			}
+		}
+		// Entering variable.
+		enter := -1
+		if iter < blandAfter {
+			best := -eps
+			for j := 0; j < tb.cols; j++ {
+				if banned != nil && banned[j] {
+					continue
+				}
+				if red[j] < best {
+					best, enter = red[j], j
+				}
+			}
+		} else { // Bland: first improving index
+			for j := 0; j < tb.cols; j++ {
+				if banned != nil && banned[j] {
+					continue
+				}
+				if red[j] < -eps {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return Optimal, iter
+		}
+		// Ratio test.
+		leave, minRatio := -1, math.Inf(1)
+		for i := 0; i < tb.m; i++ {
+			a := tb.at(i, enter)
+			if a <= eps {
+				continue
+			}
+			ratio := tb.rhs(i) / a
+			if ratio < minRatio-eps || (ratio < minRatio+eps && (leave < 0 || tb.basis[i] < tb.basis[leave])) {
+				minRatio, leave = ratio, i
+			}
+		}
+		if leave < 0 {
+			return Unbounded, iter
+		}
+		tb.pivot(leave, enter)
+	}
+	return IterationLimit, iterBudget
+}
+
+// Solve solves the problem with the two-phase simplex method.
+func Solve(p *Problem) Solution {
+	n := p.NumVars
+	m := len(p.Constraints)
+	if p.Objective != nil && len(p.Objective) != n {
+		panic("lp: objective length does not match NumVars")
+	}
+	for _, con := range p.Constraints {
+		if len(con.Coef) != n {
+			panic("lp: constraint coefficient length does not match NumVars")
+		}
+	}
+
+	// Count auxiliary columns. Rows are normalized so RHS ≥ 0 first, which
+	// may flip operators.
+	type rowSpec struct {
+		coef []float64
+		op   Op
+		rhs  float64
+	}
+	rows := make([]rowSpec, m)
+	nSlack, nArt := 0, 0
+	for i, con := range p.Constraints {
+		coef, op, rhs := con.Coef, con.Op, con.RHS
+		if rhs < 0 {
+			nc := make([]float64, n)
+			for j, v := range coef {
+				nc[j] = -v
+			}
+			coef, rhs = nc, -rhs
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		rows[i] = rowSpec{coef, op, rhs}
+		switch op {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+
+	cols := n + nSlack + nArt
+	tb := &tableau{m: m, cols: cols, t: make([]float64, m*(cols+1)), basis: make([]int, m), nArt: nArt}
+	slackAt, artAt := n, n+nSlack
+	for i, r := range rows {
+		for j, v := range r.coef {
+			tb.set(i, j, v)
+		}
+		tb.set(i, cols, r.rhs)
+		switch r.op {
+		case LE:
+			tb.set(i, slackAt, 1)
+			tb.basis[i] = slackAt
+			slackAt++
+		case GE:
+			tb.set(i, slackAt, -1)
+			slackAt++
+			tb.set(i, artAt, 1)
+			tb.basis[i] = artAt
+			artAt++
+		case EQ:
+			tb.set(i, artAt, 1)
+			tb.basis[i] = artAt
+			artAt++
+		}
+	}
+
+	iterLeft := maxIter
+	// Phase 1: minimize the sum of artificials.
+	if nArt > 0 {
+		c1 := make([]float64, cols)
+		for j := n + nSlack; j < cols; j++ {
+			c1[j] = 1
+		}
+		st, used := tb.simplex(c1, nil, iterLeft)
+		iterLeft -= used
+		if st == IterationLimit {
+			return Solution{Status: IterationLimit}
+		}
+		// Phase-1 objective value = sum of basic artificial RHS.
+		var p1 float64
+		for i, b := range tb.basis {
+			if b >= n+nSlack {
+				p1 += tb.rhs(i)
+			}
+		}
+		if p1 > phase1FeasTo {
+			return Solution{Status: Infeasible}
+		}
+		// Drive remaining artificials out of the basis.
+		for i := 0; i < tb.m; i++ {
+			if tb.basis[i] < n+nSlack {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+nSlack; j++ {
+				if math.Abs(tb.at(i, j)) > 1e-7 {
+					tb.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: harmless; the artificial stays basic at
+				// (numerically) zero and is banned from re-entering.
+				tb.set(i, cols, 0)
+			}
+		}
+	}
+
+	// Phase 2.
+	c2 := make([]float64, cols)
+	if p.Objective != nil {
+		copy(c2, p.Objective)
+	}
+	banned := make([]bool, cols)
+	for j := n + nSlack; j < cols; j++ {
+		banned[j] = true
+	}
+	st, _ := tb.simplex(c2, banned, iterLeft)
+	if st == Unbounded {
+		return Solution{Status: Unbounded}
+	}
+	if st == IterationLimit {
+		return Solution{Status: IterationLimit}
+	}
+
+	x := make([]float64, n)
+	for i, b := range tb.basis {
+		if b < n {
+			x[b] = tb.rhs(i)
+		}
+	}
+	var obj float64
+	if p.Objective != nil {
+		for j, cj := range p.Objective {
+			obj += cj * x[j]
+		}
+	}
+	return Solution{Status: Optimal, X: x, Objective: obj}
+}
+
+// Feasible reports whether the constraint system (with x ≥ 0) has any
+// solution.
+func Feasible(numVars int, cons []Constraint) bool {
+	sol := Solve(&Problem{NumVars: numVars, Constraints: cons})
+	return sol.Status == Optimal
+}
+
+// Minimize is a convenience wrapper that minimizes c·x over the system.
+func Minimize(c []float64, cons []Constraint) Solution {
+	return Solve(&Problem{NumVars: len(c), Objective: c, Constraints: cons})
+}
+
+// Maximize maximizes c·x over the system; the returned objective is the
+// maximum value.
+func Maximize(c []float64, cons []Constraint) Solution {
+	neg := make([]float64, len(c))
+	for i, v := range c {
+		neg[i] = -v
+	}
+	sol := Solve(&Problem{NumVars: len(c), Objective: neg, Constraints: cons})
+	sol.Objective = -sol.Objective
+	return sol
+}

@@ -1,0 +1,227 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimple2DMax(t *testing.T) {
+	// max x+y s.t. x ≤ 1, y ≤ 2 → 3 at (1,2).
+	sol := Maximize([]float64{1, 1}, []Constraint{
+		{Coef: []float64{1, 0}, Op: LE, RHS: 1},
+		{Coef: []float64{0, 1}, Op: LE, RHS: 2},
+	})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-3) > 1e-9 {
+		t.Errorf("objective = %v, want 3", sol.Objective)
+	}
+	if math.Abs(sol.X[0]-1) > 1e-9 || math.Abs(sol.X[1]-2) > 1e-9 {
+		t.Errorf("x = %v", sol.X)
+	}
+}
+
+func TestClassicProductionLP(t *testing.T) {
+	// max 3x+5y s.t. x ≤ 4, 2y ≤ 12, 3x+2y ≤ 18 → 36 at (2,6).
+	sol := Maximize([]float64{3, 5}, []Constraint{
+		{Coef: []float64{1, 0}, Op: LE, RHS: 4},
+		{Coef: []float64{0, 2}, Op: LE, RHS: 12},
+		{Coef: []float64{3, 2}, Op: LE, RHS: 18},
+	})
+	if sol.Status != Optimal || math.Abs(sol.Objective-36) > 1e-8 {
+		t.Fatalf("sol = %+v, want objective 36", sol)
+	}
+}
+
+func TestGEAndEquality(t *testing.T) {
+	// min x+y s.t. x+y ≥ 2, x = 0.5 → 2 at (0.5, 1.5).
+	sol := Minimize([]float64{1, 1}, []Constraint{
+		{Coef: []float64{1, 1}, Op: GE, RHS: 2},
+		{Coef: []float64{1, 0}, Op: EQ, RHS: 0.5},
+	})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-2) > 1e-9 || math.Abs(sol.X[0]-0.5) > 1e-9 {
+		t.Errorf("sol = %+v", sol)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	sol := Solve(&Problem{NumVars: 1, Constraints: []Constraint{
+		{Coef: []float64{1}, Op: GE, RHS: 2},
+		{Coef: []float64{1}, Op: LE, RHS: 1},
+	}})
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	sol := Maximize([]float64{1}, []Constraint{
+		{Coef: []float64{1}, Op: GE, RHS: 0},
+	})
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x − y ≤ −1 with x,y ≥ 0 means y ≥ x+1; min y is 1.
+	sol := Minimize([]float64{0, 1}, []Constraint{
+		{Coef: []float64{1, -1}, Op: LE, RHS: -1},
+	})
+	if sol.Status != Optimal || math.Abs(sol.Objective-1) > 1e-9 {
+		t.Fatalf("sol = %+v, want objective 1", sol)
+	}
+}
+
+func TestDegenerateRedundantRows(t *testing.T) {
+	// Duplicate equalities exercise the redundant-row path in phase 1.
+	sol := Minimize([]float64{1, 0}, []Constraint{
+		{Coef: []float64{1, 1}, Op: EQ, RHS: 1},
+		{Coef: []float64{1, 1}, Op: EQ, RHS: 1},
+		{Coef: []float64{2, 2}, Op: EQ, RHS: 2},
+	})
+	if sol.Status != Optimal || math.Abs(sol.Objective) > 1e-9 {
+		t.Fatalf("sol = %+v, want objective 0 at (0,1)", sol)
+	}
+}
+
+func TestFeasibleHelper(t *testing.T) {
+	if !Feasible(2, []Constraint{{Coef: []float64{1, 1}, Op: GE, RHS: 1}}) {
+		t.Error("expected feasible")
+	}
+	if Feasible(1, []Constraint{
+		{Coef: []float64{1}, Op: GE, RHS: 3},
+		{Coef: []float64{1}, Op: LE, RHS: 2},
+	}) {
+		t.Error("expected infeasible")
+	}
+}
+
+// Property: for random bounded LPs (box-bounded, so never unbounded), the
+// solution is feasible and no better solution exists at any box corner
+// (corner enumeration is an independent oracle for small n).
+func TestOptimalBeatsCorners(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(3)
+		cons := make([]Constraint, 0, n+3)
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			cons = append(cons, Constraint{Coef: row, Op: LE, RHS: 1})
+		}
+		nExtra := r.Intn(3)
+		for e := 0; e < nExtra; e++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = r.NormFloat64()
+			}
+			cons = append(cons, Constraint{Coef: row, Op: LE, RHS: 0.5 + r.Float64()})
+		}
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = r.NormFloat64()
+		}
+		sol := Minimize(c, cons)
+		if sol.Status != Optimal {
+			return false // box-bounded and contains 0 ⇒ must be solvable
+		}
+		check := func(x []float64) bool { // feasibility of a candidate
+			for _, con := range cons {
+				var ax float64
+				for j, v := range con.Coef {
+					ax += v * x[j]
+				}
+				if con.Op == LE && ax > con.RHS+1e-7 {
+					return false
+				}
+			}
+			return true
+		}
+		if !check(sol.X) {
+			return false
+		}
+		// Enumerate {0,1}^n corners; none that is feasible may beat sol.
+		for mask := 0; mask < 1<<n; mask++ {
+			x := make([]float64, n)
+			var obj float64
+			for j := 0; j < n; j++ {
+				if mask>>j&1 == 1 {
+					x[j] = 1
+				}
+				obj += c[j] * x[j]
+			}
+			if check(x) && obj < sol.Objective-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: conical membership LPs (the redundancy-test shape used by the
+// geometry package) are solved correctly: a vector inside the cone of the
+// generators is reported feasible, one outside infeasible.
+func TestConicalMembershipShape(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 2 + r.Intn(3)
+		nGen := d + r.Intn(4)
+		gens := make([][]float64, nGen)
+		for i := range gens {
+			gens[i] = make([]float64, d)
+			for j := range gens[i] {
+				gens[i][j] = r.Float64() // positive orthant generators
+			}
+		}
+		// Inside: a random nonnegative combination.
+		inside := make([]float64, d)
+		for i := range gens {
+			w := r.Float64()
+			for j := range inside {
+				inside[j] += w * gens[i][j]
+			}
+		}
+		// Outside: a vector with a negative coordinate cannot be in the
+		// cone of positive-orthant generators (unless zero combination).
+		outside := make([]float64, d)
+		outside[0] = -1
+		member := func(target []float64) bool {
+			cons := make([]Constraint, d)
+			for row := 0; row < d; row++ {
+				coef := make([]float64, nGen)
+				for i := range gens {
+					coef[i] = gens[i][row]
+				}
+				cons[row] = Constraint{Coef: coef, Op: EQ, RHS: target[row]}
+			}
+			return Feasible(nGen, cons)
+		}
+		return member(inside) && !member(outside)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for _, c := range []struct {
+		s    Status
+		want string
+	}{{Optimal, "optimal"}, {Infeasible, "infeasible"}, {Unbounded, "unbounded"}, {IterationLimit, "iteration-limit"}, {Status(99), "lp.Status(99)"}} {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("String(%d) = %q, want %q", c.s, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package pager
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	s, err := CreateFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := s.Alloc(), s.Alloc()
+	s.Write(a, []byte("alpha"))
+	s.Write(b, bytes.Repeat([]byte{0xAB}, PageSize))
+	if got := s.Read(a)[:5]; string(got) != "alpha" {
+		t.Errorf("page a = %q", got)
+	}
+	if got := s.Read(b); got[PageSize-1] != 0xAB {
+		t.Error("page b corrupted")
+	}
+	st := s.Stats()
+	if st.Reads != 2 || st.Writes != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and verify persistence.
+	s2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.NumPages() != 2 {
+		t.Fatalf("NumPages = %d", s2.NumPages())
+	}
+	if got := s2.Read(a)[:5]; string(got) != "alpha" {
+		t.Errorf("after reopen: %q", got)
+	}
+	if s2.Stats().Reads != 1 {
+		t.Error("reopened store stats not fresh")
+	}
+}
+
+func TestOpenFileStoreBadSize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "odd")
+	if err := os.WriteFile(path, make([]byte, PageSize+7), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStore(path); err == nil {
+		t.Error("non-page-aligned file accepted")
+	}
+}
+
+func TestFileStorePanicsLikeMemStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	s, err := CreateFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, f := range []func(){
+		func() { s.Read(0) },
+		func() { s.Read(9) },
+		func() { s.Write(3, nil) },
+		func() { id := s.Alloc(); s.Write(id, make([]byte, PageSize+1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := NewMemStore()
+	var ids []PageID
+	for i := 0; i < 5; i++ {
+		id := src.Alloc()
+		src.Write(id, []byte{byte(i), byte(i * 2)})
+		ids = append(ids, id)
+	}
+	meta := []byte("tree metadata goes here")
+	path := filepath.Join(t.TempDir(), "snap")
+	if err := Snapshot(src, meta, path); err != nil {
+		t.Fatal(err)
+	}
+	dst, gotMeta, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotMeta) != string(meta) {
+		t.Errorf("meta = %q", gotMeta)
+	}
+	if dst.NumPages() != 5 {
+		t.Fatalf("NumPages = %d", dst.NumPages())
+	}
+	for i, id := range ids {
+		page := dst.Read(id)
+		if page[0] != byte(i) || page[1] != byte(i*2) {
+			t.Errorf("page %d corrupted", id)
+		}
+	}
+	if s := dst.Stats(); s.Reads != int64(len(ids)) {
+		t.Errorf("loaded store stats should start clean, got %+v after %d reads", s, len(ids))
+	}
+}
+
+func TestLoadSnapshotRejects(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad")
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadSnapshot(bad); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Truncated page section.
+	src := NewMemStore()
+	id := src.Alloc()
+	src.Write(id, []byte{1})
+	full := filepath.Join(dir, "full")
+	if err := Snapshot(src, nil, full); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(full)
+	trunc := filepath.Join(dir, "trunc")
+	if err := os.WriteFile(trunc, data[:len(data)-100], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadSnapshot(trunc); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package pager
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAllocWriteRead(t *testing.T) {
+	m := NewMemStore()
+	id := m.Alloc()
+	if id == 0 {
+		t.Fatal("Alloc returned the invalid page id 0")
+	}
+	data := []byte("hello pages")
+	m.Write(id, data)
+	got := m.Read(id)
+	if string(got) != string(data) {
+		t.Errorf("Read = %q, want %q", got, data)
+	}
+	if m.NumPages() != 1 {
+		t.Errorf("NumPages = %d", m.NumPages())
+	}
+}
+
+func TestWriteCopiesData(t *testing.T) {
+	m := NewMemStore()
+	id := m.Alloc()
+	data := []byte{1, 2, 3}
+	m.Write(id, data)
+	data[0] = 99
+	if m.Read(id)[0] != 1 {
+		t.Error("Write must copy the caller's buffer")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	m := NewMemStore()
+	a, b := m.Alloc(), m.Alloc()
+	m.Write(a, []byte{1})
+	m.Write(b, []byte{2})
+	m.Read(a)
+	m.Read(a)
+	m.Read(b)
+	s := m.Stats()
+	if s.Reads != 3 || s.Writes != 2 {
+		t.Errorf("stats = %+v, want 3 reads / 2 writes", s)
+	}
+	m.ResetStats()
+	if s := m.Stats(); s.Reads != 0 || s.Writes != 0 {
+		t.Errorf("after reset: %+v", s)
+	}
+}
+
+func TestPageOverflowPanics(t *testing.T) {
+	m := NewMemStore()
+	id := m.Alloc()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on oversized page")
+		}
+	}()
+	m.Write(id, make([]byte, PageSize+1))
+}
+
+func TestInvalidAccessPanics(t *testing.T) {
+	m := NewMemStore()
+	for _, f := range []func(){
+		func() { m.Read(0) },
+		func() { m.Read(5) },
+		func() { m.Write(0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on invalid page access")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	cm := CostModel{ReadLatency: time.Millisecond}
+	if got := cm.IOTime(Stats{Reads: 250}); got != 250*time.Millisecond {
+		t.Errorf("IOTime = %v", got)
+	}
+	if DefaultCostModel.ReadLatency <= 0 {
+		t.Error("default read latency must be positive")
+	}
+}

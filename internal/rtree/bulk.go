@@ -1,0 +1,115 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"github.com/girlib/gir/internal/pager"
+	"github.com/girlib/gir/internal/vec"
+)
+
+// BulkLoad builds an R*-tree over the given points using Sort-Tile-
+// Recursive (STR) packing, which is the standard way to index a large
+// static dataset (the paper's experiments index up to 20M records; building
+// them one R* insert at a time would dominate the run).
+//
+// ids[i] is the record id of points[i]; ids may be nil, in which case
+// record ids are the point indices.
+func BulkLoad(store pager.Store, dim int, points []vec.Vector, ids []int64) *Tree {
+	t := New(store, dim)
+	if len(points) == 0 {
+		return t
+	}
+	if ids == nil {
+		ids = make([]int64, len(points))
+		for i := range ids {
+			ids[i] = int64(i)
+		}
+	}
+	if len(ids) != len(points) {
+		panic("rtree: ids and points length mismatch")
+	}
+
+	// Pack leaf level.
+	entries := make([]Entry, len(points))
+	for i, p := range points {
+		entries[i] = Entry{Rect: PointRect(p.Clone()), RecID: ids[i]}
+	}
+	level := strPack(entries, dim, 0, t.maxLeaf)
+	nodes := make([]*Node, len(level))
+	parents := make([]Entry, len(level))
+	for i, group := range level {
+		n := &Node{ID: store.Alloc(), Leaf: true, Entries: group}
+		t.writeNode(n)
+		nodes[i] = n
+		parents[i] = Entry{Rect: n.MBB(dim), Child: n.ID}
+	}
+	t.height = 1
+	// Pack upper levels until a single node remains.
+	for len(parents) > 1 {
+		groups := strPack(parents, dim, 0, t.maxInt)
+		next := make([]Entry, len(groups))
+		for i, group := range groups {
+			n := &Node{ID: store.Alloc(), Leaf: false, Entries: group}
+			t.writeNode(n)
+			next[i] = Entry{Rect: n.MBB(dim), Child: n.ID}
+		}
+		parents = next
+		t.height++
+	}
+	if len(nodes) == 1 {
+		// Single leaf: it is the root.
+		t.root = nodes[0].ID
+	} else {
+		t.root = parents[0].Child
+	}
+	t.size = len(points)
+	return t
+}
+
+// strPack recursively tiles entries into groups of at most cap, sorting by
+// the centre coordinate of successive axes.
+func strPack(entries []Entry, dim, axis, capacity int) [][]Entry {
+	n := len(entries)
+	if n <= capacity {
+		return [][]Entry{entries}
+	}
+	if axis == dim-1 {
+		// Final axis: sort and chunk.
+		sortByCenter(entries, axis)
+		var out [][]Entry
+		for i := 0; i < n; i += capacity {
+			end := i + capacity
+			if end > n {
+				end = n
+			}
+			out = append(out, entries[i:end:end])
+		}
+		return out
+	}
+	// Number of leaves and slabs per STR.
+	leaves := int(math.Ceil(float64(n) / float64(capacity)))
+	slabs := int(math.Ceil(math.Pow(float64(leaves), 1/float64(dim-axis))))
+	if slabs < 1 {
+		slabs = 1
+	}
+	slabSize := int(math.Ceil(float64(n) / float64(slabs)))
+	sortByCenter(entries, axis)
+	var out [][]Entry
+	for i := 0; i < n; i += slabSize {
+		end := i + slabSize
+		if end > n {
+			end = n
+		}
+		out = append(out, strPack(entries[i:end:end], dim, axis+1, capacity)...)
+	}
+	return out
+}
+
+func sortByCenter(entries []Entry, axis int) {
+	sort.Slice(entries, func(i, j int) bool {
+		ci := entries[i].Rect.Lo[axis] + entries[i].Rect.Hi[axis]
+		cj := entries[j].Rect.Lo[axis] + entries[j].Rect.Hi[axis]
+		return ci < cj
+	})
+}

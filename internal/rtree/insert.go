@@ -1,0 +1,394 @@
+package rtree
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/girlib/gir/internal/pager"
+	"github.com/girlib/gir/internal/vec"
+)
+
+// reinsertFraction is the share of entries evicted on the first overflow of
+// a level, per the R* paper's recommendation (p = 30%).
+const reinsertFraction = 0.3
+
+// Insert adds a record to the tree using the R* insertion algorithm
+// (choose-subtree, forced reinsertion, topological split).
+func (t *Tree) Insert(id int64, p vec.Vector) {
+	if len(p) != t.dim {
+		panic(fmt.Sprintf("rtree: inserting %d-dimensional point into %d-dimensional tree", len(p), t.dim))
+	}
+	ctx := &insertCtx{reinserted: map[int]bool{}}
+	t.insertAtLevel(Entry{Rect: PointRect(p.Clone()), RecID: id}, 0, ctx)
+	t.size++
+}
+
+// insertCtx tracks which levels have already used forced reinsertion during
+// one logical insert, so each level reinserts at most once (R* "overflow
+// treatment").
+type insertCtx struct {
+	reinserted map[int]bool
+}
+
+// pathStep records one descent step: the parsed node and the index of the
+// child entry taken.
+type pathStep struct {
+	node *Node
+	slot int
+}
+
+// insertAtLevel places the entry into a node at the given level
+// (0 = leaf level) and handles overflow up the root path.
+func (t *Tree) insertAtLevel(e Entry, level int, ctx *insertCtx) {
+	// Descend, recording the path.
+	var path []pathStep
+	cur := t.ReadNode(t.root)
+	curLevel := t.height - 1
+	for curLevel > level {
+		slot := t.chooseSubtree(cur, e.Rect, curLevel == level+1)
+		path = append(path, pathStep{cur, slot})
+		cur = t.ReadNode(cur.Entries[slot].Child)
+		curLevel--
+	}
+	cur.Entries = append(cur.Entries, e)
+
+	// Walk back up fixing overflows and tightening MBBs.
+	node := cur
+	for lvl := level; ; lvl++ {
+		overflow := len(node.Entries) > t.capOf(node)
+		var splitEntry *Entry
+		if overflow {
+			isRoot := lvl == t.height-1
+			if !isRoot && !ctx.reinserted[lvl] {
+				ctx.reinserted[lvl] = true
+				evicted := t.forcedReinsertSet(node)
+				t.writeNode(node)
+				t.refreshPath(path)
+				for _, ev := range evicted {
+					t.insertAtLevel(ev, lvl, ctx)
+				}
+				return // the reinsertions finished the job
+			}
+			sibling := t.split(node)
+			se := Entry{Rect: sibling.MBB(t.dim), Child: sibling.ID}
+			splitEntry = &se
+		}
+		t.writeNode(node)
+		if len(path) == 0 {
+			if splitEntry != nil {
+				t.growRoot(node, *splitEntry)
+			}
+			return
+		}
+		parent := path[len(path)-1]
+		path = path[:len(path)-1]
+		parent.node.Entries[parent.slot].Rect = node.MBB(t.dim)
+		if splitEntry != nil {
+			parent.node.Entries = append(parent.node.Entries, *splitEntry)
+		}
+		node = parent.node
+	}
+}
+
+// capOf returns the node's capacity.
+func (t *Tree) capOf(n *Node) int {
+	if n.Leaf {
+		return t.maxLeaf
+	}
+	return t.maxInt
+}
+
+// minOf returns the node's minimum fill.
+func (t *Tree) minOf(n *Node) int {
+	if n.Leaf {
+		return t.minLeaf
+	}
+	return t.minInt
+}
+
+// refreshPath rewrites the (modified) MBBs along a path after entries were
+// removed for reinsertion.
+func (t *Tree) refreshPath(path []pathStep) {
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i].node
+		if i+1 < len(path) {
+			child := path[i+1].node
+			n.Entries[path[i].slot].Rect = child.MBB(t.dim)
+		} else {
+			// The deepest path node's child was already written; recompute
+			// from the stored child.
+			child := t.ReadNode(n.Entries[path[i].slot].Child)
+			n.Entries[path[i].slot].Rect = child.MBB(t.dim)
+		}
+		t.writeNode(n)
+	}
+}
+
+// growRoot replaces the root with a new internal node over the old root and
+// its split sibling.
+func (t *Tree) growRoot(oldRoot *Node, sibling Entry) {
+	newRoot := &Node{ID: t.store.Alloc(), Leaf: false}
+	newRoot.Entries = []Entry{
+		{Rect: oldRoot.MBB(t.dim), Child: oldRoot.ID},
+		sibling,
+	}
+	t.writeNode(newRoot)
+	t.root = newRoot.ID
+	t.height++
+}
+
+// chooseSubtree implements the R* descent rule: minimum overlap enlargement
+// when the children are leaves, minimum area enlargement otherwise.
+func (t *Tree) chooseSubtree(n *Node, r Rect, childrenAreLeaves bool) int {
+	best, bestOverlapInc, bestAreaInc, bestArea := -1, 0.0, 0.0, 0.0
+	for i, e := range n.Entries {
+		enlarged := e.Rect.Enlarged(r)
+		areaInc := enlarged.Area() - e.Rect.Area()
+		area := e.Rect.Area()
+		overlapInc := 0.0
+		if childrenAreLeaves {
+			for j, o := range n.Entries {
+				if j == i {
+					continue
+				}
+				overlapInc += enlarged.OverlapArea(o.Rect) - e.Rect.OverlapArea(o.Rect)
+			}
+		}
+		better := false
+		switch {
+		case best < 0:
+			better = true
+		case childrenAreLeaves && overlapInc != bestOverlapInc:
+			better = overlapInc < bestOverlapInc
+		case areaInc != bestAreaInc:
+			better = areaInc < bestAreaInc
+		default:
+			better = area < bestArea
+		}
+		if better {
+			best, bestOverlapInc, bestAreaInc, bestArea = i, overlapInc, areaInc, area
+		}
+	}
+	return best
+}
+
+// forcedReinsertSet removes the p⌈·⌉ entries whose centres are farthest
+// from the node's MBB centre and returns them in increasing distance order
+// ("close reinsert"), mutating the node in place.
+func (t *Tree) forcedReinsertSet(n *Node) []Entry {
+	p := int(reinsertFraction * float64(len(n.Entries)))
+	if p < 1 {
+		p = 1
+	}
+	center := n.MBB(t.dim).Center()
+	type distEntry struct {
+		dist float64
+		e    Entry
+	}
+	des := make([]distEntry, len(n.Entries))
+	for i, e := range n.Entries {
+		des[i] = distEntry{vec.Dist(e.Rect.Center(), center), e}
+	}
+	sort.Slice(des, func(i, j int) bool { return des[i].dist < des[j].dist })
+	keep := des[:len(des)-p]
+	evict := des[len(des)-p:]
+	n.Entries = n.Entries[:0]
+	for _, de := range keep {
+		n.Entries = append(n.Entries, de.e)
+	}
+	out := make([]Entry, len(evict))
+	for i, de := range evict {
+		out[i] = de.e
+	}
+	return out
+}
+
+// split performs the R* topological split, mutating n to hold the first
+// group and returning a freshly allocated sibling with the second group.
+func (t *Tree) split(n *Node) *Node {
+	entries := n.Entries
+	m := t.minOf(n)
+	d := t.dim
+
+	type distribution struct {
+		axis, k int
+		byLo    bool
+		marginS float64
+		overlap float64
+		areaSum float64
+	}
+	var best *distribution
+	sorted := make([]Entry, len(entries))
+
+	for axis := 0; axis < d; axis++ {
+		for _, byLo := range []bool{true, false} {
+			copy(sorted, entries)
+			ax, lo := axis, byLo
+			sort.Slice(sorted, func(i, j int) bool {
+				if lo {
+					return sorted[i].Rect.Lo[ax] < sorted[j].Rect.Lo[ax]
+				}
+				return sorted[i].Rect.Hi[ax] < sorted[j].Rect.Hi[ax]
+			})
+			// Prefix/suffix MBBs for O(1) distribution evaluation.
+			nE := len(sorted)
+			prefix := make([]Rect, nE+1)
+			suffix := make([]Rect, nE+1)
+			prefix[0], suffix[nE] = EmptyRect(d), EmptyRect(d)
+			for i := 0; i < nE; i++ {
+				prefix[i+1] = prefix[i].Enlarged(sorted[i].Rect)
+				suffix[nE-1-i] = suffix[nE-i].Enlarged(sorted[nE-1-i].Rect)
+			}
+			var axisMargin float64
+			type cand struct {
+				k       int
+				overlap float64
+				areaSum float64
+			}
+			var cands []cand
+			for k := m; k <= nE-m; k++ {
+				g1, g2 := prefix[k], suffix[k]
+				axisMargin += g1.Margin() + g2.Margin()
+				cands = append(cands, cand{k, g1.OverlapArea(g2), g1.Area() + g2.Area()})
+			}
+			for _, c := range cands {
+				dd := &distribution{axis: axis, k: c.k, byLo: byLo, marginS: axisMargin, overlap: c.overlap, areaSum: c.areaSum}
+				if best == nil {
+					best = dd
+					continue
+				}
+				switch {
+				case dd.marginS != best.marginS:
+					if dd.marginS < best.marginS {
+						// A new best axis resets the distribution choice.
+						best = dd
+					}
+				case dd.overlap != best.overlap:
+					if dd.overlap < best.overlap {
+						best = dd
+					}
+				case dd.areaSum < best.areaSum:
+					best = dd
+				}
+			}
+		}
+	}
+
+	// Recreate the winning sort and cut at k.
+	copy(sorted, entries)
+	ax, lo := best.axis, best.byLo
+	sort.Slice(sorted, func(i, j int) bool {
+		if lo {
+			return sorted[i].Rect.Lo[ax] < sorted[j].Rect.Lo[ax]
+		}
+		return sorted[i].Rect.Hi[ax] < sorted[j].Rect.Hi[ax]
+	})
+	sibling := &Node{ID: t.store.Alloc(), Leaf: n.Leaf}
+	n.Entries = append([]Entry(nil), sorted[:best.k]...)
+	sibling.Entries = append([]Entry(nil), sorted[best.k:]...)
+	t.writeNode(sibling)
+	return sibling
+}
+
+// Delete removes the record with the given id located at point p. It
+// returns false if no such record exists. Underfull nodes along the path
+// are dissolved and their entries reinserted (condense-tree).
+func (t *Tree) Delete(id int64, p vec.Vector) bool {
+	type step struct {
+		node *Node
+		slot int
+	}
+	var leafPath []step
+	var found *Node
+	var foundPath []step
+
+	var walk func(nid pager.PageID, level int, path []step) bool
+	walk = func(nid pager.PageID, level int, path []step) bool {
+		n := t.ReadNode(nid)
+		if n.Leaf {
+			for i, e := range n.Entries {
+				if e.RecID == id && vec.Equal(e.Point(), p, 0) {
+					n.Entries = append(n.Entries[:i], n.Entries[i+1:]...)
+					found = n
+					foundPath = append([]step(nil), path...)
+					return true
+				}
+			}
+			return false
+		}
+		for i, e := range n.Entries {
+			if e.Rect.Contains(p) {
+				if walk(e.Child, level-1, append(path, step{n, i})) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if !walk(t.root, t.height-1, nil) {
+		return false
+	}
+	t.size--
+	leafPath = foundPath
+
+	// Condense: dissolve underfull nodes bottom-up, collect orphans.
+	type orphan struct {
+		e     Entry
+		level int
+	}
+	var orphans []orphan
+	node := found
+	level := 0
+	for {
+		isRoot := len(leafPath) == 0
+		if !isRoot && len(node.Entries) < t.minOf(node) {
+			// Dissolve: remove from parent, orphan the remaining entries.
+			parent := leafPath[len(leafPath)-1]
+			for _, e := range node.Entries {
+				orphans = append(orphans, orphan{e, level})
+			}
+			parent.node.Entries = append(parent.node.Entries[:parent.slot], parent.node.Entries[parent.slot+1:]...)
+		} else {
+			t.writeNode(node)
+			if !isRoot {
+				parent := leafPath[len(leafPath)-1]
+				// The slot may have shifted if a previous dissolve removed
+				// an earlier entry; find the child by id.
+				for i := range parent.node.Entries {
+					if parent.node.Entries[i].Child == node.ID {
+						parent.node.Entries[i].Rect = node.MBB(t.dim)
+						break
+					}
+				}
+			}
+		}
+		if isRoot {
+			break
+		}
+		node = leafPath[len(leafPath)-1].node
+		leafPath = leafPath[:len(leafPath)-1]
+		level++
+	}
+	t.writeNode(node) // the root
+
+	// Shrink the root if it lost all but one child.
+	for t.height > 1 {
+		root := t.ReadNode(t.root)
+		if len(root.Entries) != 1 {
+			break
+		}
+		t.root = root.Entries[0].Child
+		t.height--
+	}
+
+	// Reinsert orphans at their original levels.
+	ctx := &insertCtx{reinserted: map[int]bool{}}
+	for _, o := range orphans {
+		if o.level == 0 {
+			t.insertAtLevel(o.e, 0, ctx)
+		} else {
+			t.insertAtLevel(o.e, o.level, ctx)
+		}
+	}
+	return true
+}

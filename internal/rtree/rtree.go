@@ -1,0 +1,340 @@
+// Package rtree implements the R*-tree of Beckmann et al. (SIGMOD 1990),
+// the spatial access method the paper assumes over the dataset: dynamic
+// insertion with choose-subtree, R* topological splits and forced
+// reinsertion, deletion with tree condensation, and STR bulk loading for
+// building large indexes quickly.
+//
+// Nodes are serialized into 4 KiB pages of a pager.Store, so every node
+// visit is a counted, simulated disk read. Query algorithms (BRS top-k, BBS
+// skyline, FP refinement) live in their own packages and drive the
+// traversal themselves through Root/ReadNode.
+package rtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/girlib/gir/internal/pager"
+	"github.com/girlib/gir/internal/vec"
+)
+
+// Rect is an axis-aligned box (the MBB of a subtree or a degenerate
+// point box for data entries).
+type Rect struct {
+	Lo, Hi vec.Vector
+}
+
+// PointRect returns the degenerate rectangle covering exactly p.
+func PointRect(p vec.Vector) Rect { return Rect{Lo: p, Hi: p} }
+
+// EmptyRect returns a rectangle that is the identity for Enlarge.
+func EmptyRect(d int) Rect {
+	lo, hi := make(vec.Vector, d), make(vec.Vector, d)
+	for i := range lo {
+		lo[i], hi[i] = math.Inf(1), math.Inf(-1)
+	}
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// Clone deep-copies the rectangle.
+func (r Rect) Clone() Rect { return Rect{Lo: r.Lo.Clone(), Hi: r.Hi.Clone()} }
+
+// Contains reports whether p lies inside r (inclusive).
+func (r Rect) Contains(p vec.Vector) bool {
+	for i := range p {
+		if p[i] < r.Lo[i] || p[i] > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether r and s overlap (inclusive).
+func (r Rect) Intersects(s Rect) bool {
+	for i := range r.Lo {
+		if r.Lo[i] > s.Hi[i] || s.Lo[i] > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Enlarged returns the smallest rectangle covering both r and s.
+func (r Rect) Enlarged(s Rect) Rect {
+	out := r.Clone()
+	for i := range out.Lo {
+		if s.Lo[i] < out.Lo[i] {
+			out.Lo[i] = s.Lo[i]
+		}
+		if s.Hi[i] > out.Hi[i] {
+			out.Hi[i] = s.Hi[i]
+		}
+	}
+	return out
+}
+
+// ExpandInPlace grows r to cover s.
+func (r *Rect) ExpandInPlace(s Rect) {
+	for i := range r.Lo {
+		if s.Lo[i] < r.Lo[i] {
+			r.Lo[i] = s.Lo[i]
+		}
+		if s.Hi[i] > r.Hi[i] {
+			r.Hi[i] = s.Hi[i]
+		}
+	}
+}
+
+// Area returns the volume of r.
+func (r Rect) Area() float64 {
+	a := 1.0
+	for i := range r.Lo {
+		a *= r.Hi[i] - r.Lo[i]
+	}
+	return a
+}
+
+// Margin returns the sum of edge lengths (the R* split criterion).
+func (r Rect) Margin() float64 {
+	var m float64
+	for i := range r.Lo {
+		m += r.Hi[i] - r.Lo[i]
+	}
+	return m
+}
+
+// OverlapArea returns the volume of the intersection of r and s.
+func (r Rect) OverlapArea(s Rect) float64 {
+	a := 1.0
+	for i := range r.Lo {
+		lo := math.Max(r.Lo[i], s.Lo[i])
+		hi := math.Min(r.Hi[i], s.Hi[i])
+		if hi <= lo {
+			return 0
+		}
+		a *= hi - lo
+	}
+	return a
+}
+
+// Center returns the centre point of r.
+func (r Rect) Center() vec.Vector {
+	c := make(vec.Vector, len(r.Lo))
+	for i := range c {
+		c[i] = (r.Lo[i] + r.Hi[i]) / 2
+	}
+	return c
+}
+
+// Entry is a slot in a node: an MBB plus either a child pointer (internal)
+// or a record (leaf).
+type Entry struct {
+	Rect  Rect
+	Child pager.PageID // internal nodes only
+	RecID int64        // leaf nodes only
+}
+
+// Point returns the record coordinates of a leaf entry.
+func (e Entry) Point() vec.Vector { return e.Rect.Lo }
+
+// Node is a deserialized page.
+type Node struct {
+	ID      pager.PageID
+	Leaf    bool
+	Entries []Entry
+}
+
+// MBB returns the bounding box of the node's entries.
+func (n *Node) MBB(d int) Rect {
+	r := EmptyRect(d)
+	for _, e := range n.Entries {
+		r.ExpandInPlace(e.Rect)
+	}
+	return r
+}
+
+// Tree is an R*-tree over a pager.Store.
+type Tree struct {
+	store  pager.Store
+	dim    int
+	root   pager.PageID
+	height int // 1 = the root is a leaf
+	size   int
+
+	maxLeaf, minLeaf int
+	maxInt, minInt   int
+}
+
+const nodeHeader = 4 // leaf flag (1) + entry count (2) + pad (1)
+
+// Capacities derive from the 4 KiB page size:
+// leaf entry    = recID (8) + d·8 bytes,
+// internal entry = child (4) + 2d·8 bytes.
+func capacities(d int) (maxLeaf, maxInt int) {
+	maxLeaf = (pager.PageSize - nodeHeader) / (8 + 8*d)
+	maxInt = (pager.PageSize - nodeHeader) / (4 + 16*d)
+	return maxLeaf, maxInt
+}
+
+// New creates an empty R*-tree of the given dimensionality over the store.
+func New(store pager.Store, dim int) *Tree {
+	if dim < 1 {
+		panic("rtree: dimension must be ≥ 1")
+	}
+	maxLeaf, maxInt := capacities(dim)
+	t := &Tree{
+		store: store, dim: dim,
+		maxLeaf: maxLeaf, minLeaf: max(2, maxLeaf*2/5),
+		maxInt: maxInt, minInt: max(2, maxInt*2/5),
+	}
+	root := &Node{ID: store.Alloc(), Leaf: true}
+	t.root = root.ID
+	t.height = 1
+	t.writeNode(root)
+	return t
+}
+
+// Attach reconstructs a Tree handle over an existing store (e.g. a
+// reopened pager.FileStore or a loaded snapshot) from its persisted
+// metadata, without touching any page.
+func Attach(store pager.Store, dim int, root pager.PageID, height, size int) *Tree {
+	maxLeaf, maxInt := capacities(dim)
+	return &Tree{
+		store: store, dim: dim,
+		root: root, height: height, size: size,
+		maxLeaf: maxLeaf, minLeaf: max(2, maxLeaf*2/5),
+		maxInt: maxInt, minInt: max(2, maxInt*2/5),
+	}
+}
+
+// Meta returns the metadata needed to Attach to this tree's store later:
+// the root page, height and record count (with Dim()).
+func (t *Tree) Meta() (root pager.PageID, height, size int) {
+	return t.root, t.height, t.size
+}
+
+// Dim returns the data dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
+// Len returns the number of records in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the tree height (1 = the root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Root returns the root page id.
+func (t *Tree) Root() pager.PageID { return t.root }
+
+// Store exposes the underlying page store (for I/O statistics).
+func (t *Tree) Store() pager.Store { return t.store }
+
+// RootRect returns the MBB of the whole tree (one counted read).
+func (t *Tree) RootRect() Rect {
+	return t.ReadNode(t.root).MBB(t.dim)
+}
+
+// ReadNode fetches and decodes a node page (a counted disk read).
+func (t *Tree) ReadNode(id pager.PageID) *Node {
+	return t.decode(id, t.store.Read(id))
+}
+
+// MaxLeafEntries returns the leaf fan-out (useful to size experiments).
+func (t *Tree) MaxLeafEntries() int { return t.maxLeaf }
+
+// MaxInternalEntries returns the internal fan-out.
+func (t *Tree) MaxInternalEntries() int { return t.maxInt }
+
+// --- serialization ----------------------------------------------------------
+
+func (t *Tree) writeNode(n *Node) {
+	capEntries := t.maxInt
+	if n.Leaf {
+		capEntries = t.maxLeaf
+	}
+	if len(n.Entries) > capEntries {
+		panic(fmt.Sprintf("rtree: node %d overflow: %d entries > cap %d", n.ID, len(n.Entries), capEntries))
+	}
+	buf := make([]byte, 0, pager.PageSize)
+	var flag byte
+	if n.Leaf {
+		flag = 1
+	}
+	buf = append(buf, flag)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(n.Entries)))
+	buf = append(buf, 0)
+	for _, e := range n.Entries {
+		if n.Leaf {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(e.RecID))
+			for i := 0; i < t.dim; i++ {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Rect.Lo[i]))
+			}
+		} else {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Child))
+			for i := 0; i < t.dim; i++ {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Rect.Lo[i]))
+			}
+			for i := 0; i < t.dim; i++ {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Rect.Hi[i]))
+			}
+		}
+	}
+	t.store.Write(n.ID, buf)
+}
+
+func (t *Tree) decode(id pager.PageID, buf []byte) *Node {
+	n := &Node{ID: id, Leaf: buf[0] == 1}
+	count := int(binary.LittleEndian.Uint16(buf[1:3]))
+	off := nodeHeader
+	n.Entries = make([]Entry, count)
+	for i := 0; i < count; i++ {
+		if n.Leaf {
+			recID := int64(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+			p := make(vec.Vector, t.dim)
+			for j := 0; j < t.dim; j++ {
+				p[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+				off += 8
+			}
+			n.Entries[i] = Entry{Rect: PointRect(p), RecID: recID}
+		} else {
+			child := pager.PageID(binary.LittleEndian.Uint32(buf[off:]))
+			off += 4
+			lo := make(vec.Vector, t.dim)
+			hi := make(vec.Vector, t.dim)
+			for j := 0; j < t.dim; j++ {
+				lo[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+				off += 8
+			}
+			for j := 0; j < t.dim; j++ {
+				hi[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+				off += 8
+			}
+			n.Entries[i] = Entry{Rect: Rect{Lo: lo, Hi: hi}, Child: child}
+		}
+	}
+	return n
+}
+
+// RangeSearch returns the record ids of all points inside query
+// (inclusive), in unspecified order. Used by tests and the caching
+// example; the GIR algorithms use their own traversals.
+func (t *Tree) RangeSearch(query Rect) []int64 {
+	var out []int64
+	var walk func(id pager.PageID)
+	walk = func(id pager.PageID) {
+		n := t.ReadNode(id)
+		for _, e := range n.Entries {
+			if !query.Intersects(e.Rect) {
+				continue
+			}
+			if n.Leaf {
+				out = append(out, e.RecID)
+			} else {
+				walk(e.Child)
+			}
+		}
+	}
+	walk(t.root)
+	return out
+}

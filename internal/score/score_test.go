@@ -1,0 +1,115 @@
+package score
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/girlib/gir/internal/vec"
+)
+
+func TestLinear(t *testing.T) {
+	var f Linear
+	p, q := vec.Vector{0.5, 0.25}, vec.Vector{0.4, 0.8}
+	if got := f.Score(p, q); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("Score = %v, want 0.4", got)
+	}
+	if &f.Transform(p)[0] != &p[0] {
+		t.Error("Linear.Transform must not copy")
+	}
+	if f.Name() != "Linear" {
+		t.Errorf("Name = %q", f.Name())
+	}
+}
+
+func TestPolynomialMatchesPaper(t *testing.T) {
+	// Figure 19's "Polynomial" on 4-d data: w1·x1⁴ + w2·x2³ + w3·x3² + w4·x4.
+	f := NewPolynomial(4)
+	p := vec.Vector{0.5, 0.5, 0.5, 0.5}
+	q := vec.Vector{1, 1, 1, 1}
+	want := math.Pow(0.5, 4) + math.Pow(0.5, 3) + math.Pow(0.5, 2) + 0.5
+	if got := f.Score(p, q); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Score = %v, want %v", got, want)
+	}
+}
+
+func TestMixedTransforms(t *testing.T) {
+	var f Mixed
+	p := vec.Vector{0.5, 0.5, 0.5, 0.25}
+	g := f.Transform(p)
+	want := vec.Vector{0.25, math.Exp(0.5), math.Log1p(0.5), 0.5}
+	if !vec.Equal(g, want, 1e-12) {
+		t.Errorf("Transform = %v, want %v", g, want)
+	}
+}
+
+// Property: every function's transform is monotone increasing per
+// dimension, and MaxScore bounds the score of any point in the box.
+func TestMonotoneAndMaxScore(t *testing.T) {
+	fns := []Function{Linear{}, NewPolynomial(5), Mixed{}}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 2 + r.Intn(4)
+		fn := fns[r.Intn(len(fns))]
+		if p, ok := fn.(Polynomial); ok && len(p.Exponents) != d {
+			fn = NewPolynomial(d)
+		}
+		q := make(vec.Vector, d)
+		lo, hi := make(vec.Vector, d), make(vec.Vector, d)
+		for j := 0; j < d; j++ {
+			q[j] = r.Float64()
+			a, b := r.Float64(), r.Float64()
+			if a > b {
+				a, b = b, a
+			}
+			lo[j], hi[j] = a, b
+		}
+		bound := fn.MaxScore(lo, hi, q)
+		for trial := 0; trial < 20; trial++ {
+			p := make(vec.Vector, d)
+			for j := 0; j < d; j++ {
+				p[j] = lo[j] + (hi[j]-lo[j])*r.Float64()
+			}
+			if fn.Score(p, q) > bound+1e-9 {
+				return false
+			}
+		}
+		// Monotonicity: raising one coordinate cannot lower the transform.
+		p := lo.Clone()
+		g1 := fn.Transform(p).Clone()
+		j := r.Intn(d)
+		p2 := p.Clone()
+		p2[j] = hi[j]
+		g2 := fn.Transform(p2)
+		return g2[j] >= g1[j]-1e-12
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(71))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsLinear(t *testing.T) {
+	if !IsLinear(Linear{}) {
+		t.Error("Linear not recognized")
+	}
+	if IsLinear(Mixed{}) || IsLinear(NewPolynomial(3)) {
+		t.Error("non-linear recognized as linear")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Linear", "Polynomial", "Mixed", ""} {
+		if _, err := ByName(name, 4); err != nil {
+			t.Errorf("ByName(%q) failed: %v", name, err)
+		}
+	}
+	if _, err := ByName("quadratic", 4); err == nil {
+		t.Error("ByName accepted an unknown function")
+	}
+	f, _ := ByName("Polynomial", 3)
+	if p, ok := f.(Polynomial); !ok || len(p.Exponents) != 3 {
+		t.Errorf("ByName(Polynomial, 3) = %#v", f)
+	}
+}

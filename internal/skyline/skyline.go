@@ -1,0 +1,144 @@
+// Package skyline implements the skyline machinery behind the SP and CP
+// pruning methods: dominance tests, an in-memory skyline for the records
+// BRS already fetched (the set T), and BBS (Branch-and-Bound Skyline,
+// Papadias et al. [26]) resumed from the retained BRS search heap.
+//
+// Per Section 5.1 of the paper, the BBS here departs from the vanilla
+// algorithm in two ways: entries are popped in decreasing maxscore order
+// (any monotone preference preserves BBS correctness), and a retrieved
+// record both joins the skyline only if undominated and evicts members it
+// dominates.
+package skyline
+
+import (
+	"github.com/girlib/gir/internal/rtree"
+	"github.com/girlib/gir/internal/score"
+	"github.com/girlib/gir/internal/topk"
+	"github.com/girlib/gir/internal/vec"
+)
+
+// Dominates reports whether a dominates b: a is no smaller in every
+// dimension and strictly larger in at least one.
+func Dominates(a, b vec.Vector) bool {
+	strict := false
+	for i := range a {
+		switch {
+		case a[i] < b[i]:
+			return false
+		case a[i] > b[i]:
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Set is a mutable skyline.
+type Set struct {
+	Records []topk.Record
+}
+
+// DominatedBy reports whether p is dominated by a member of the set.
+func (s *Set) DominatedBy(p vec.Vector) bool {
+	for _, m := range s.Records {
+		if Dominates(m.Point, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert adds rec if it is undominated, evicting members it dominates.
+// It returns true if the record joined the skyline.
+func (s *Set) Insert(rec topk.Record) bool {
+	keep := s.Records[:0]
+	for _, m := range s.Records {
+		if Dominates(m.Point, rec.Point) {
+			return false // m survives; rec cannot dominate anything m kept out
+		}
+		if !Dominates(rec.Point, m.Point) {
+			keep = append(keep, m)
+		}
+	}
+	s.Records = append(keep, rec)
+	return true
+}
+
+// InMemory computes the skyline of the given records (used for the set T
+// of records BRS already fetched). Records are inserted in decreasing
+// score order, which front-loads strong dominators and keeps the set
+// small while scanning.
+func InMemory(recs []topk.Record) *Set {
+	s := &Set{}
+	for _, r := range recs {
+		s.Insert(r)
+	}
+	return s
+}
+
+// BBS extends the skyline set with all records reachable from the retained
+// search heap, consuming the heap. Nodes whose MBB top corner is dominated
+// by a current member are pruned without a disk read — nothing beneath
+// them can join the skyline or evict a member.
+func BBS(tree *rtree.Tree, f score.General, q vec.Vector, h *topk.NodeHeap, s *Set) {
+	for h.Len() > 0 {
+		it := h.PopItem()
+		if s.DominatedBy(it.Rect.Hi) {
+			continue
+		}
+		n := tree.ReadNode(it.Child)
+		for _, e := range n.Entries {
+			if n.Leaf {
+				p := e.Point()
+				s.Insert(topk.Record{ID: e.RecID, Point: p, Score: f.Score(p, q)})
+			} else {
+				if s.DominatedBy(e.Rect.Hi) {
+					continue
+				}
+				key := f.MaxScore(e.Rect.Lo, e.Rect.Hi, q)
+				h.PushItem(topk.NodeItem{Key: key, Child: e.Child, Rect: e.Rect.Clone()})
+			}
+		}
+	}
+}
+
+// OfNonResult computes the full skyline SL of D\R the way SP does it
+// (Section 5.1): seed with the in-memory skyline of T, then resume BBS on
+// the retained heap. The heap inside res is consumed.
+func OfNonResult(tree *rtree.Tree, res *topk.Result) *Set {
+	s := InMemory(res.T)
+	BBS(tree, res.Func, res.Query, res.Heap, s)
+	return s
+}
+
+// OfNonResultLimited is OfNonResult with an abort threshold: computation
+// stops as soon as the skyline exceeds limit records, returning
+// (partial set, false). The benchmark harness uses it to probe whether an
+// SP/CP cell is affordable before running it (the paper's own charts top
+// out where these methods take 10⁶–10⁸ ms).
+func OfNonResultLimited(tree *rtree.Tree, res *topk.Result, limit int) (*Set, bool) {
+	s := InMemory(res.T)
+	if len(s.Records) > limit {
+		return s, false
+	}
+	h := res.Heap
+	for h.Len() > 0 {
+		it := h.PopItem()
+		if s.DominatedBy(it.Rect.Hi) {
+			continue
+		}
+		n := tree.ReadNode(it.Child)
+		for _, e := range n.Entries {
+			if n.Leaf {
+				p := e.Point()
+				s.Insert(topk.Record{ID: e.RecID, Point: p, Score: res.Func.Score(p, res.Query)})
+				if len(s.Records) > limit {
+					return s, false
+				}
+			} else if !s.DominatedBy(e.Rect.Hi) {
+				key := res.Func.MaxScore(e.Rect.Lo, e.Rect.Hi, res.Query)
+				h.PushItem(topk.NodeItem{Key: key, Child: e.Child, Rect: e.Rect.Clone()})
+			}
+		}
+	}
+	return s, true
+}

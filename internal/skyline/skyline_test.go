@@ -1,0 +1,255 @@
+package skyline
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/girlib/gir/internal/pager"
+	"github.com/girlib/gir/internal/rtree"
+	"github.com/girlib/gir/internal/score"
+	"github.com/girlib/gir/internal/topk"
+	"github.com/girlib/gir/internal/vec"
+)
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b vec.Vector
+		want bool
+	}{
+		{vec.Vector{1, 1}, vec.Vector{0, 0}, true},
+		{vec.Vector{1, 0}, vec.Vector{0, 1}, false},
+		{vec.Vector{1, 1}, vec.Vector{1, 1}, false}, // equal: no strict dim
+		{vec.Vector{1, 0.5}, vec.Vector{1, 0.4}, true},
+		{vec.Vector{0.3, 0.3, 0.3}, vec.Vector{0.3, 0.3, 0.4}, false},
+	}
+	for _, c := range cases {
+		if got := Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// bruteSkyline is the O(n²) oracle.
+func bruteSkyline(recs []topk.Record) map[int64]bool {
+	out := map[int64]bool{}
+	for i, a := range recs {
+		dominated := false
+		for j, b := range recs {
+			if i != j && Dominates(b.Point, a.Point) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out[a.ID] = true
+		}
+	}
+	return out
+}
+
+func randRecords(r *rand.Rand, n, d int) []topk.Record {
+	recs := make([]topk.Record, n)
+	for i := range recs {
+		p := make(vec.Vector, d)
+		for j := range p {
+			p[j] = r.Float64()
+		}
+		recs[i] = topk.Record{ID: int64(i), Point: p}
+	}
+	return recs
+}
+
+// Property: the in-memory skyline matches the brute-force oracle.
+func TestInMemoryMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 2 + r.Intn(4)
+		recs := randRecords(r, 20+r.Intn(300), d)
+		got := InMemory(recs)
+		want := bruteSkyline(recs)
+		if len(got.Records) != len(want) {
+			return false
+		}
+		for _, m := range got.Records {
+			if !want[m.ID] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(89))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: insertion order does not change the skyline.
+func TestInMemoryOrderIndependent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		recs := randRecords(r, 100, 3)
+		a := InMemory(recs)
+		shuffled := append([]topk.Record(nil), recs...)
+		r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		b := InMemory(shuffled)
+		ai := make([]int64, 0, len(a.Records))
+		bi := make([]int64, 0, len(b.Records))
+		for _, m := range a.Records {
+			ai = append(ai, m.ID)
+		}
+		for _, m := range b.Records {
+			bi = append(bi, m.ID)
+		}
+		sort.Slice(ai, func(i, j int) bool { return ai[i] < ai[j] })
+		sort.Slice(bi, func(i, j int) bool { return bi[i] < bi[j] })
+		if len(ai) != len(bi) {
+			return false
+		}
+		for i := range ai {
+			if ai[i] != bi[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(97))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetInsertEviction(t *testing.T) {
+	s := &Set{}
+	if !s.Insert(topk.Record{ID: 1, Point: vec.Vector{0.5, 0.5}}) {
+		t.Fatal("first insert refused")
+	}
+	if s.Insert(topk.Record{ID: 2, Point: vec.Vector{0.4, 0.4}}) {
+		t.Error("dominated record admitted")
+	}
+	if !s.Insert(topk.Record{ID: 3, Point: vec.Vector{0.9, 0.9}}) {
+		t.Fatal("dominating record refused")
+	}
+	if len(s.Records) != 1 || s.Records[0].ID != 3 {
+		t.Errorf("set = %v, want just record 3", s.Records)
+	}
+}
+
+// Property: SP's full pipeline (in-memory skyline of T + BBS on the heap)
+// computes exactly the skyline of D\R.
+func TestOfNonResultMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 2 + r.Intn(3)
+		n := 100 + r.Intn(400)
+		pts := make([]vec.Vector, n)
+		for i := range pts {
+			pts[i] = make(vec.Vector, d)
+			for j := range pts[i] {
+				pts[i][j] = r.Float64()
+			}
+		}
+		tree := rtree.BulkLoad(pager.NewMemStore(), d, pts, nil)
+		q := make(vec.Vector, d)
+		for j := range q {
+			q[j] = 0.05 + 0.95*r.Float64()
+		}
+		k := 1 + r.Intn(20)
+		res := topk.BRS(tree, score.Linear{}, q, k)
+
+		got := OfNonResult(tree, res)
+
+		inResult := map[int64]bool{}
+		for _, rec := range res.Records {
+			inResult[rec.ID] = true
+		}
+		var nonResult []topk.Record
+		for i, p := range pts {
+			if !inResult[int64(i)] {
+				nonResult = append(nonResult, topk.Record{ID: int64(i), Point: p})
+			}
+		}
+		want := bruteSkyline(nonResult)
+		if len(got.Records) != len(want) {
+			return false
+		}
+		for _, m := range got.Records {
+			if !want[m.ID] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(101))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// BBS must prune: on a large correlated-ish dataset it should read far
+// fewer pages than the whole index.
+func TestBBSPrunes(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	n := 20000
+	pts := make([]vec.Vector, n)
+	for i := range pts {
+		base := r.Float64()
+		pts[i] = vec.Vector{clamp(base + 0.1*r.NormFloat64()), clamp(base + 0.1*r.NormFloat64())}
+	}
+	store := pager.NewMemStore()
+	tree := rtree.BulkLoad(store, 2, pts, nil)
+	q := vec.Vector{0.5, 0.5}
+	res := topk.BRS(tree, score.Linear{}, q, 10)
+	store.ResetStats()
+	OfNonResult(tree, res)
+	reads := store.Stats().Reads
+	if reads*3 > int64(store.NumPages()) {
+		t.Errorf("BBS read %d of %d pages — insufficient pruning", reads, store.NumPages())
+	}
+}
+
+func clamp(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func TestOfNonResultLimited(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	pts := make([]vec.Vector, 3000)
+	for i := range pts {
+		pts[i] = vec.Vector{r.Float64(), r.Float64(), r.Float64()}
+	}
+	tree := rtree.BulkLoad(pager.NewMemStore(), 3, pts, nil)
+	q := vec.Vector{0.5, 0.6, 0.7}
+
+	// Unlimited via the limited path must equal OfNonResult.
+	resA := topk.BRS(tree, score.Linear{}, q, 10)
+	want := OfNonResult(tree, resA)
+	resB := topk.BRS(tree, score.Linear{}, q, 10)
+	got, complete := OfNonResultLimited(tree, resB, 1<<30)
+	if !complete {
+		t.Fatal("unlimited run reported incomplete")
+	}
+	if len(got.Records) != len(want.Records) {
+		t.Fatalf("limited=%d unlimited=%d", len(got.Records), len(want.Records))
+	}
+
+	// A cap below the true size must abort and report incomplete.
+	if len(want.Records) > 2 {
+		resC := topk.BRS(tree, score.Linear{}, q, 10)
+		partial, complete := OfNonResultLimited(tree, resC, 2)
+		if complete {
+			t.Error("cap below |SL| reported complete")
+		}
+		if len(partial.Records) <= 2 {
+			// it must have exceeded the cap when it stopped
+			t.Errorf("aborted with %d records", len(partial.Records))
+		}
+	}
+}

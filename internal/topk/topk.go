@@ -1,0 +1,183 @@
+// Package topk implements BRS (Branch-and-bound Ranked Search, Tao et al.
+// [32]), the I/O-optimal top-k algorithm the paper uses to answer the
+// original query before GIR computation starts.
+//
+// Beyond the top-k result itself, BRS here retains exactly the state the
+// GIR algorithms need (Section 3.3 of the paper): the set T of non-result
+// records encountered in visited leaves, and the search heap of index
+// entries not yet expanded. Phase 2 (SP/CP via BBS, or FP's refinement
+// step) resumes the traversal from that heap, so no page is ever read
+// twice.
+package topk
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"github.com/girlib/gir/internal/pager"
+	"github.com/girlib/gir/internal/rtree"
+	"github.com/girlib/gir/internal/score"
+	"github.com/girlib/gir/internal/vec"
+)
+
+// Record is a data record with its score for the current query.
+type Record struct {
+	ID    int64
+	Point vec.Vector
+	Score float64
+}
+
+// NodeItem is a pending R-tree node in a search heap, keyed by the node's
+// maxscore (the upper bound of any record's score beneath it).
+type NodeItem struct {
+	Key   float64
+	Child pager.PageID
+	Rect  rtree.Rect
+}
+
+// NodeHeap is a max-heap of NodeItems keyed by maxscore. It is exported
+// because the GIR algorithms (BBS skyline and FP refinement) continue
+// popping the heap BRS leaves behind.
+type NodeHeap []NodeItem
+
+func (h NodeHeap) Len() int            { return len(h) }
+func (h NodeHeap) Less(i, j int) bool  { return h[i].Key > h[j].Key }
+func (h NodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *NodeHeap) Push(x interface{}) { *h = append(*h, x.(NodeItem)) }
+func (h *NodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// PushItem pushes with heap maintenance.
+func (h *NodeHeap) PushItem(it NodeItem) { heap.Push(h, it) }
+
+// PopItem pops the max-key item.
+func (h *NodeHeap) PopItem() NodeItem { return heap.Pop(h).(NodeItem) }
+
+// Init establishes the heap invariant (after bulk construction).
+func (h *NodeHeap) Init() { heap.Init(h) }
+
+// Result carries the top-k answer plus the retained traversal state.
+type Result struct {
+	Query   vec.Vector
+	K       int
+	Func    score.General
+	Records []Record // the top-k, in decreasing score order
+	T       []Record // non-result records encountered by BRS
+	Heap    *NodeHeap
+}
+
+// Kth returns the k-th (last) result record.
+func (r *Result) Kth() Record { return r.Records[len(r.Records)-1] }
+
+// item is the mixed record/node heap entry used inside BRS.
+type item struct {
+	key    float64
+	isNode bool
+	node   NodeItem
+	rec    Record
+}
+
+type brsHeap []item
+
+func (h brsHeap) Len() int            { return len(h) }
+func (h brsHeap) Less(i, j int) bool  { return h[i].key > h[j].key }
+func (h brsHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *brsHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *brsHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// BRS answers the top-k query over the tree with scoring function f and
+// query vector q. It panics if k exceeds the dataset size or is not
+// positive.
+func BRS(tree *rtree.Tree, f score.General, q vec.Vector, k int) *Result {
+	if k <= 0 || k > tree.Len() {
+		panic(fmt.Sprintf("topk: k=%d out of range for %d records", k, tree.Len()))
+	}
+	if len(q) != tree.Dim() {
+		panic("topk: query dimensionality mismatch")
+	}
+	res := &Result{Query: q.Clone(), K: k, Func: f, Heap: &NodeHeap{}}
+
+	h := &brsHeap{}
+	root := tree.ReadNode(tree.Root())
+	pushNode := func(n *rtree.Node) {
+		for _, e := range n.Entries {
+			if n.Leaf {
+				rec := Record{ID: e.RecID, Point: e.Point(), Score: f.Score(e.Point(), q)}
+				heap.Push(h, item{key: rec.Score, rec: rec})
+			} else {
+				key := f.MaxScore(e.Rect.Lo, e.Rect.Hi, q)
+				heap.Push(h, item{key: key, isNode: true, node: NodeItem{Key: key, Child: e.Child, Rect: e.Rect.Clone()}})
+			}
+		}
+	}
+	pushNode(root)
+
+	for h.Len() > 0 && len(res.Records) < k {
+		it := heap.Pop(h).(item)
+		if it.isNode {
+			pushNode(tree.ReadNode(it.node.Child))
+			continue
+		}
+		// A record popped from a max-heap on maxscore is the best
+		// unreported record overall (I/O optimality of BRS).
+		res.Records = append(res.Records, it.rec)
+	}
+	if len(res.Records) < k {
+		panic("topk: heap exhausted before k records (corrupt index)")
+	}
+
+	// Retain state for Phase 2: leftover records form T, leftover node
+	// entries form the resumable search heap.
+	for _, it := range *h {
+		if it.isNode {
+			*res.Heap = append(*res.Heap, it.node)
+		} else {
+			res.T = append(res.T, it.rec)
+		}
+	}
+	res.Heap.Init()
+	// T in decreasing score order (deterministic downstream behaviour).
+	sort.Slice(res.T, func(i, j int) bool { return res.T[i].Score > res.T[j].Score })
+	return res
+}
+
+// Scan is the trivial O(n·log n) oracle: it scores every record by reading
+// all leaf pages. Used by tests and as the paper's "scan the dataset"
+// strawman baseline.
+func Scan(tree *rtree.Tree, f score.General, q vec.Vector, k int) []Record {
+	var all []Record
+	var walk func(id pager.PageID)
+	walk = func(id pager.PageID) {
+		n := tree.ReadNode(id)
+		for _, e := range n.Entries {
+			if n.Leaf {
+				all = append(all, Record{ID: e.RecID, Point: e.Point(), Score: f.Score(e.Point(), q)})
+			} else {
+				walk(e.Child)
+			}
+		}
+	}
+	walk(tree.Root())
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].ID < all[j].ID
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}

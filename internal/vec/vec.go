@@ -1,0 +1,289 @@
+// Package vec provides the small dense linear-algebra kernel used by the
+// geometry, hull and LP packages: d-dimensional vectors, dot products,
+// Gaussian elimination with partial pivoting, and affine-independence
+// checks. Dimensions in this library are small (2..10), so everything is
+// dense, allocation-conscious and unconditionally float64.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a point or direction in d-dimensional space.
+type Vector []float64
+
+// New returns a zero vector of dimension d.
+func New(d int) Vector { return make(Vector, d) }
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	w := make(Vector, len(v))
+	copy(w, v)
+	return w
+}
+
+// Dot returns the inner product v·w. The vectors must have equal dimension.
+func Dot(v, w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("vec: dot of mismatched dimensions %d and %d", len(v), len(w)))
+	}
+	var s float64
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s
+}
+
+// Sub returns v − w as a new vector.
+func Sub(v, w Vector) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// Add returns v + w as a new vector.
+func Add(v, w Vector) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// Scale returns c·v as a new vector.
+func Scale(c float64, v Vector) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = c * v[i]
+	}
+	return out
+}
+
+// AXPY adds c·x to y in place.
+func AXPY(c float64, x, y Vector) {
+	for i := range y {
+		y[i] += c * x[i]
+	}
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v Vector) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Normalize returns v/|v|. It panics on the zero vector.
+func Normalize(v Vector) Vector {
+	n := Norm(v)
+	if n == 0 {
+		panic("vec: normalize of zero vector")
+	}
+	return Scale(1/n, v)
+}
+
+// Dist returns the Euclidean distance between v and w.
+func Dist(v, w Vector) float64 {
+	var s float64
+	for i := range v {
+		d := v[i] - w[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Equal reports whether v and w are component-wise within tol of each other.
+func Equal(v, w Vector, tol float64) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if math.Abs(v[i]-w[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Basis returns the i-th standard basis vector of dimension d.
+func Basis(d, i int) Vector {
+	v := make(Vector, d)
+	v[i] = 1
+	return v
+}
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols
+}
+
+// NewMatrix allocates an r×c zero matrix.
+func NewMatrix(r, c int) *Matrix {
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// At returns element (i,j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i,j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a slice aliasing row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Solve solves the square linear system A·x = b by Gaussian elimination with
+// partial pivoting, destroying A and b. It returns false if A is singular
+// (pivot magnitude below tol).
+func Solve(a *Matrix, b Vector, tol float64) (Vector, bool) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		panic("vec: Solve requires a square system")
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv, pmax := col, math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if m := math.Abs(a.At(r, col)); m > pmax {
+				piv, pmax = r, m
+			}
+		}
+		if pmax < tol {
+			return nil, false
+		}
+		if piv != col {
+			ri, rj := a.Row(col), a.Row(piv)
+			for j := range ri {
+				ri[j], rj[j] = rj[j], ri[j]
+			}
+			b[col], b[piv] = b[piv], b[col]
+		}
+		inv := 1 / a.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := a.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			rowR, rowC := a.Row(r), a.Row(col)
+			for j := col; j < n; j++ {
+				rowR[j] -= f * rowC[j]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make(Vector, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		row := a.Row(i)
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x, true
+}
+
+// HyperplaneThrough computes the hyperplane passing through the d points
+// pts (each of dimension d): a unit normal n and offset b with n·x = b for
+// every point. It returns ok=false if the points are affinely dependent.
+// The normal's orientation is arbitrary; callers orient it against a
+// reference point.
+func HyperplaneThrough(pts []Vector, tol float64) (normal Vector, offset float64, ok bool) {
+	d := len(pts)
+	if d == 0 || len(pts[0]) != d {
+		panic("vec: HyperplaneThrough requires d points of dimension d")
+	}
+	// Solve for n with n·(p_i − p_0) = 0, i = 1..d−1, plus a normalization
+	// row. We find a null vector of the (d−1)×d difference matrix via
+	// elimination: set one free variable to 1.
+	diffs := make([]Vector, d-1)
+	for i := 1; i < d; i++ {
+		diffs[i-1] = Sub(pts[i], pts[0])
+	}
+	normal, ok = NullVector(diffs, d, tol)
+	if !ok {
+		return nil, 0, false
+	}
+	normal = Normalize(normal)
+	return normal, Dot(normal, pts[0]), true
+}
+
+// NullVector finds a nonzero vector orthogonal to each of the given rows
+// (len(rows) must be < d). It returns ok=false if the rows do not have full
+// rank, i.e. the null space has dimension > d−len(rows) (degenerate input).
+func NullVector(rows []Vector, d int, tol float64) (Vector, bool) {
+	m := len(rows)
+	if m >= d {
+		panic("vec: NullVector requires fewer rows than the dimension")
+	}
+	// Row-reduce a copy of the rows, tracking pivot columns.
+	a := NewMatrix(m, d)
+	for i, r := range rows {
+		copy(a.Row(i), r)
+	}
+	pivCols := make([]int, 0, m)
+	row := 0
+	for col := 0; col < d && row < m; col++ {
+		piv, pmax := row, math.Abs(a.At(row, col))
+		for r := row + 1; r < m; r++ {
+			if v := math.Abs(a.At(r, col)); v > pmax {
+				piv, pmax = r, v
+			}
+		}
+		if pmax < tol {
+			continue
+		}
+		if piv != row {
+			ri, rj := a.Row(row), a.Row(piv)
+			for j := range ri {
+				ri[j], rj[j] = rj[j], ri[j]
+			}
+		}
+		inv := 1 / a.At(row, col)
+		for r := 0; r < m; r++ {
+			if r == row {
+				continue
+			}
+			f := a.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			rr, rp := a.Row(r), a.Row(row)
+			for j := col; j < d; j++ {
+				rr[j] -= f * rp[j]
+			}
+		}
+		pivCols = append(pivCols, col)
+		row++
+	}
+	if row < m {
+		return nil, false // rank-deficient rows: ambiguous null space
+	}
+	// Choose the first non-pivot column as the free variable.
+	isPiv := make([]bool, d)
+	for _, c := range pivCols {
+		isPiv[c] = true
+	}
+	free := -1
+	for c := 0; c < d; c++ {
+		if !isPiv[c] {
+			free = c
+			break
+		}
+	}
+	if free < 0 {
+		return nil, false
+	}
+	x := make(Vector, d)
+	x[free] = 1
+	// Back-substitute: for each pivot row, x[pivCol] = −a[row][free]/a[row][pivCol].
+	for i, c := range pivCols {
+		x[c] = -a.At(i, free) / a.At(i, c)
+	}
+	return x, true
+}

@@ -1,0 +1,182 @@
+// Package viz implements the GIR visualization aids of Section 7.3:
+//
+//   - LIRs: the per-dimension "interactive projection" intervals — how far
+//     a single weight may move (others fixed) without changing the result.
+//     These equal the local immutable regions of Mouratidis & Pang [24]
+//     and drive the slide-bar marks / radar-chart polygons of Figure 1.
+//   - MAH: the maximum-volume axis-parallel hyper-rectangle that contains
+//     the query vector and lies inside the GIR, giving weight bounds that
+//     remain valid under simultaneous readjustment of all weights.
+package viz
+
+import (
+	"math"
+
+	"github.com/girlib/gir/internal/gir"
+	"github.com/girlib/gir/internal/vec"
+)
+
+// Interval is a validity range for one query weight. LoConstraint and
+// HiConstraint are indices into the region's constraint list identifying
+// the result perturbation at each end (−1 when the query-space boundary
+// [0,1] is what binds), so the UI can tell the user what the result
+// becomes at each tipping point.
+type Interval struct {
+	Lo, Hi                     float64
+	LoConstraint, HiConstraint int
+}
+
+// LIRs computes the interactive-projection interval of every weight at the
+// query vector q (which must lie inside the region). For dimension i it
+// solves, in closed form, how far q + t·e_i can move before some bounding
+// half-space (or the box) is violated.
+func LIRs(reg *gir.Region, q vec.Vector) []Interval {
+	d := reg.Dim
+	out := make([]Interval, d)
+	for i := 0; i < d; i++ {
+		lo, hi := -q[i], 1-q[i] // box bounds on t
+		loC, hiC := -1, -1
+		for ci, c := range reg.Constraints {
+			ai := c.Normal[i]
+			slack := vec.Dot(c.Normal, q)
+			switch {
+			case math.Abs(ai) < 1e-15:
+				// The constraint is insensitive to this weight.
+			case ai > 0:
+				if t := -slack / ai; t > lo {
+					lo, loC = t, ci
+				}
+			default:
+				if t := -slack / ai; t < hi {
+					hi, hiC = t, ci
+				}
+			}
+		}
+		out[i] = Interval{Lo: q[i] + lo, Hi: q[i] + hi, LoConstraint: loC, HiConstraint: hiC}
+	}
+	return out
+}
+
+// MAH computes a maximal axis-parallel hyper-rectangle [lo, hi] that
+// contains q and lies inside the region (an instance of the bichromatic
+// rectangle problem; the paper cites exact algorithms [2,16]). This
+// implementation uses cyclic coordinate ascent on the concave objective
+// Σ log(u_i − l_i): with all other coordinates fixed, the feasible range
+// of (l_i, u_i) is an interval product computable in closed form, so each
+// sweep is O(d·m). It converges to a rectangle that cannot be grown in any
+// single dimension (and contains q by construction).
+//
+// The key fact making the constraint evaluation exact: a half-space
+// a·x ≥ 0 contains the whole box [l,u] iff it contains the box's worst
+// corner, which picks l_i where a_i > 0 and u_i where a_i < 0.
+func MAH(reg *gir.Region, q vec.Vector) (lo, hi vec.Vector) {
+	d := reg.Dim
+	// Phase 1 — balanced seed. Starting coordinate ascent from the
+	// degenerate box [q,q] lets the first dimension consume all the slack
+	// and leaves the rest at zero width (volume 0, a worthless local
+	// optimum). Instead, binary-search the largest uniform scaling s of
+	// the LIR box around q that keeps every worst corner feasible; that
+	// box has positive volume whenever the region has interior around q.
+	ivs := LIRs(reg, q)
+	feasibleAt := func(s float64) (vec.Vector, vec.Vector, bool) {
+		l, u := make(vec.Vector, d), make(vec.Vector, d)
+		for i := 0; i < d; i++ {
+			l[i] = q[i] - s*(q[i]-ivs[i].Lo)
+			u[i] = q[i] + s*(ivs[i].Hi-q[i])
+		}
+		for _, c := range reg.Constraints {
+			worst := 0.0
+			for i := 0; i < d; i++ {
+				if c.Normal[i] > 0 {
+					worst += c.Normal[i] * l[i]
+				} else {
+					worst += c.Normal[i] * u[i]
+				}
+			}
+			if worst < 0 {
+				return nil, nil, false
+			}
+		}
+		return l, u, true
+	}
+	lo, hi = q.Clone(), q.Clone()
+	sLo, sHi := 0.0, 1.0
+	if l, u, ok := feasibleAt(1); ok {
+		lo, hi = l, u
+	} else {
+		for iter := 0; iter < 40; iter++ {
+			mid := (sLo + sHi) / 2
+			if l, u, ok := feasibleAt(mid); ok {
+				lo, hi, sLo = l, u, mid
+			} else {
+				sHi = mid
+			}
+		}
+	}
+	// Phase 2 — coordinate ascent. From a feasible box, maximizing one
+	// dimension's extent given the others only ever expands (the current
+	// bounds are feasible, so the new closed-form bounds contain them).
+	for sweep := 0; sweep < 40; sweep++ {
+		changed := false
+		for i := 0; i < d; i++ {
+			// Feasible bounds for l_i and u_i given the other coordinates.
+			newLo, newHi := 0.0, 1.0
+			for _, c := range reg.Constraints {
+				ai := c.Normal[i]
+				if ai == 0 {
+					continue
+				}
+				// Worst-corner contribution of the other dimensions.
+				rest := 0.0
+				for j := 0; j < d; j++ {
+					if j == i {
+						continue
+					}
+					aj := c.Normal[j]
+					if aj > 0 {
+						rest += aj * lo[j]
+					} else {
+						rest += aj * hi[j]
+					}
+				}
+				if ai > 0 {
+					// Need ai·l_i + rest ≥ 0 ⇒ l_i ≥ −rest/ai.
+					if b := -rest / ai; b > newLo {
+						newLo = b
+					}
+				} else {
+					// Need ai·u_i + rest ≥ 0 ⇒ u_i ≤ rest/(−ai).
+					if b := rest / (-ai); b < newHi {
+						newHi = b
+					}
+				}
+			}
+			if newLo > q[i] {
+				newLo = q[i] // must keep q inside
+			}
+			if newHi < q[i] {
+				newHi = q[i]
+			}
+			if math.Abs(newLo-lo[i]) > 1e-12 || math.Abs(newHi-hi[i]) > 1e-12 {
+				lo[i], hi[i] = newLo, newHi
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return lo, hi
+}
+
+// RadarBounds returns, for each axis of a radar chart (Figure 1(b)), the
+// inner and outer tipping-point marks derived from the LIRs.
+func RadarBounds(reg *gir.Region, q vec.Vector) (inner, outer vec.Vector) {
+	ivs := LIRs(reg, q)
+	inner = make(vec.Vector, len(ivs))
+	outer = make(vec.Vector, len(ivs))
+	for i, iv := range ivs {
+		inner[i], outer[i] = iv.Lo, iv.Hi
+	}
+	return inner, outer
+}

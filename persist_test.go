@@ -1,0 +1,170 @@
+package gir_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	gir "github.com/girlib/gir"
+)
+
+func TestSaveOpenRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	ds, err := gir.NewDataset(randomPoints(r, 2000, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.5, 0.7, 0.4}
+	want, err := ds.TopK(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "index.gir")
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := gir.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Len() != ds.Len() || reopened.Dim() != ds.Dim() {
+		t.Fatalf("metadata mismatch: %d/%d vs %d/%d", reopened.Len(), reopened.Dim(), ds.Len(), ds.Dim())
+	}
+	got, err := reopened.TopK(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Records {
+		if got.Records[i].ID != want.Records[i].ID {
+			t.Fatalf("rank %d differs after reopen", i)
+		}
+	}
+	// GIR computation works on the reopened dataset and agrees.
+	g1, err := ds.ComputeGIR(want, gir.FP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := reopened.ComputeGIR(got, gir.FP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		p := []float64{r.Float64(), r.Float64(), r.Float64()}
+		if g1.Contains(p) != g2.Contains(p) {
+			t.Fatalf("regions differ after reopen at %v", p)
+		}
+	}
+	// Inserts still work on the reopened tree.
+	if err := reopened.Insert(99999, []float64{0.5, 0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Len() != ds.Len()+1 {
+		t.Error("insert after reopen did not register")
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage")
+	if err := os.WriteFile(path, []byte("not a snapshot at all, definitely"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gir.Open(path); err == nil {
+		t.Error("garbage file accepted")
+	}
+	if _, err := gir.Open(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestComputeGIRBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	ds, err := gir.NewDataset(randomPoints(r, 3000, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]gir.BatchItem, 12)
+	for i := range items {
+		items[i] = gir.BatchItem{
+			Query: []float64{0.2 + 0.6*r.Float64(), 0.2 + 0.6*r.Float64(), 0.2 + 0.6*r.Float64()},
+			K:     3 + i%5,
+		}
+	}
+	items[5].K = -1 // one bad item must not poison the batch
+
+	results := ds.ComputeGIRBatch(items, gir.FP, 4)
+	if len(results) != len(items) {
+		t.Fatalf("%d results", len(results))
+	}
+	for i, br := range results {
+		if i == 5 {
+			if br.Err == nil {
+				t.Error("invalid k did not error")
+			}
+			continue
+		}
+		if br.Err != nil {
+			t.Fatalf("item %d: %v", i, br.Err)
+		}
+		if len(br.Result.Records) != items[i].K {
+			t.Fatalf("item %d: %d records", i, len(br.Result.Records))
+		}
+		if !br.GIR.Contains(items[i].Query) {
+			t.Fatalf("item %d: query outside its GIR", i)
+		}
+		// Sequential oracle.
+		seq, err := ds.TopK(items[i].Query, items[i].K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range seq.Records {
+			if seq.Records[j].ID != br.Result.Records[j].ID {
+				t.Fatalf("item %d rank %d differs from sequential run", i, j)
+			}
+		}
+	}
+	// The records-only copy in batch results must refuse GIR computation
+	// cleanly rather than crash.
+	if _, err := ds.ComputeGIR(results[0].Result, gir.FP); err == nil {
+		t.Error("records-only TopKResult powered a GIR computation")
+	}
+}
+
+func TestOnDiskDataset(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts := randomPoints(r, 1500, 3)
+	path := filepath.Join(t.TempDir(), "disk.gir")
+	ds, err := gir.NewDatasetOnDisk(pts, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	q := []float64{0.6, 0.4, 0.8}
+	ds.ResetIOStats()
+	res, err := ds.TopK(q, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.IOStats().PageReads == 0 {
+		t.Error("disk-backed top-k performed no file reads")
+	}
+	// Results must match the in-memory dataset exactly.
+	mem, err := gir.NewDataset(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := mem.TopK(q, 8)
+	for i := range want.Records {
+		if res.Records[i].ID != want.Records[i].ID {
+			t.Fatalf("rank %d differs between disk and memory", i)
+		}
+	}
+	g, err := ds.ComputeGIR(res, gir.FP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Contains(q) {
+		t.Error("query outside its own GIR on disk-backed dataset")
+	}
+}

@@ -1,0 +1,212 @@
+package gir
+
+import (
+	"fmt"
+	"time"
+
+	girint "github.com/girlib/gir/internal/gir"
+	"github.com/girlib/gir/internal/vec"
+	"github.com/girlib/gir/internal/viz"
+	"github.com/girlib/gir/internal/volume"
+)
+
+// GIR is a computed immutable region. It is immutable and safe for
+// concurrent readers.
+type GIR struct {
+	region *girint.Region
+	// Stats describes the computation that produced the region.
+	Stats ComputeStats
+}
+
+// ComputeStats mirrors the quantities the paper's evaluation plots.
+type ComputeStats struct {
+	Method         string
+	Elapsed        time.Duration // wall-clock time of the GIR computation
+	PageReads      int64         // simulated disk reads during it
+	SkylineSize    int           // |SL| (SP, CP)
+	HullVertices   int           // |SL ∩ CH| (CP)
+	StarFacets     int           // facets incident to p_k (FP)
+	CriticalCount  int           // critical records (FP)
+	RawConstraints int           // half-spaces before reduction
+	Constraints    int           // half-spaces in the minimal form
+}
+
+// Constraint describes one bounding half-space of the region together with
+// the result perturbation its boundary induces (Section 3.2 of the paper).
+type Constraint struct {
+	// Normal is the half-space normal: the region side satisfies
+	// Normal·q' ≥ 0.
+	Normal []float64
+	// Kind is "reorder" (two adjacent result records swap) or "replace"
+	// (a non-result record enters the result).
+	Kind string
+	// A and B are the record ids involved: A stays ahead of B inside.
+	A, B int64
+	// Description is a human-readable rendering of the perturbation.
+	Description string
+}
+
+// ComputeGIR computes the order-sensitive GIR of a top-k result.
+// The result is consumed (see TopKResult).
+func (ds *Dataset) ComputeGIR(res *TopKResult, m Method) (*GIR, error) {
+	return ds.computeGIR(res, m, false)
+}
+
+// ComputeGIRStar computes the order-insensitive GIR* (the maximal region
+// preserving the result's composition, ignoring order; Section 7.1).
+func (ds *Dataset) ComputeGIRStar(res *TopKResult, m Method) (*GIR, error) {
+	return ds.computeGIR(res, m, true)
+}
+
+func (ds *Dataset) computeGIR(res *TopKResult, m Method, star bool) (*GIR, error) {
+	inner, err := res.take()
+	if err != nil {
+		return nil, err
+	}
+	readsBefore := ds.store.Stats().Reads
+	start := time.Now()
+	var region *girint.Region
+	var st *girint.Stats
+	if star {
+		region, st, err = girint.ComputeStar(ds.tree, inner, girint.Options{Method: m.internal()})
+	} else {
+		region, st, err = girint.Compute(ds.tree, inner, girint.Options{Method: m.internal()})
+	}
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	return &GIR{
+		region: region,
+		Stats: ComputeStats{
+			Method:         st.Method,
+			Elapsed:        elapsed,
+			PageReads:      ds.store.Stats().Reads - readsBefore,
+			SkylineSize:    st.SkylineSize,
+			HullVertices:   st.HullVertices,
+			StarFacets:     st.StarFacets,
+			CriticalCount:  st.Critical,
+			RawConstraints: st.RawConstraints,
+			Constraints:    st.Constraints,
+		},
+	}, nil
+}
+
+// Dim returns the query-space dimensionality.
+func (g *GIR) Dim() int { return g.region.Dim }
+
+// Query returns the original query vector (always inside the region).
+func (g *GIR) Query() []float64 { return append([]float64(nil), g.region.Query...) }
+
+// OrderSensitive reports whether this is a GIR (true) or GIR* (false).
+func (g *GIR) OrderSensitive() bool { return g.region.OrderSensitive }
+
+// Contains reports whether the query vector q' preserves the top-k result
+// — i.e. whether q' lies inside the region.
+func (g *GIR) Contains(q []float64) bool {
+	return g.region.Contains(vec.Vector(q), 1e-12)
+}
+
+// Constraints lists the bounding half-spaces with their perturbation
+// attributions.
+func (g *GIR) Constraints() []Constraint {
+	out := make([]Constraint, len(g.region.Constraints))
+	for i, c := range g.region.Constraints {
+		out[i] = Constraint{
+			Normal:      append([]float64(nil), c.Normal...),
+			Kind:        c.Kind.String(),
+			A:           c.A,
+			B:           c.B,
+			Description: c.Describe(),
+		}
+	}
+	return out
+}
+
+// VolumeOptions tunes VolumeRatio.
+type VolumeOptions struct {
+	// Samples per Monte-Carlo factor (default 2000). Ignored for d = 2,
+	// where the ratio is exact.
+	Samples int
+	// Seed of the deterministic estimator (default 1).
+	Seed int64
+}
+
+// VolumeRatio returns vol(GIR)/vol(query space): the probability that a
+// uniformly random query vector preserves the result — the robustness
+// measure of the paper's Figure 14 (the LIK measure of [30]). Exact in two
+// dimensions, Monte-Carlo estimated above (see internal/volume).
+func (g *GIR) VolumeRatio(opt VolumeOptions) (float64, error) {
+	return volume.Ratio(g.region.Halfspaces(), g.region.Dim,
+		volume.Options{Samples: opt.Samples, Seed: opt.Seed})
+}
+
+// LogVolumeRatio returns ln(VolumeRatio); usable when the ratio underflows
+// (high dimensions shrink GIRs exponentially — Figure 14 spans 15 orders
+// of magnitude).
+func (g *GIR) LogVolumeRatio(opt VolumeOptions) (float64, error) {
+	return volume.LogRatio(g.region.Halfspaces(), g.region.Dim,
+		volume.Options{Samples: opt.Samples, Seed: opt.Seed})
+}
+
+// Interval is a per-weight validity range; see LIRs.
+type Interval struct {
+	Lo, Hi float64
+	// LoPerturbation / HiPerturbation describe the result change when the
+	// weight reaches each bound ("query space boundary" when the [0,1]
+	// box is what binds).
+	LoPerturbation, HiPerturbation string
+}
+
+// LIRs returns, for each dimension, the interval within which that weight
+// can move — all others fixed at the query's values — without changing the
+// result: the slide-bar bounds of the paper's Figure 1, equal to the local
+// immutable regions of [24], derived here by interactive projection
+// (Section 7.3).
+func (g *GIR) LIRs() []Interval {
+	ivs := viz.LIRs(g.region, g.region.Query)
+	out := make([]Interval, len(ivs))
+	for i, iv := range ivs {
+		out[i] = Interval{
+			Lo: iv.Lo, Hi: iv.Hi,
+			LoPerturbation: g.describeBound(iv.LoConstraint),
+			HiPerturbation: g.describeBound(iv.HiConstraint),
+		}
+	}
+	return out
+}
+
+func (g *GIR) describeBound(ci int) string {
+	if ci < 0 {
+		return "query space boundary"
+	}
+	return g.region.Constraints[ci].Describe()
+}
+
+// MAH returns a maximal axis-parallel hyper-rectangle [lo, hi] containing
+// the query and inscribed in the region (Section 7.3): bounds that stay
+// valid under simultaneous readjustment of all weights.
+func (g *GIR) MAH() (lo, hi []float64) {
+	l, h := viz.MAH(g.region, g.region.Query)
+	return l, h
+}
+
+// RadarBounds returns the inner and outer tipping-point marks of the
+// radar-chart visualization (Figure 1(b)).
+func (g *GIR) RadarBounds() (inner, outer []float64) {
+	in, out := viz.RadarBounds(g.region, g.region.Query)
+	return in, out
+}
+
+// String summarizes the region.
+func (g *GIR) String() string {
+	kind := "GIR"
+	if !g.region.OrderSensitive {
+		kind = "GIR*"
+	}
+	return fmt.Sprintf("%s{d=%d, constraints=%d, method=%s}",
+		kind, g.region.Dim, len(g.region.Constraints), g.Stats.Method)
+}
+
+// internalRegion exposes the region to sibling root-package files (cache).
+func (g *GIR) internalRegion() *girint.Region { return g.region }
