@@ -9,12 +9,29 @@ import (
 // Cache is a GIR-keyed top-k result cache (the caching application from
 // the paper's Introduction): a query whose vector lands inside a cached
 // result's GIR is served without touching the index.
+//
+// A Cache is safe for concurrent use and built to be contention-free
+// under heavy parallel serving: entries live in shards selected by
+// hashing the cached query vector, lookups take only per-shard read locks
+// (repeated queries touch exactly one shard; in-region queries that hash
+// elsewhere are still found by a read-locked probe of the other shards),
+// recency is stamped through a global atomic clock, and eviction is
+// approximate LRU across all shards. See internal/cache for the full
+// concurrency model.
 type Cache struct {
 	inner *cache.Cache
 }
 
-// NewCache returns a cache holding at most capacity entries (LRU).
+// NewCache returns a cache holding at most capacity entries (approximate
+// LRU), with the default shard count.
 func NewCache(capacity int) *Cache { return &Cache{inner: cache.New(capacity)} }
+
+// NewCacheSharded returns a cache with an explicit shard count (clamped
+// to [1, capacity]). More shards spread concurrent lookups over more
+// read-write locks; the default suits most machines.
+func NewCacheSharded(capacity, shards int) *Cache {
+	return &Cache{inner: cache.NewSharded(capacity, shards)}
+}
 
 // CachedResult is a cache hit.
 type CachedResult struct {
@@ -62,3 +79,12 @@ func (c *Cache) Stats() (hits, partial, misses int64) { return c.inner.Stats() }
 
 // Len returns the number of cached entries.
 func (c *Cache) Len() int { return c.inner.Len() }
+
+// Shards returns the shard count.
+func (c *Cache) Shards() int { return c.inner.Shards() }
+
+// Clear drops every cached entry. Call it after mutating the underlying
+// dataset when managing a Cache by hand: a cached region only describes
+// the dataset it was computed against (the Engine does this
+// automatically).
+func (c *Cache) Clear() { c.inner.Clear() }

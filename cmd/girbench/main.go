@@ -26,6 +26,13 @@ import (
 func main() {
 	cfg := bench.Default()
 	fig := flag.Int("fig", 0, "figure to reproduce (6, 8, 14, 15, 16, 17, 18, 19); 0 = all")
+	serve := flag.Bool("serve", false, "run the concurrent serving benchmark (engine + sharded GIR cache) instead of a figure")
+	serveStream := flag.Int("stream", 4000, "-serve: queries in the served stream")
+	serveDistinct := flag.Int("distinct", 64, "-serve: distinct query vectors in the Zipf pool")
+	serveZipf := flag.Float64("zipf", 1.3, "-serve: Zipf skew parameter (> 1)")
+	serveJitter := flag.Float64("jitter", 0.001, "-serve: gaussian query jitter (0 = exact repeats only)")
+	serveBatch := flag.Int("batch", 64, "-serve: queries per BatchTopK call")
+	serveWorkers := flag.Int("workers", 0, "-serve: engine worker-pool size (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.N, "n", cfg.N, "synthetic dataset cardinality (paper: 1000000)")
 	flag.IntVar(&cfg.Queries, "queries", cfg.Queries, "queries averaged per cell (paper: 100)")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "deterministic seed")
@@ -49,6 +56,28 @@ func main() {
 		fatal("bad -nsweep: %v", err)
 	}
 	cfg.Cost.ReadLatency = *latency
+
+	if *serve {
+		if *serveZipf <= 1 {
+			fatal("bad -zipf: %v (the Zipf skew parameter must be > 1)", *serveZipf)
+		}
+		if *serveDistinct < 1 {
+			fatal("bad -distinct: %d (need at least one query vector)", *serveDistinct)
+		}
+		if *serveStream < 0 {
+			fatal("bad -stream: %d", *serveStream)
+		}
+		err := runServe(serveConfig{
+			N: cfg.N, D: 4, Seed: cfg.Seed,
+			Stream: *serveStream, Distinct: *serveDistinct,
+			ZipfS: *serveZipf, Jitter: *serveJitter,
+			Batch: *serveBatch, Workers: *serveWorkers,
+		}, os.Stdout)
+		if err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
 
 	fmt.Printf("girbench: n=%d queries=%d seed=%d budget=%v (paper scale: -n 1000000 -queries 100)\n",
 		cfg.N, cfg.Queries, cfg.Seed, cfg.Budget)

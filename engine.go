@@ -1,0 +1,295 @@
+package gir
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	engineint "github.com/girlib/gir/internal/engine"
+	"github.com/girlib/gir/internal/score"
+	"github.com/girlib/gir/internal/vec"
+)
+
+// Engine is a goroutine-safe batch-query serving layer over a Dataset and
+// a GIR-keyed Cache: the paper's caching application turned into a
+// concurrent subsystem. A batch of queries fans out across a worker pool;
+// each query is first offered to the sharded cache (a hit serves the exact
+// result without touching the index), identical in-flight misses are
+// collapsed into one computation (single-flight), and every freshly
+// computed result is inserted back into the cache keyed by its GIR.
+//
+// Guarantees:
+//   - BatchTopK results are byte-identical to calling Dataset.TopK
+//     sequentially for each query — including cache hits, whose records
+//     the engine re-scores against the incoming vector (the GIR guarantees
+//     identity of composition and order; the dot products are recomputed
+//     with the same code path BRS uses).
+//   - BatchGIR results are byte-identical to a sequential
+//     Dataset.TopK + Dataset.ComputeGIR pair per query.
+//   - All Engine methods are safe to call concurrently; an Engine may be
+//     shared by any number of goroutines.
+//   - Mutations invalidate the cache: a cached region only describes the
+//     dataset it was computed against, so the engine tracks the dataset
+//     version and flushes its cache when Insert/Delete have run. A query
+//     racing a mutation may be served from either side of it; once the
+//     mutation returns, later queries never see pre-mutation results.
+//
+// The engine serves linear scoring only — GIR-keyed caching is only sound
+// for the linear family the regions are computed under (Section 3 of the
+// paper).
+type Engine struct {
+	ds     *Dataset
+	cache  *Cache
+	opts   EngineOptions
+	flight engineint.Group
+
+	cacheVersion atomic.Int64 // dataset version the cache contents describe
+	deduped      atomic.Int64
+	computed     atomic.Int64
+}
+
+// EngineOptions tunes a new Engine. The zero value is ready to use:
+// GOMAXPROCS workers, a 1024-entry cache with the default shard count,
+// and FP (the paper's fastest method) for cache-fill GIR computation.
+type EngineOptions struct {
+	// Workers bounds the goroutines a batch fans out over (≤ 0 =
+	// GOMAXPROCS).
+	Workers int
+	// CacheCapacity is the cache size in entries (0 = 1024, < 0 disables
+	// caching entirely — every query computes, useful as a baseline).
+	CacheCapacity int
+	// CacheShards overrides the cache shard count (0 = default).
+	CacheShards int
+	// CacheMethod is the GIR algorithm used to build regions on the miss
+	// path (default FP).
+	CacheMethod Method
+}
+
+// NewEngine builds an engine over the dataset.
+func NewEngine(ds *Dataset, opts EngineOptions) *Engine {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	var c *Cache
+	if opts.CacheCapacity >= 0 {
+		capacity := opts.CacheCapacity
+		if capacity == 0 {
+			capacity = 1024
+		}
+		if opts.CacheShards > 0 {
+			c = NewCacheSharded(capacity, opts.CacheShards)
+		} else {
+			c = NewCache(capacity)
+		}
+	}
+	e := &Engine{ds: ds, cache: c, opts: opts}
+	e.cacheVersion.Store(ds.version.Load())
+	return e
+}
+
+// syncCache flushes the cache when the dataset has mutated since it was
+// filled: every cached region describes a dataset state that no longer
+// exists. Self-healing under races — a missed flush is caught by the
+// next call.
+func (e *Engine) syncCache() {
+	if e.cache == nil {
+		return
+	}
+	if v := e.ds.version.Load(); e.cacheVersion.Load() != v {
+		e.cache.Clear()
+		e.cacheVersion.Store(v)
+	}
+}
+
+// Query is one query of a batch.
+type Query struct {
+	Vector []float64
+	K      int
+}
+
+// EngineResult is the engine's answer to one query.
+type EngineResult struct {
+	// Records is the exact top-k, identical to Dataset.TopK's answer.
+	Records []Record
+	// GIR is the query's immutable region (BatchGIR only; nil otherwise).
+	GIR *GIR
+	// CacheHit is true when the result was served entirely from the cache.
+	CacheHit bool
+	// PartialHit is true when the cache held an exact prefix (cached K <
+	// requested k) and the engine computed the full result fresh.
+	PartialHit bool
+	// Shared is true when this query's computation was deduplicated
+	// against an identical in-flight query (single-flight).
+	Shared bool
+	// Err is set when the query was invalid; the other fields are zero.
+	Err error
+}
+
+// EngineStats aggregates what the engine did so far.
+type EngineStats struct {
+	CacheHits   int64 // queries served entirely from the cache
+	PartialHits int64 // cache prefix found, remainder computed
+	Misses      int64 // cache lookups that found nothing
+	Deduped     int64 // queries that shared an identical in-flight computation
+	Computed    int64 // full BRS (+ cache-fill GIR) computations executed
+}
+
+// Stats returns cumulative engine counters.
+func (e *Engine) Stats() EngineStats {
+	st := EngineStats{
+		Deduped:  e.deduped.Load(),
+		Computed: e.computed.Load(),
+	}
+	if e.cache != nil {
+		st.CacheHits, st.PartialHits, st.Misses = e.cache.Stats()
+	}
+	return st
+}
+
+// Cache returns the engine's cache (nil when caching is disabled).
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// BatchTopK answers a batch of top-k queries concurrently. The i-th result
+// corresponds to the i-th query; every result is byte-identical to what
+// Dataset.TopK would return for that query.
+func (e *Engine) BatchTopK(queries []Query) []EngineResult {
+	out := make([]EngineResult, len(queries))
+	engineint.Fan(len(queries), e.opts.Workers, func(i int) {
+		out[i] = e.serveTopK(queries[i])
+	})
+	return out
+}
+
+// TopK answers one query through the engine (cache + single-flight); it
+// is BatchTopK for a singleton batch, callable from many goroutines.
+func (e *Engine) TopK(q []float64, k int) EngineResult {
+	return e.serveTopK(Query{Vector: q, K: k})
+}
+
+func (e *Engine) serveTopK(q Query) EngineResult {
+	if err := e.ds.validateQuery(q.Vector, q.K); err != nil {
+		return EngineResult{Err: err}
+	}
+	e.syncCache()
+	var partial bool
+	if e.cache != nil {
+		if hit, ok := e.cache.Lookup(q.Vector, q.K); ok {
+			if hit.Complete {
+				return EngineResult{Records: e.rescore(hit.Records, q.Vector), CacheHit: true}
+			}
+			partial = true // exact prefix exists; compute the full k fresh
+		}
+	}
+	recs, shared, err := e.computeTopK(q)
+	if err != nil {
+		return EngineResult{Err: err}
+	}
+	return EngineResult{Records: recs, PartialHit: partial, Shared: shared}
+}
+
+// computeTopK runs the BRS computation for a (vector, k) pair exactly once
+// among concurrent identical requests, filling the cache on the way out.
+func (e *Engine) computeTopK(q Query) ([]Record, bool, error) {
+	key := "t:" + engineint.Key(q.Vector, q.K)
+	v, err, shared := e.flight.Do(key, func() (any, error) {
+		e.computed.Add(1)
+		if e.cache == nil {
+			res, err := e.ds.TopK(q.Vector, q.K)
+			if err != nil {
+				return nil, err
+			}
+			return res.Records, nil
+		}
+		// Cache fill: the result and its GIR are computed under one read
+		// lock (no mutation can slip between them), and one GIR build per
+		// distinct result amortizes over every later hit. A GIR failure
+		// only skips the insert.
+		recs, g, ver, topkErr, girErr := e.ds.topKAndGIR(q.Vector, q.K, e.opts.CacheMethod)
+		if topkErr != nil {
+			return nil, topkErr
+		}
+		e.putIfCurrent(g, recs, ver, girErr)
+		return recs, nil
+	})
+	if shared {
+		e.deduped.Add(1)
+	}
+	if err != nil {
+		return nil, shared, err
+	}
+	return v.([]Record), shared, nil
+}
+
+// putIfCurrent inserts a freshly built region unless the dataset has
+// mutated since it was computed (a stale region must never enter the
+// cache; the narrow window after this check is closed by syncCache).
+func (e *Engine) putIfCurrent(g *GIR, recs []Record, ver int64, girErr error) {
+	if e.cache == nil || girErr != nil || g == nil {
+		return
+	}
+	if e.ds.version.Load() != ver || e.cacheVersion.Load() != ver {
+		return
+	}
+	res := &TopKResult{Records: recs, K: len(recs)}
+	e.cache.Put(g, res)
+}
+
+// BatchGIR answers a batch of queries AND computes each result's immutable
+// region concurrently, inserting every region into the cache (so a
+// BatchGIR warms the cache for subsequent BatchTopK traffic). Results are
+// byte-identical to sequential TopK + ComputeGIR pairs.
+func (e *Engine) BatchGIR(queries []Query, m Method) []EngineResult {
+	out := make([]EngineResult, len(queries))
+	engineint.Fan(len(queries), e.opts.Workers, func(i int) {
+		out[i] = e.serveGIR(queries[i], m)
+	})
+	return out
+}
+
+type girAnswer struct {
+	records []Record
+	gir     *GIR
+}
+
+func (e *Engine) serveGIR(q Query, m Method) EngineResult {
+	if err := e.ds.validateQuery(q.Vector, q.K); err != nil {
+		return EngineResult{Err: err}
+	}
+	e.syncCache()
+	key := fmt.Sprintf("g%d:", m) + engineint.Key(q.Vector, q.K)
+	v, err, shared := e.flight.Do(key, func() (any, error) {
+		e.computed.Add(1)
+		recs, g, ver, topkErr, girErr := e.ds.topKAndGIR(q.Vector, q.K, m)
+		if topkErr != nil {
+			return nil, topkErr
+		}
+		if girErr != nil {
+			return nil, girErr
+		}
+		e.putIfCurrent(g, recs, ver, nil)
+		return girAnswer{records: recs, gir: g}, nil
+	})
+	if shared {
+		e.deduped.Add(1)
+	}
+	if err != nil {
+		return EngineResult{Err: err, Shared: shared}
+	}
+	a := v.(girAnswer)
+	return EngineResult{Records: a.records, GIR: a.gir, Shared: shared}
+}
+
+// rescore rebuilds cache-hit records with scores for the incoming vector,
+// using the same linear dot product BRS scores with — so a served result
+// is bit-for-bit what a fresh TopK would have produced.
+func (e *Engine) rescore(recs []Record, q []float64) []Record {
+	out := make([]Record, len(recs))
+	for i, r := range recs {
+		out[i] = Record{
+			ID:    r.ID,
+			Attrs: r.Attrs,
+			Score: score.Linear{}.Score(vec.Vector(r.Attrs), vec.Vector(q)),
+		}
+	}
+	return out
+}

@@ -1,0 +1,410 @@
+package gir_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	gir "github.com/girlib/gir"
+	engineint "github.com/girlib/gir/internal/engine"
+)
+
+// engineDataset builds a small dataset shared by the engine tests.
+func engineDataset(t testing.TB, seed int64, n, d int) *gir.Dataset {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	ds, err := gir.NewDataset(randomPoints(r, n, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// engineWorkload draws a Zipf-skewed workload with jitter, so it contains
+// exact repeats (cache hits + single-flight candidates), near-duplicates
+// (region hits), and singletons (misses).
+func engineWorkload(n int) []gir.Query {
+	st := engineint.NewStream(99, 3, 25, 1.3, 3, 12, 0.004)
+	qs, ks := st.Draw(n)
+	out := make([]gir.Query, n)
+	for i := range out {
+		out[i] = gir.Query{Vector: qs[i], K: ks[i]}
+	}
+	return out
+}
+
+// requireIdentical asserts an engine result is byte-identical to the
+// sequential TopK answer: same ids, same attribute values, bit-equal
+// scores.
+func requireIdentical(t *testing.T, ds *gir.Dataset, q gir.Query, got gir.EngineResult) {
+	t.Helper()
+	if got.Err != nil {
+		t.Fatalf("engine error: %v", got.Err)
+	}
+	want, err := ds.TopK(q.Vector, q.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(want.Records) {
+		t.Fatalf("%d records, want %d", len(got.Records), len(want.Records))
+	}
+	for i := range want.Records {
+		g, w := got.Records[i], want.Records[i]
+		if g.ID != w.ID {
+			t.Fatalf("rank %d: id %d, want %d", i, g.ID, w.ID)
+		}
+		if g.Score != w.Score {
+			t.Fatalf("rank %d: score %x, want %x (not bit-identical)", i, g.Score, w.Score)
+		}
+		if len(g.Attrs) != len(w.Attrs) {
+			t.Fatalf("rank %d: attrs length", i)
+		}
+		for j := range w.Attrs {
+			if g.Attrs[j] != w.Attrs[j] {
+				t.Fatalf("rank %d attr %d: %v != %v", i, j, g.Attrs[j], w.Attrs[j])
+			}
+		}
+	}
+}
+
+func TestBatchTopKMatchesSequential(t *testing.T) {
+	ds := engineDataset(t, 1, 2500, 3)
+	e := gir.NewEngine(ds, gir.EngineOptions{Workers: 8, CacheCapacity: 64})
+	queries := engineWorkload(150)
+
+	// Two passes: the first mixes misses, dedups and hits; the second is
+	// hit-dominated. Both must be byte-identical to sequential TopK.
+	for pass := 0; pass < 2; pass++ {
+		results := e.BatchTopK(queries)
+		if len(results) != len(queries) {
+			t.Fatalf("pass %d: %d results", pass, len(results))
+		}
+		for i, res := range results {
+			requireIdentical(t, ds, queries[i], res)
+		}
+	}
+	st := e.Stats()
+	if st.Computed == 0 {
+		t.Error("nothing computed")
+	}
+	if st.CacheHits == 0 {
+		t.Error("no cache hits in a Zipf workload with repeats")
+	}
+	total := st.CacheHits + st.PartialHits + st.Misses
+	if total == 0 {
+		t.Error("cache lookups not counted")
+	}
+}
+
+func TestBatchTopKWithoutCache(t *testing.T) {
+	ds := engineDataset(t, 2, 1500, 3)
+	e := gir.NewEngine(ds, gir.EngineOptions{CacheCapacity: -1})
+	if e.Cache() != nil {
+		t.Fatal("cache not disabled")
+	}
+	queries := engineWorkload(40)
+	for i, res := range e.BatchTopK(queries) {
+		if res.CacheHit {
+			t.Fatal("cache hit with caching disabled")
+		}
+		requireIdentical(t, ds, queries[i], res)
+	}
+}
+
+func TestBatchGIRMatchesSequential(t *testing.T) {
+	ds := engineDataset(t, 3, 2000, 3)
+	e := gir.NewEngine(ds, gir.EngineOptions{Workers: 6, CacheCapacity: 32})
+	queries := engineWorkload(30)
+	// Include an exact duplicate pair to exercise sharing.
+	queries = append(queries, queries[0])
+
+	results := e.BatchGIR(queries, gir.FP)
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("query %d: %v", i, res.Err)
+		}
+		if res.GIR == nil {
+			t.Fatalf("query %d: no GIR", i)
+		}
+		if !res.GIR.Contains(queries[i].Vector) {
+			t.Fatalf("query %d outside its own GIR", i)
+		}
+		requireIdentical(t, ds, queries[i], res)
+
+		// The region must be byte-identical to the sequential pipeline's.
+		seq, err := ds.TopK(queries[i].Vector, queries[i].K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantGIR, err := ds.ComputeGIR(seq, gir.FP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gc, wc := res.GIR.Constraints(), wantGIR.Constraints()
+		if len(gc) != len(wc) {
+			t.Fatalf("query %d: %d constraints, want %d", i, len(gc), len(wc))
+		}
+		for ci := range wc {
+			if gc[ci].Kind != wc[ci].Kind || gc[ci].A != wc[ci].A || gc[ci].B != wc[ci].B {
+				t.Fatalf("query %d constraint %d: attribution differs", i, ci)
+			}
+			for j := range wc[ci].Normal {
+				if gc[ci].Normal[j] != wc[ci].Normal[j] {
+					t.Fatalf("query %d constraint %d: normal not bit-identical", i, ci)
+				}
+			}
+		}
+	}
+	// The engine warmed the cache: replaying as BatchTopK must hit.
+	before := e.Stats().CacheHits
+	e.BatchTopK(queries)
+	if e.Stats().CacheHits == before {
+		t.Error("BatchGIR did not warm the cache for BatchTopK")
+	}
+}
+
+func TestEngineInvalidQueriesDoNotPoisonBatch(t *testing.T) {
+	ds := engineDataset(t, 4, 800, 3)
+	e := gir.NewEngine(ds, gir.EngineOptions{})
+	queries := []gir.Query{
+		{Vector: []float64{0.5, 0.5, 0.5}, K: 5},
+		{Vector: []float64{0.5, 0.5}, K: 5},            // bad dimension
+		{Vector: []float64{0.5, -0.1, 0.5}, K: 5},      // negative weight
+		{Vector: []float64{0.5, 0.5, 0.5}, K: 0},       // bad k
+		{Vector: []float64{0.5, 0.5, 0.5}, K: 1000000}, // k > n
+		{Vector: []float64{0.4, 0.3, 0.6}, K: 3},
+	}
+	results := e.BatchTopK(queries)
+	for _, i := range []int{1, 2, 3, 4} {
+		if results[i].Err == nil {
+			t.Errorf("query %d: invalid input accepted", i)
+		}
+		if results[i].Records != nil {
+			t.Errorf("query %d: records despite error", i)
+		}
+	}
+	for _, i := range []int{0, 5} {
+		requireIdentical(t, ds, queries[i], results[i])
+	}
+}
+
+// TestEngineConcurrentSharedUse hammers one engine from many goroutines
+// issuing overlapping batches — the -race stress for the whole serving
+// stack (pager, rtree traversal, cache, single-flight).
+func TestEngineConcurrentSharedUse(t *testing.T) {
+	ds := engineDataset(t, 5, 2000, 3)
+	e := gir.NewEngine(ds, gir.EngineOptions{Workers: 4, CacheCapacity: 16, CacheShards: 4})
+	queries := engineWorkload(60)
+
+	// Ground truth computed sequentially up front.
+	type answer struct {
+		ids    []int64
+		scores []float64
+	}
+	truth := make([]answer, len(queries))
+	for i, q := range queries {
+		res, err := ds.TopK(q.Vector, q.K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := answer{}
+		for _, r := range res.Records {
+			a.ids = append(a.ids, r.ID)
+			a.scores = append(a.scores, r.Score)
+		}
+		truth[i] = a
+	}
+
+	var wg sync.WaitGroup
+	var served atomic.Int64
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for round := 0; round < 5; round++ {
+				// Each round serves a random slice of the workload.
+				lo := r.Intn(len(queries) / 2)
+				hi := lo + 1 + r.Intn(len(queries)-lo-1)
+				results := e.BatchTopK(queries[lo:hi])
+				for i, res := range results {
+					if res.Err != nil {
+						t.Errorf("worker query error: %v", res.Err)
+						return
+					}
+					want := truth[lo+i]
+					if len(res.Records) != len(want.ids) {
+						t.Errorf("wrong record count")
+						return
+					}
+					for j := range want.ids {
+						if res.Records[j].ID != want.ids[j] || res.Records[j].Score != want.scores[j] {
+							t.Errorf("result diverged from sequential truth")
+							return
+						}
+					}
+					served.Add(1)
+				}
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+
+	st := e.Stats()
+	if st.Computed == 0 || served.Load() == 0 {
+		t.Fatalf("nothing served (computed=%d served=%d)", st.Computed, served.Load())
+	}
+	t.Logf("served=%d computed=%d hits=%d partial=%d misses=%d deduped=%d",
+		served.Load(), st.Computed, st.CacheHits, st.PartialHits, st.Misses, st.Deduped)
+}
+
+// TestEngineMutationInvalidatesCache pins the staleness guarantee: after
+// an Insert that changes a query's true result, the engine must serve the
+// fresh result, never the cached pre-mutation one.
+func TestEngineMutationInvalidatesCache(t *testing.T) {
+	ds := engineDataset(t, 9, 1000, 3)
+	e := gir.NewEngine(ds, gir.EngineOptions{CacheCapacity: 32})
+	q := gir.Query{Vector: []float64{0.5, 0.6, 0.4}, K: 5}
+
+	first := e.TopK(q.Vector, q.K)
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	again := e.TopK(q.Vector, q.K)
+	if !again.CacheHit {
+		t.Fatal("second identical query did not hit the cache")
+	}
+
+	// A record near the corner outscores everything for any nonnegative q.
+	const newID = 1 << 40
+	if err := ds.Insert(newID, []float64{0.999, 0.999, 0.999}); err != nil {
+		t.Fatal(err)
+	}
+	after := e.TopK(q.Vector, q.K)
+	if after.Err != nil {
+		t.Fatal(after.Err)
+	}
+	if after.CacheHit {
+		t.Fatal("served from cache across a mutation")
+	}
+	if after.Records[0].ID != newID {
+		t.Fatalf("top record is %d, want the inserted %d", after.Records[0].ID, newID)
+	}
+	requireIdentical(t, ds, q, after)
+
+	// Delete restores the old result; the cache must have been refilled
+	// for the post-insert state and flush again.
+	if !ds.Delete(newID, []float64{0.999, 0.999, 0.999}) {
+		t.Fatal("delete failed")
+	}
+	final := e.TopK(q.Vector, q.K)
+	if final.Err != nil {
+		t.Fatal(final.Err)
+	}
+	requireIdentical(t, ds, q, final)
+}
+
+// TestEngineQueriesRaceMutations hammers queries against concurrent
+// Insert/Delete — the -race witness that the read path and the exclusive
+// mutation path compose.
+func TestEngineQueriesRaceMutations(t *testing.T) {
+	ds := engineDataset(t, 10, 1500, 3)
+	e := gir.NewEngine(ds, gir.EngineOptions{Workers: 4, CacheCapacity: 16})
+	queries := engineWorkload(30)
+
+	stop := make(chan struct{})
+	var mutator, queriers sync.WaitGroup
+	mutator.Add(1)
+	go func() {
+		defer mutator.Done()
+		id := int64(1 << 41)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p := []float64{0.9, 0.1 + float64(i%8)/10, 0.5}
+			if err := ds.Insert(id, p); err != nil {
+				t.Error(err)
+				return
+			}
+			if !ds.Delete(id, p) {
+				t.Error("lost the record just inserted")
+				return
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		queriers.Add(1)
+		go func(seed int64) {
+			defer queriers.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 60; i++ {
+				q := queries[r.Intn(len(queries))]
+				res := e.TopK(q.Vector, q.K)
+				if res.Err != nil {
+					t.Errorf("query error under mutation: %v", res.Err)
+					return
+				}
+				if len(res.Records) != q.K {
+					t.Errorf("%d records, want %d", len(res.Records), q.K)
+					return
+				}
+			}
+		}(int64(g + 50))
+	}
+	queriers.Wait()
+	close(stop)
+	mutator.Wait()
+}
+
+// BenchmarkEngineServing measures serving throughput under RunParallel:
+// cached engine vs the compute-everything baseline. Run with -cpu to see
+// the cached path scale (hits take no exclusive lock anywhere).
+func BenchmarkEngineServing(b *testing.B) {
+	ds := engineDataset(b, 7, 20000, 3)
+	queries := engineWorkload(256)
+	for _, cfg := range []struct {
+		name     string
+		capacity int
+	}{
+		{"cached", 512},
+		{"no-cache", -1},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			e := gir.NewEngine(ds, gir.EngineOptions{CacheCapacity: cfg.capacity})
+			// Warm: first pass pays every GIR build outside the timer.
+			e.BatchTopK(queries)
+			var next atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					q := queries[int(next.Add(1))%len(queries)]
+					if res := e.TopK(q.Vector, q.K); res.Err != nil {
+						b.Error(res.Err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkBatchTopK measures whole-batch latency at several worker
+// counts.
+func BenchmarkBatchTopK(b *testing.B) {
+	ds := engineDataset(b, 8, 20000, 3)
+	queries := engineWorkload(64)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := gir.NewEngine(ds, gir.EngineOptions{Workers: workers, CacheCapacity: -1})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.BatchTopK(queries)
+			}
+		})
+	}
+}

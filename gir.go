@@ -29,6 +29,8 @@ package gir
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	girint "github.com/girlib/gir/internal/gir"
@@ -116,11 +118,20 @@ type IOStats struct {
 
 // Dataset is an indexed collection of records in [0,1]^d, stored in an
 // R*-tree over simulated 4 KiB disk pages.
+//
+// A Dataset is safe for concurrent use: any number of goroutines may run
+// TopK/TopKFunc and ComputeGIR simultaneously (reads share the index
+// without blocking each other), while Insert and Delete take exclusive
+// ownership for their duration. A TopKResult obtained before a mutation
+// must not power a ComputeGIR after it — the retained traversal state
+// refers to the pre-mutation tree; rerun TopK instead.
 type Dataset struct {
-	tree  *rtree.Tree
-	store pager.Store
-	cost  pager.CostModel
-	file  *pager.FileStore // non-nil when disk-backed (Close releases it)
+	mu      sync.RWMutex // queries share, Insert/Delete exclude
+	tree    *rtree.Tree
+	store   pager.Store
+	cost    pager.CostModel
+	file    *pager.FileStore // non-nil when disk-backed (Close releases it)
+	version atomic.Int64     // bumped by every successful mutation
 }
 
 // NewDataset bulk-loads (STR) an R*-tree over the given points; record ids
@@ -153,22 +164,36 @@ func NewDataset(points [][]float64) (*Dataset, error) {
 }
 
 // Insert adds a record dynamically (R* insertion with forced reinsert).
+// It blocks until in-flight queries drain and excludes new ones.
 func (ds *Dataset) Insert(id int64, p []float64) error {
 	if len(p) != ds.tree.Dim() {
 		return fmt.Errorf("gir: dimension mismatch")
 	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
 	ds.tree.Insert(id, vec.Vector(p))
+	ds.version.Add(1)
 	return nil
 }
 
 // Delete removes the record with the given id and coordinates; it reports
-// whether the record was found.
+// whether the record was found. Like Insert, it excludes queries.
 func (ds *Dataset) Delete(id int64, p []float64) bool {
-	return ds.tree.Delete(id, vec.Vector(p))
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	found := ds.tree.Delete(id, vec.Vector(p))
+	if found {
+		ds.version.Add(1)
+	}
+	return found
 }
 
 // Len returns the number of records.
-func (ds *Dataset) Len() int { return ds.tree.Len() }
+func (ds *Dataset) Len() int {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return ds.tree.Len()
+}
 
 // Dim returns the data dimensionality.
 func (ds *Dataset) Dim() int { return ds.tree.Dim() }
@@ -205,23 +230,50 @@ func (ds *Dataset) TopK(q []float64, k int) (*TopKResult, error) {
 
 // TopKFunc answers a top-k query under the given scoring family.
 func (ds *Dataset) TopKFunc(q []float64, k int, s Scoring) (*TopKResult, error) {
-	if len(q) != ds.tree.Dim() {
-		return nil, fmt.Errorf("gir: query has dimension %d, want %d", len(q), ds.tree.Dim())
+	ds.mu.RLock()
+	res, err := ds.topKLocked(q, k, s)
+	ds.mu.RUnlock()
+	if err != nil {
+		return nil, err
 	}
-	for _, w := range q {
-		if w < 0 {
-			return nil, errors.New("gir: query weights must be nonnegative")
-		}
-	}
-	if k <= 0 || k > ds.tree.Len() {
-		return nil, fmt.Errorf("gir: k = %d out of range (dataset has %d records)", k, ds.tree.Len())
-	}
-	res := topk.BRS(ds.tree, s.function(ds.tree.Dim()), vec.Vector(q), k)
 	out := &TopKResult{K: k, inner: res}
 	for _, r := range res.Records {
 		out.Records = append(out.Records, Record{ID: r.ID, Attrs: r.Point, Score: r.Score})
 	}
 	return out, nil
+}
+
+// topKLocked validates and answers a query; the caller holds ds.mu, so
+// validation and traversal see one consistent tree state.
+func (ds *Dataset) topKLocked(q []float64, k int, s Scoring) (*topk.Result, error) {
+	if err := ds.validateLocked(q, k); err != nil {
+		return nil, err
+	}
+	return topk.BRS(ds.tree, s.function(ds.tree.Dim()), vec.Vector(q), k), nil
+}
+
+// validateQuery checks a query vector and k against the dataset, with the
+// same errors for the sequential and batch (Engine) entry points.
+func (ds *Dataset) validateQuery(q []float64, k int) error {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return ds.validateLocked(q, k)
+}
+
+// validateLocked is validateQuery with ds.mu already held.
+func (ds *Dataset) validateLocked(q []float64, k int) error {
+	if len(q) != ds.tree.Dim() {
+		return fmt.Errorf("gir: query has dimension %d, want %d", len(q), ds.tree.Dim())
+	}
+	for _, w := range q {
+		if w < 0 {
+			return errors.New("gir: query weights must be nonnegative")
+		}
+	}
+	if k <= 0 || k > ds.tree.Len() {
+		return fmt.Errorf("gir: k = %d out of range (dataset has %d records)", k, ds.tree.Len())
+	}
+	return nil
 }
 
 // take marks the result consumed, returning an error on reuse.

@@ -1,0 +1,3 @@
+module github.com/girlib/gir
+
+go 1.22

@@ -8,15 +8,41 @@
 //   - smaller k: the prefix is exact (the GIR preserves the full order);
 //   - larger k: the cached records are an exact prefix that can be
 //     reported immediately while the remainder is computed [31].
+//
+// # Concurrency
+//
+// The cache is sharded for contention-free concurrent serving. Entries are
+// placed in the shard selected by hashing the region's original query
+// vector; a lookup hashes its own vector the same way and scans that home
+// shard first under a read lock, so the hot serving workload — users
+// re-issuing popular queries — touches exactly one shard and lookups for
+// different queries proceed fully in parallel. Only if the home shard has
+// no containing region are the remaining shards probed (still read-locked,
+// never exclusively), which preserves the original semantics: a query
+// inside ANY cached GIR hits, wherever that region's entry lives.
+//
+// Recency is tracked with a global atomic clock: a hit stamps the entry by
+// a single atomic store, without upgrading to a write lock. Eviction
+// (write-locked, on Put only) removes the globally least-recently-stamped
+// entry, giving approximate LRU across shards. Hit/partial/miss counters
+// are atomic, so Lookup on the hit path acquires no exclusive lock at all.
 package cache
 
 import (
+	"hash/maphash"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"github.com/girlib/gir/internal/gir"
 	"github.com/girlib/gir/internal/topk"
 	"github.com/girlib/gir/internal/vec"
 )
+
+// DefaultShards is the shard count used by New. Sixteen read-write locks
+// are plenty to spread lookups for tens of hardware threads while keeping
+// the cross-shard probe on a miss cheap.
+const DefaultShards = 16
 
 // Entry is one cached result with its immutable region.
 type Entry struct {
@@ -24,86 +50,222 @@ type Entry struct {
 	Records []topk.Record // the cached top-k, in score order
 	K       int
 
-	lastUse int64
+	lastUse atomic.Int64
 }
 
-// Cache holds up to Capacity entries with LRU eviction.
+// shard is one lock domain of the cache. Entries are append-ordered;
+// region containment is a linear scan (entries are few — the region test,
+// not the scan, dominates).
+type shard struct {
+	mu      sync.RWMutex
+	entries []*Entry
+}
+
+// Cache holds up to a fixed number of entries across its shards, with
+// approximate global LRU eviction. Safe for concurrent use.
 type Cache struct {
-	mu       sync.Mutex
+	shards   []shard
 	capacity int
-	clock    int64
-	entries  []*Entry
+	seed     maphash.Seed
 
-	hits, misses, partial int64
+	clock atomic.Int64 // global recency clock
+	size  atomic.Int64 // total entries across shards
+
+	hits, misses, partial atomic.Int64
 }
 
-// New returns a cache holding at most capacity entries (≥ 1).
-func New(capacity int) *Cache {
+// New returns a cache holding at most capacity entries (≥ 1), with
+// DefaultShards shards.
+func New(capacity int) *Cache { return NewSharded(capacity, DefaultShards) }
+
+// NewSharded returns a cache with an explicit shard count. Shard counts
+// above the capacity are clamped (a shard per entry is the useful
+// maximum); counts below 1 fall back to 1.
+func NewSharded(capacity, shards int) *Cache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Cache{capacity: capacity}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	return &Cache{
+		shards:   make([]shard, shards),
+		capacity: capacity,
+		seed:     maphash.MakeSeed(),
+	}
 }
 
-// Lookup finds a cached entry whose GIR contains q. The boolean reports a
-// usable hit: exact when k ≤ entry.K (use Records[:k]), partial otherwise
-// (an exact prefix of the desired result; the caller computes the rest).
-// Entries are only usable if their region is order-sensitive or k
-// requirements allow; regions stored by Put are always order-sensitive.
+// shardFor hashes a query vector to its home shard.
+func (c *Cache) shardFor(q vec.Vector) *shard {
+	if len(c.shards) == 1 {
+		return &c.shards[0]
+	}
+	var h maphash.Hash
+	h.SetSeed(c.seed)
+	var buf [8]byte
+	for _, x := range q {
+		bits := math.Float64bits(x)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return &c.shards[h.Sum64()%uint64(len(c.shards))]
+}
+
+// Lookup finds a cached entry whose GIR contains q, preferring one that
+// covers the requested k (several entries may contain q — e.g. the same
+// popular query cached at different k). The boolean reports a usable hit:
+// exact when k ≤ entry.K (use Records[:k]), partial otherwise (an exact
+// prefix of the desired result; the caller computes the rest — without
+// the preference, a small-K entry would shadow a covering one forever and
+// force that recomputation on every repeat). Regions stored by Put are
+// always order-sensitive, so a hit is always sound for ordered serving.
 func (c *Cache) Lookup(q vec.Vector, k int) (*Entry, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, e := range c.entries {
-		if len(q) == e.Region.Dim && e.Region.Contains(q, 0) {
-			c.clock++
-			e.lastUse = c.clock
-			if k <= e.K {
-				c.hits++
-			} else {
-				c.partial++
+	home := c.shardFor(q)
+	best := c.scan(home, q, k)
+	if best == nil || best.K < k {
+		for i := range c.shards {
+			s := &c.shards[i]
+			if s == home {
+				continue
 			}
-			return e, true
+			if e := c.scan(s, q, k); e != nil && (best == nil || e.K > best.K) {
+				best = e
+				if best.K >= k {
+					break
+				}
+			}
 		}
 	}
-	c.misses++
+	if best != nil {
+		return best, c.recordHit(best, k)
+	}
+	c.misses.Add(1)
 	return nil, false
 }
 
-// Put stores a result and its order-sensitive GIR, evicting the least
-// recently used entry if full. Order-insensitive regions are rejected:
-// serving a cached *ordered* list from them would be unsound.
+// scan searches one shard under its read lock: the first entry covering k
+// wins; otherwise the containing entry with the largest K (the longest
+// exact prefix) is returned.
+func (c *Cache) scan(s *shard, q vec.Vector, k int) *Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var best *Entry
+	for _, e := range s.entries {
+		if len(q) == e.Region.Dim && e.Region.Contains(q, 0) {
+			if e.K >= k {
+				return e
+			}
+			if best == nil || e.K > best.K {
+				best = e
+			}
+		}
+	}
+	return best
+}
+
+// recordHit stamps recency and bumps the hit counters; always true.
+func (c *Cache) recordHit(e *Entry, k int) bool {
+	e.lastUse.Store(c.clock.Add(1))
+	if k <= e.K {
+		c.hits.Add(1)
+	} else {
+		c.partial.Add(1)
+	}
+	return true
+}
+
+// Put stores a result and its order-sensitive GIR in the region query's
+// home shard, evicting the approximately least recently used entry
+// (cache-wide) if the cache is full. Order-insensitive regions are
+// rejected: serving a cached *ordered* list from them would be unsound.
 func (c *Cache) Put(reg *gir.Region, records []topk.Record) bool {
 	if reg == nil || !reg.OrderSensitive {
 		return false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.clock++
-	e := &Entry{Region: reg, Records: records, K: len(records), lastUse: c.clock}
-	if len(c.entries) < c.capacity {
-		c.entries = append(c.entries, e)
-		return true
-	}
-	victim := 0
-	for i, ent := range c.entries {
-		if ent.lastUse < c.entries[victim].lastUse {
-			victim = i
+	e := &Entry{Region: reg, Records: records, K: len(records)}
+	e.lastUse.Store(c.clock.Add(1))
+	s := c.shardFor(reg.Query)
+	s.mu.Lock()
+	s.entries = append(s.entries, e)
+	s.mu.Unlock()
+	c.size.Add(1)
+	for c.size.Load() > int64(c.capacity) {
+		if !c.evictOldest() {
+			break // cache drained by concurrent evictions
 		}
 	}
-	c.entries[victim] = e
 	return true
+}
+
+// evictOldest removes the entry with the globally smallest recency stamp.
+// It reports whether an entry was removed (and size decremented).
+func (c *Cache) evictOldest() bool {
+	var victim *Entry
+	var victimShard *shard
+	best := int64(math.MaxInt64)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for _, e := range s.entries {
+			if u := e.lastUse.Load(); u < best {
+				best, victim, victimShard = u, e, s
+			}
+		}
+		s.mu.RUnlock()
+	}
+	if victim == nil {
+		return false
+	}
+	victimShard.mu.Lock()
+	defer victimShard.mu.Unlock()
+	for i, e := range victimShard.entries {
+		if e == victim {
+			n := len(victimShard.entries)
+			victimShard.entries[i] = victimShard.entries[n-1]
+			victimShard.entries[n-1] = nil
+			victimShard.entries = victimShard.entries[:n-1]
+			c.size.Add(-1)
+			return true
+		}
+	}
+	// A concurrent Put already evicted it; count that as progress.
+	return true
+}
+
+// Clear drops every entry (hit/miss counters are preserved). Used when
+// the dataset behind the cached regions has mutated: a GIR only
+// describes the dataset state it was computed against.
+func (c *Cache) Clear() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		c.size.Add(int64(-len(s.entries)))
+		s.entries = nil
+		s.mu.Unlock()
+	}
 }
 
 // Stats returns (hits, partial hits, misses).
 func (c *Cache) Stats() (hits, partial, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.partial, c.misses
+	return c.hits.Load(), c.partial.Load(), c.misses.Load()
 }
 
 // Len returns the number of cached entries.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	var n int
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.entries)
+		s.mu.RUnlock()
+	}
+	return n
 }
+
+// Shards returns the shard count (exposed for benchmarks and reports).
+func (c *Cache) Shards() int { return len(c.shards) }

@@ -1,0 +1,263 @@
+package cache
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/girlib/gir/internal/gir"
+	"github.com/girlib/gir/internal/pager"
+	"github.com/girlib/gir/internal/rtree"
+	"github.com/girlib/gir/internal/score"
+	"github.com/girlib/gir/internal/topk"
+	"github.com/girlib/gir/internal/vec"
+)
+
+// fixture is one (query, GIR, records) triple over a shared tree, with the
+// fresh top-maxK result to validate served prefixes against.
+type fixture struct {
+	q        vec.Vector
+	reg      *gir.Region
+	recs     []topk.Record
+	expected []topk.Record // BRS(tree, q, maxK), ground truth for prefixes
+}
+
+// buildFixtures computes GIRs for several queries over one dataset. All
+// regions belong to the same dataset, so whenever ANY cached region
+// contains a probe vector, the cached records are exactly the probe's own
+// top-|entry.K| — which is what the prefix assertions below rely on.
+func buildFixtures(t testing.TB, nfix, maxK int) []fixture {
+	t.Helper()
+	const n, d = 400, 3
+	r := rand.New(rand.NewSource(42))
+	pts := make([]vec.Vector, n)
+	for i := range pts {
+		pts[i] = make(vec.Vector, d)
+		for j := range pts[i] {
+			pts[i][j] = r.Float64()
+		}
+	}
+	tree := rtree.BulkLoad(pager.NewMemStore(), d, pts, nil)
+	ks := []int{6, 10, 14}
+	out := make([]fixture, 0, nfix)
+	for i := 0; i < nfix; i++ {
+		q := make(vec.Vector, d)
+		for j := range q {
+			q[j] = 0.2 + 0.7*r.Float64()
+		}
+		k := ks[i%len(ks)]
+		res := topk.BRS(tree, score.Linear{}, q, k)
+		recs := res.Records
+		reg, _, err := gir.Compute(tree, res, gir.Options{Method: gir.FP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		expected := topk.BRS(tree, score.Linear{}, q, maxK).Records
+		out = append(out, fixture{q: q, reg: reg, recs: recs, expected: expected})
+	}
+	return out
+}
+
+// TestConcurrentMixedK hammers Lookup and Put from many goroutines with k
+// smaller, equal and larger than the cached K, asserting under -race that
+// every served prefix is exact and the hit/partial/miss counters add up.
+func TestConcurrentMixedK(t *testing.T) {
+	const (
+		nfix    = 12
+		maxK    = 20
+		workers = 8
+		iters   = 400
+	)
+	fixtures := buildFixtures(t, nfix, maxK)
+	c := New(8) // smaller than nfix: eviction runs concurrently too
+
+	var lookups, servedHits atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				f := &fixtures[r.Intn(len(fixtures))]
+				if r.Intn(4) == 0 {
+					if !c.Put(f.reg, f.recs) {
+						t.Error("Put of an order-sensitive region failed")
+						return
+					}
+					continue
+				}
+				// k below, at, and above every fixture K in the pool.
+				k := 3 + r.Intn(maxK-3)
+				lookups.Add(1)
+				e, ok := c.Lookup(f.q, k)
+				if !ok {
+					continue
+				}
+				servedHits.Add(1)
+				if e.K != len(e.Records) {
+					t.Errorf("entry K=%d but %d records", e.K, len(e.Records))
+					return
+				}
+				// Prefix exactness: the served min(k, K) records must be
+				// exactly the probe's own top records, in order.
+				limit := k
+				if limit > e.K {
+					limit = e.K
+				}
+				for j := 0; j < limit; j++ {
+					if e.Records[j].ID != f.expected[j].ID {
+						t.Errorf("rank %d: served %d, want %d", j, e.Records[j].ID, f.expected[j].ID)
+						return
+					}
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+
+	hits, partial, misses := c.Stats()
+	if hits+partial+misses != lookups.Load() {
+		t.Errorf("counters inconsistent: hits=%d partial=%d misses=%d, lookups=%d",
+			hits, partial, misses, lookups.Load())
+	}
+	if hits+partial != servedHits.Load() {
+		t.Errorf("hit counters %d+%d disagree with served entries %d", hits, partial, servedHits.Load())
+	}
+	if c.Len() > 8 {
+		t.Errorf("Len=%d exceeds capacity 8", c.Len())
+	}
+	if c.Len() == 0 {
+		t.Error("cache empty after concurrent puts")
+	}
+}
+
+// TestConcurrentCapacityNeverExceededForLong verifies that under sustained
+// concurrent Puts the size bound holds once the dust settles.
+func TestConcurrentCapacityNeverExceededForLong(t *testing.T) {
+	fixtures := buildFixtures(t, 6, 10)
+	c := NewSharded(3, 4) // shards clamped to capacity
+	if c.Shards() != 3 {
+		t.Fatalf("Shards=%d, want clamp to 3", c.Shards())
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				f := &fixtures[r.Intn(len(fixtures))]
+				c.Put(f.reg, f.recs)
+			}
+		}(int64(w + 100))
+	}
+	wg.Wait()
+	if got := c.Len(); got > 3 {
+		t.Errorf("Len=%d after settling, want ≤ capacity 3", got)
+	}
+}
+
+// TestCoveringEntryPreferred pins the k-preference in Lookup: when the
+// same query is cached at several k, a request must be served by an
+// entry that covers it (exact hit), not shadowed into a partial by a
+// smaller entry that merely comes first in scan order.
+func TestCoveringEntryPreferred(t *testing.T) {
+	const n, d = 400, 3
+	r := rand.New(rand.NewSource(5))
+	pts := make([]vec.Vector, n)
+	for i := range pts {
+		pts[i] = make(vec.Vector, d)
+		for j := range pts[i] {
+			pts[i][j] = r.Float64()
+		}
+	}
+	tree := rtree.BulkLoad(pager.NewMemStore(), d, pts, nil)
+	q := vec.Vector{0.5, 0.6, 0.4}
+	put := func(c *Cache, k int) {
+		res := topk.BRS(tree, score.Linear{}, q, k)
+		recs := res.Records
+		reg, _, err := gir.Compute(tree, res, gir.Options{Method: gir.FP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Put(reg, recs) {
+			t.Fatal("Put failed")
+		}
+	}
+	c := New(8)
+	put(c, 5)  // the small entry lands first
+	put(c, 10) // the covering entry second
+
+	e, ok := c.Lookup(q, 10)
+	if !ok {
+		t.Fatal("missed")
+	}
+	if e.K != 10 {
+		t.Fatalf("k=10 lookup served by K=%d entry (shadowed by the smaller one)", e.K)
+	}
+	hits, partial, _ := c.Stats()
+	if hits != 1 || partial != 0 {
+		t.Fatalf("hits=%d partial=%d; covering entry must be an exact hit", hits, partial)
+	}
+	// Above every cached K: the largest prefix must be chosen.
+	e, ok = c.Lookup(q, 14)
+	if !ok || e.K != 10 {
+		t.Fatalf("k=14 lookup: entry K=%v ok=%v, want best prefix K=10", e.K, ok)
+	}
+}
+
+// TestClear empties the cache without disturbing counters.
+func TestClear(t *testing.T) {
+	fixtures := buildFixtures(t, 3, 10)
+	c := New(8)
+	for i := range fixtures {
+		c.Put(fixtures[i].reg, fixtures[i].recs)
+	}
+	if c.Len() == 0 {
+		t.Fatal("nothing cached")
+	}
+	c.Lookup(fixtures[0].q, 3)
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatalf("Len=%d after Clear", c.Len())
+	}
+	if _, ok := c.Lookup(fixtures[0].q, 3); ok {
+		t.Fatal("hit after Clear")
+	}
+	hits, _, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d; counters must survive Clear", hits, misses)
+	}
+	// The cache must be reusable after Clear.
+	if !c.Put(fixtures[1].reg, fixtures[1].recs) {
+		t.Fatal("Put after Clear failed")
+	}
+	if _, ok := c.Lookup(fixtures[1].q, 3); !ok {
+		t.Fatal("miss after re-Put")
+	}
+}
+
+// TestCrossShardHit pins the semantic the sharding must not break: a
+// query that lies inside a cached region but hashes to a different shard
+// than the region's own query still hits (via the read-locked probe).
+func TestCrossShardHit(t *testing.T) {
+	fixtures := buildFixtures(t, 4, 10)
+	c := NewSharded(16, 16)
+	f := &fixtures[0]
+	c.Put(f.reg, f.recs)
+	// Nudge until the perturbed vector is still inside the region; with
+	// high probability some nudge hashes off the home shard, and every
+	// nudge must hit regardless.
+	for scale := 1e-9; scale < 1e-3; scale *= 10 {
+		q2 := f.q.Clone()
+		q2[0] += scale
+		if !f.reg.Contains(q2, 0) {
+			continue
+		}
+		if _, ok := c.Lookup(q2, len(f.recs)); !ok {
+			t.Fatalf("in-region query missed at nudge %g", scale)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package engine
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Key encodes a (query vector, k) pair into a byte-exact string key for
+// single-flight deduplication: two queries collide only if their float64
+// bit patterns and k are identical, so deduplicated callers are guaranteed
+// to want the exact same computation.
+func Key(q []float64, k int) string {
+	buf := make([]byte, 0, 8*len(q)+4)
+	for _, x := range q {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(k))
+	return string(buf)
+}

@@ -1,0 +1,54 @@
+// Package engine provides the concurrency primitives under gir.Engine:
+// single-flight deduplication of identical in-flight computations, a
+// bounded worker pool for batch fan-out, and a Zipfian query-stream
+// generator for serving workloads.
+//
+// Everything here is deliberately generic — no dependency on the gir
+// packages — so the primitives stay independently testable and reusable.
+package engine
+
+import "sync"
+
+// call is one in-flight or completed Do invocation.
+type call struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// Group deduplicates concurrent function calls by key: while one call for
+// a key is in flight, later Do invocations with the same key wait for it
+// and share its result instead of executing fn again. Completed calls are
+// forgotten immediately (this is request collapsing, not caching — the
+// caller layers its own cache on top).
+type Group struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+// Do executes fn once per key among concurrent callers, returning the
+// shared value and error. The boolean reports whether this caller shared
+// another caller's execution (true) or ran fn itself (false).
+func (g *Group) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*call)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &call{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err, false
+}

@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Stream generates a Zipf-distributed top-k query workload: a pool of
+// distinct query vectors whose popularity follows a Zipf law — the serving
+// pattern GIR caching targets (a few popular preference vectors dominate,
+// with a long tail). An optional jitter nudges drawn vectors slightly, so
+// the stream also exercises region hits by queries that are near, but not
+// byte-identical to, a cached query (they stay inside its GIR with high
+// probability).
+//
+// A Stream is deterministic for a given seed and NOT safe for concurrent
+// use; draw the workload up front and fan the slice out.
+type Stream struct {
+	rng    *rand.Rand
+	zipf   *rand.Zipf
+	pool   [][]float64
+	ks     []int
+	jitter float64
+}
+
+// NewStream builds a stream of d-dimensional queries over `distinct`
+// vectors with Zipf parameter s (> 1; ~1.1 is mild skew, 2 heavy), k
+// drawn per vector from [kmin, kmax], and gaussian jitter of the given
+// magnitude (0 = exact repeats only).
+func NewStream(seed int64, d, distinct int, s float64, kmin, kmax int, jitter float64) *Stream {
+	if distinct < 1 {
+		panic(fmt.Sprintf("engine: stream needs ≥ 1 distinct queries, got %d", distinct))
+	}
+	if s <= 1 {
+		panic(fmt.Sprintf("engine: Zipf parameter s must be > 1, got %v", s))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pool := make([][]float64, distinct)
+	ks := make([]int, distinct)
+	for i := range pool {
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = 0.15 + 0.7*rng.Float64()
+		}
+		pool[i] = q
+		ks[i] = kmin
+		if kmax > kmin {
+			ks[i] = kmin + rng.Intn(kmax-kmin+1)
+		}
+	}
+	return &Stream{
+		rng:    rng,
+		zipf:   rand.NewZipf(rng, s, 1, uint64(distinct-1)),
+		pool:   pool,
+		ks:     ks,
+		jitter: jitter,
+	}
+}
+
+// Next draws the next query. The returned vector is a fresh copy.
+func (st *Stream) Next() ([]float64, int) {
+	i := int(st.zipf.Uint64())
+	base := st.pool[i]
+	q := make([]float64, len(base))
+	copy(q, base)
+	if st.jitter > 0 && st.rng.Intn(2) == 0 {
+		for j := range q {
+			q[j] = clamp01(q[j] + st.jitter*st.rng.NormFloat64())
+		}
+	}
+	return q, st.ks[i]
+}
+
+// Draw materializes the next n queries as parallel slices.
+func (st *Stream) Draw(n int) ([][]float64, []int) {
+	qs := make([][]float64, n)
+	ks := make([]int, n)
+	for i := range qs {
+		qs[i], ks[i] = st.Next()
+	}
+	return qs, ks
+}
+
+func clamp01(x float64) float64 {
+	if x < 0.01 {
+		return 0.01
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

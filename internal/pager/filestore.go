@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // FileStore is a Store backed by a real file: every Read is an actual
@@ -16,11 +17,15 @@ import (
 //
 // Layout: page i lives at byte offset (i−1)·PageSize. Sparse/short pages
 // are zero-padded on write.
+//
+// Reads use positional pread (safe to issue concurrently) under a shared
+// lock, so parallel query traversals do not serialize on the store.
 type FileStore struct {
-	mu    sync.Mutex
-	f     *os.File
-	pages int
-	stats Stats
+	mu     sync.RWMutex
+	f      *os.File
+	pages  int
+	reads  atomic.Int64
+	writes atomic.Int64
 }
 
 // CreateFileStore creates (or truncates) the file at path.
@@ -79,13 +84,13 @@ func (s *FileStore) Write(id PageID, data []byte) {
 	if _, err := s.f.WriteAt(buf, int64(id-1)*PageSize); err != nil {
 		panic(fmt.Sprintf("pager: write page %d: %v", id, err))
 	}
-	s.stats.Writes++
+	s.writes.Add(1)
 }
 
 // Read implements Store.
 func (s *FileStore) Read(id PageID) []byte {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if id == 0 || int(id) > s.pages {
 		panic(fmt.Sprintf("pager: read of unallocated page %d", id))
 	}
@@ -93,29 +98,26 @@ func (s *FileStore) Read(id PageID) []byte {
 	if _, err := s.f.ReadAt(buf, int64(id-1)*PageSize); err != nil && err != io.EOF {
 		panic(fmt.Sprintf("pager: read page %d: %v", id, err))
 	}
-	s.stats.Reads++
+	s.reads.Add(1)
 	return buf
 }
 
 // NumPages implements Store.
 func (s *FileStore) NumPages() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.pages
 }
 
 // Stats implements Store.
 func (s *FileStore) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{Reads: s.reads.Load(), Writes: s.writes.Load()}
 }
 
 // ResetStats implements Store.
 func (s *FileStore) ResetStats() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats = Stats{}
+	s.reads.Store(0)
+	s.writes.Store(0)
 }
 
 // --- snapshotting -----------------------------------------------------------

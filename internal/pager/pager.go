@@ -14,6 +14,7 @@ package pager
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -47,7 +48,11 @@ func (c CostModel) IOTime(s Stats) time.Duration {
 }
 
 // Store is an abstract page store. Implementations must be safe for
-// sequential use; concurrent readers may wrap a Store in their own locks.
+// concurrent use: any number of goroutines may Read (and query Stats)
+// simultaneously, and reads never block each other. Alloc/Write may run
+// concurrently with reads but are expected to be rare once an index is
+// built; callers that mutate an index concurrently with queries need
+// higher-level coordination (see gir.Dataset).
 type Store interface {
 	// Alloc reserves a new page and returns its id.
 	Alloc() PageID
@@ -67,10 +72,15 @@ type Store interface {
 // MemStore is an in-memory Store: pages are real byte arrays (nodes are
 // genuinely serialized and deserialized, so byte-level layout bugs cannot
 // hide), while "I/O" is counted rather than performed.
+//
+// Reads take only a shared lock and bump atomic counters, so concurrent
+// query traversals (gir.Engine fan-out, parallel benchmarks) never
+// serialize on the store.
 type MemStore struct {
-	mu    sync.Mutex
-	pages [][]byte
-	stats Stats
+	mu     sync.RWMutex
+	pages  [][]byte
+	reads  atomic.Int64
+	writes atomic.Int64
 }
 
 // NewMemStore returns an empty MemStore.
@@ -97,37 +107,34 @@ func (m *MemStore) Write(id PageID, data []byte) {
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	m.pages[id-1] = buf
-	m.stats.Writes++
+	m.writes.Add(1)
 }
 
 // Read implements Store.
 func (m *MemStore) Read(id PageID) []byte {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if id == 0 || int(id) > len(m.pages) || m.pages[id-1] == nil {
 		panic(fmt.Sprintf("pager: read of unallocated page %d", id))
 	}
-	m.stats.Reads++
+	m.reads.Add(1)
 	return m.pages[id-1]
 }
 
 // NumPages implements Store.
 func (m *MemStore) NumPages() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return len(m.pages)
 }
 
 // Stats implements Store.
 func (m *MemStore) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{Reads: m.reads.Load(), Writes: m.writes.Load()}
 }
 
 // ResetStats implements Store.
 func (m *MemStore) ResetStats() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats = Stats{}
+	m.reads.Store(0)
+	m.writes.Store(0)
 }

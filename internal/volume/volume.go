@@ -33,6 +33,12 @@ type Options struct {
 	BurnIn int
 	// Seed for the deterministic RNG (default 1).
 	Seed int64
+	// Rand, when non-nil, supplies the random source directly and takes
+	// precedence over Seed. A *rand.Rand is not safe for concurrent use:
+	// share Options freely across goroutines only in seeded form (each
+	// call then derives its own private source, so concurrent estimates
+	// are both race-free and deterministic).
+	Rand *rand.Rand
 }
 
 func (o Options) withDefaults() Options {
@@ -46,6 +52,17 @@ func (o Options) withDefaults() Options {
 		o.Seed = 1
 	}
 	return o
+}
+
+// rng returns the injected source or a fresh, privately seeded one. Every
+// estimate threads this single *rand.Rand through the whole telescoping
+// walk; the package never touches the global math/rand source (which
+// would race under concurrent estimation and defeat determinism).
+func (o Options) rng() *rand.Rand {
+	if o.Rand != nil {
+		return o.Rand
+	}
+	return rand.New(rand.NewSource(o.Seed))
 }
 
 // ErrEmpty is returned when the region has no interior.
@@ -114,7 +131,7 @@ func telescopeFactors(hs []geom.Halfspace, d int, opt Options) ([]float64, error
 	if !ok || radius <= 0 {
 		return nil, ErrEmpty
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
+	rng := opt.rng()
 	logs := make([]float64, 0, len(hs))
 	region := geom.BoxHalfspaces(d) // grows one half-space at a time
 	for _, h := range hs {

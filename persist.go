@@ -3,9 +3,8 @@ package gir
 import (
 	"encoding/binary"
 	"fmt"
-	"runtime"
-	"sync"
 
+	"github.com/girlib/gir/internal/engine"
 	"github.com/girlib/gir/internal/pager"
 	"github.com/girlib/gir/internal/rtree"
 )
@@ -123,45 +122,22 @@ type BatchResult struct {
 // aggregate across the batch). parallelism ≤ 0 means GOMAXPROCS. Results
 // are returned in input order.
 //
-// The whole pipeline is read-only with respect to the index, so workers
-// share the tree safely; do not interleave Insert/Delete with a running
-// batch.
+// This is the low-level fan-out without caching or deduplication; the
+// Engine (BatchGIR) layers both on top and is what a serving workload
+// should use.
 func (ds *Dataset) ComputeGIRBatch(items []BatchItem, m Method, parallelism int) []BatchResult {
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	if parallelism > len(items) {
-		parallelism = len(items)
-	}
 	out := make([]BatchResult, len(items))
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= len(items) {
-					return
-				}
-				it := items[i]
-				res, err := ds.TopK(it.Query, it.K)
-				if err != nil {
-					out[i] = BatchResult{Item: it, Err: err}
-					continue
-				}
-				// Keep an unconsumed copy of the records for the caller.
-				public := &TopKResult{Records: res.Records, K: res.K}
-				g, err := ds.ComputeGIR(res, m)
-				out[i] = BatchResult{Item: it, Result: public, GIR: g, Err: err}
-			}
-		}()
-	}
-	wg.Wait()
+	engine.Fan(len(items), parallelism, func(i int) {
+		it := items[i]
+		res, err := ds.TopK(it.Query, it.K)
+		if err != nil {
+			out[i] = BatchResult{Item: it, Err: err}
+			return
+		}
+		// Keep an unconsumed copy of the records for the caller.
+		public := &TopKResult{Records: res.Records, K: res.K}
+		g, err := ds.ComputeGIR(res, m)
+		out[i] = BatchResult{Item: it, Result: public, GIR: g, Err: err}
+	})
 	return out
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	girint "github.com/girlib/gir/internal/gir"
+	"github.com/girlib/gir/internal/topk"
 	"github.com/girlib/gir/internal/vec"
 	"github.com/girlib/gir/internal/viz"
 	"github.com/girlib/gir/internal/volume"
@@ -63,10 +64,19 @@ func (ds *Dataset) computeGIR(res *TopKResult, m Method, star bool) (*GIR, error
 	if err != nil {
 		return nil, err
 	}
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return ds.computeGIRLocked(inner, m, star)
+}
+
+// computeGIRLocked runs Phase 2 over a retained traversal; the caller
+// holds ds.mu, so the resumed heap and the tree pages are consistent.
+func (ds *Dataset) computeGIRLocked(inner *topk.Result, m Method, star bool) (*GIR, error) {
 	readsBefore := ds.store.Stats().Reads
 	start := time.Now()
 	var region *girint.Region
 	var st *girint.Stats
+	var err error
 	if star {
 		region, st, err = girint.ComputeStar(ds.tree, inner, girint.Options{Method: m.internal()})
 	} else {
@@ -90,6 +100,28 @@ func (ds *Dataset) computeGIR(res *TopKResult, m Method, star bool) (*GIR, error
 			Constraints:    st.Constraints,
 		},
 	}, nil
+}
+
+// topKAndGIR answers a query and computes its GIR under ONE read lock, so
+// no mutation can land between the traversal and the region build (the
+// retained BRS heap stays consistent with the pages Phase 2 resumes
+// into). It returns the records, the region (nil with girErr set when
+// only the region build failed), and the dataset version the pair was
+// computed against.
+func (ds *Dataset) topKAndGIR(q []float64, k int, m Method) (recs []Record, g *GIR, version int64, topkErr, girErr error) {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	version = ds.version.Load()
+	res, err := ds.topKLocked(q, k, Linear)
+	if err != nil {
+		return nil, nil, version, err, nil
+	}
+	recs = make([]Record, len(res.Records))
+	for i, r := range res.Records {
+		recs[i] = Record{ID: r.ID, Attrs: r.Point, Score: r.Score}
+	}
+	g, girErr = ds.computeGIRLocked(res, m, false)
+	return recs, g, version, nil, girErr
 }
 
 // Dim returns the query-space dimensionality.
