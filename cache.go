@@ -2,8 +2,11 @@ package gir
 
 import (
 	"github.com/girlib/gir/internal/cache"
+	girint "github.com/girlib/gir/internal/gir"
+	"github.com/girlib/gir/internal/invalidate"
 	"github.com/girlib/gir/internal/topk"
 	"github.com/girlib/gir/internal/vec"
+	"github.com/girlib/gir/internal/viz"
 )
 
 // Cache is a GIR-keyed top-k result cache (the caching application from
@@ -46,20 +49,58 @@ type CachedResult struct {
 // Put caches a result with its order-sensitive GIR. Order-insensitive
 // regions are rejected (serving an ordered list from one is unsound).
 func (c *Cache) Put(g *GIR, res *TopKResult) bool {
-	if g == nil || res == nil {
+	if res == nil {
 		return false
 	}
-	recs := make([]topk.Record, len(res.Records))
-	for i, r := range res.Records {
-		recs[i] = topk.Record{ID: r.ID, Point: vec.Vector(r.Attrs), Score: r.Score}
+	return c.commitPut(prepareCachePut(g, res.Records), 0)
+}
+
+// preparedPut is a staged cache insert: all admission checks, record
+// copies and inscribed-box geometry done, only the shard append left. The
+// Engine stages outside its fill lock and commits inside it, so dataset
+// writers (which publish events under that lock) never wait on geometry.
+type preparedPut struct {
+	reg    *girint.Region
+	recs   []topk.Record
+	lo, hi vec.Vector
+}
+
+// prepareCachePut stages an insert, or returns nil when the entry is not
+// cacheable (no region, or an order-insensitive GIR*).
+func prepareCachePut(g *GIR, recs []Record) *preparedPut {
+	if g == nil {
+		return nil
 	}
-	return c.inner.Put(g.internalRegion(), recs)
+	reg := g.internalRegion()
+	if !reg.OrderSensitive {
+		return nil
+	}
+	trecs := make([]topk.Record, len(recs))
+	for i, r := range recs {
+		trecs[i] = topk.Record{ID: r.ID, Point: vec.Vector(r.Attrs), Score: r.Score}
+	}
+	lo, hi := viz.MAH(reg, reg.Query)
+	return &preparedPut{reg: reg, recs: trecs, lo: lo, hi: hi}
+}
+
+// commitPut inserts a staged entry, seeding its cleared-version stamp.
+func (c *Cache) commitPut(p *preparedPut, clearedThrough int64) bool {
+	if p == nil {
+		return false
+	}
+	return c.inner.PutWithBox(p.reg, p.recs, p.lo, p.hi, clearedThrough)
 }
 
 // Lookup serves a top-k query from the cache if some cached GIR contains
 // q. See CachedResult for partial-hit semantics.
 func (c *Cache) Lookup(q []float64, k int) (*CachedResult, bool) {
-	e, ok := c.inner.Lookup(vec.Vector(q), k)
+	return c.lookupVeto(q, k, nil)
+}
+
+// lookupVeto is Lookup with the Engine's generation-fence veto: vetoed
+// entries are invisible and never counted as hits.
+func (c *Cache) lookupVeto(q []float64, k int, veto func(*cache.Entry) bool) (*CachedResult, bool) {
+	e, ok := c.inner.LookupVeto(vec.Vector(q), k, veto)
 	if !ok {
 		return nil, false
 	}
@@ -83,8 +124,32 @@ func (c *Cache) Len() int { return c.inner.Len() }
 // Shards returns the shard count.
 func (c *Cache) Shards() int { return c.inner.Shards() }
 
-// Clear drops every cached entry. Call it after mutating the underlying
-// dataset when managing a Cache by hand: a cached region only describes
-// the dataset it was computed against (the Engine does this
-// automatically).
+// Clear drops every cached entry. The blunt instrument for hand-managed
+// caches; InvalidateInsert/InvalidateDelete evict only the entries a
+// specific mutation can actually perturb (the Engine drives those
+// automatically from dataset mutation events).
 func (c *Cache) Clear() { c.inner.Clear() }
+
+// InvalidateInsert evicts every cached entry whose result could change if
+// a record with attributes p were inserted into the dataset: an entry
+// survives only if no weight vector in its region scores p above the
+// entry's k-th record (decided in closed form where possible, by a small
+// LP otherwise). It returns the number of entries evicted. Call it after
+// Dataset.Insert when managing a Cache by hand.
+func (c *Cache) InvalidateInsert(p []float64) int {
+	return c.inner.EvictIf(func(e *cache.Entry) bool {
+		return invalidate.InsertAffects(e.Region, e.Records, vec.Vector(p), e.InnerLo, e.InnerHi)
+	})
+}
+
+// InvalidateDelete evicts every cached entry whose result contains the
+// deleted record id; entries whose results do not include the record keep
+// serving (their region remains a sound certificate — removing a
+// non-result record can only grow the true GIR). It returns the number of
+// entries evicted. Call it after Dataset.Delete when managing a Cache by
+// hand.
+func (c *Cache) InvalidateDelete(id int64) int {
+	return c.inner.EvictIf(func(e *cache.Entry) bool {
+		return invalidate.DeleteAffects(e.Records, id)
+	})
+}

@@ -1,0 +1,258 @@
+package gir
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// This file is the churn harness for fine-grained cache invalidation:
+// Insert/Delete interleave with TopK/BatchTopK through a shared Engine,
+// and every served result must equal a freshly computed top-k at SOME
+// dataset version inside the serve window [version-before-call,
+// version-after-call]. A stale entry escaping invalidation (served after a
+// mutation that perturbs it) matches no version in its window and fails
+// the test. Run under -race this also exercises the publish/drain/fence
+// lock ordering.
+
+// churnLogEntry mirrors one applied mutation for brute-force replay.
+type churnLogEntry struct {
+	version int64
+	insert  bool
+	id      int64
+	point   []float64
+}
+
+// churnMirror reconstructs dataset contents at any version from the base
+// points plus the mutation log (single mutator, so versions are dense).
+type churnMirror struct {
+	base map[int64][]float64
+	log  []churnLogEntry
+}
+
+func (m *churnMirror) stateAt(v int64) map[int64][]float64 {
+	out := make(map[int64][]float64, len(m.base)+8)
+	for id, p := range m.base {
+		out[id] = p
+	}
+	for _, e := range m.log {
+		if e.version > v {
+			break
+		}
+		if e.insert {
+			out[e.id] = e.point
+		} else {
+			delete(out, e.id)
+		}
+	}
+	return out
+}
+
+// bruteTopK scores every record and returns the k best ids in order.
+func bruteTopK(state map[int64][]float64, q []float64, k int) []int64 {
+	type scored struct {
+		id    int64
+		score float64
+	}
+	all := make([]scored, 0, len(state))
+	for id, p := range state {
+		s := 0.0
+		for j := range q {
+			s += q[j] * p[j]
+		}
+		all = append(all, scored{id, s})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].id < all[j].id
+	})
+	ids := make([]int64, k)
+	for i := 0; i < k; i++ {
+		ids[i] = all[i].id
+	}
+	return ids
+}
+
+// servedResult is one engine answer with its version window.
+type servedResult struct {
+	q      []float64
+	k      int
+	ids    []int64
+	v0, v1 int64
+}
+
+func TestEngineChurnNeverServesStale(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	const n, d = 500, 3
+	points := make([][]float64, n)
+	mirror := &churnMirror{base: make(map[int64][]float64, n)}
+	for i := range points {
+		p := []float64{r.Float64(), r.Float64(), r.Float64()}
+		points[i] = p
+		mirror.base[int64(i)] = p
+	}
+	ds, err := NewDataset(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(ds, EngineOptions{Workers: 4, CacheCapacity: 48})
+	defer e.Close()
+
+	// Query pool with repeats so the cache is genuinely exercised.
+	pool := make([][]float64, 24)
+	ks := make([]int, len(pool))
+	for i := range pool {
+		pool[i] = []float64{0.15 + 0.7*r.Float64(), 0.15 + 0.7*r.Float64(), 0.15 + 0.7*r.Float64()}
+		ks[i] = 3 + r.Intn(6)
+	}
+
+	var logMu sync.Mutex // guards mirror.log appends (single mutator, many readers later)
+	stop := make(chan struct{})
+	var mutator sync.WaitGroup
+	mutator.Add(1)
+	go func() {
+		defer mutator.Done()
+		mr := rand.New(rand.NewSource(101))
+		nextID := int64(1 << 40)
+		var live []churnLogEntry // inserted-and-not-yet-deleted records
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if len(live) > 0 && mr.Intn(3) == 0 { // delete a previous insert
+				victim := live[mr.Intn(len(live))]
+				if !ds.Delete(victim.id, victim.point) {
+					t.Error("lost a churn record")
+					return
+				}
+				for j := range live {
+					if live[j].id == victim.id {
+						live = append(live[:j], live[j+1:]...)
+						break
+					}
+				}
+				logMu.Lock()
+				mirror.log = append(mirror.log, churnLogEntry{version: ds.version.Load(), insert: false, id: victim.id})
+				logMu.Unlock()
+			} else {
+				// Bias some inserts toward the top corner so they really do
+				// perturb cached results; the rest are background noise.
+				p := []float64{mr.Float64(), mr.Float64(), mr.Float64()}
+				if mr.Intn(4) == 0 {
+					for j := range p {
+						p[j] = 0.85 + 0.14*mr.Float64()
+					}
+				}
+				ent := churnLogEntry{insert: true, id: nextID, point: p}
+				nextID++
+				if err := ds.Insert(ent.id, p); err != nil {
+					t.Error(err)
+					return
+				}
+				ent.version = ds.version.Load()
+				live = append(live, ent)
+				logMu.Lock()
+				mirror.log = append(mirror.log, ent)
+				logMu.Unlock()
+			}
+		}
+	}()
+
+	// Queriers record every served answer with its version window;
+	// verification replays the mirror once the log is final.
+	results := make(chan servedResult, 4096)
+	var queriers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		queriers.Add(1)
+		go func(seed int64) {
+			defer queriers.Done()
+			qr := rand.New(rand.NewSource(seed))
+			for i := 0; i < 60; i++ {
+				pi := qr.Intn(len(pool))
+				if qr.Intn(3) == 0 { // batch path
+					batch := []Query{
+						{Vector: pool[pi], K: ks[pi]},
+						{Vector: pool[(pi+1)%len(pool)], K: ks[(pi+1)%len(pool)]},
+					}
+					v0 := ds.version.Load()
+					out := e.BatchTopK(batch)
+					v1 := ds.version.Load()
+					for bi, res := range out {
+						if res.Err != nil {
+							t.Errorf("batch query error: %v", res.Err)
+							return
+						}
+						results <- servedResult{q: batch[bi].Vector, k: batch[bi].K, ids: idsOf(res.Records), v0: v0, v1: v1}
+					}
+				} else {
+					v0 := ds.version.Load()
+					res := e.TopK(pool[pi], ks[pi])
+					v1 := ds.version.Load()
+					if res.Err != nil {
+						t.Errorf("query error: %v", res.Err)
+						return
+					}
+					results <- servedResult{q: pool[pi], k: ks[pi], ids: idsOf(res.Records), v0: v0, v1: v1}
+				}
+			}
+		}(int64(g + 1))
+	}
+	queriers.Wait()
+	close(stop)
+	mutator.Wait()
+	close(results)
+
+	verified, hadMultiVersionWindows := 0, 0
+	for sr := range results {
+		ok := false
+		for v := sr.v0; v <= sr.v1 && !ok; v++ {
+			want := bruteTopK(mirror.stateAt(v), sr.q, sr.k)
+			ok = sameIDs(sr.ids, want)
+		}
+		if !ok {
+			t.Fatalf("STALE result served: q=%v k=%d got %v, matching no dataset version in [%d, %d]",
+				sr.q, sr.k, sr.ids, sr.v0, sr.v1)
+		}
+		if sr.v1 > sr.v0 {
+			hadMultiVersionWindows++
+		}
+		verified++
+	}
+	st := e.Stats()
+	if verified == 0 {
+		t.Fatal("nothing verified")
+	}
+	if st.CacheHits == 0 {
+		t.Error("cache never hit — churn test is vacuous")
+	}
+	if len(mirror.log) == 0 {
+		t.Error("no mutations ran — churn test is vacuous")
+	}
+	t.Logf("verified=%d (windows spanning mutations: %d) mutations=%d hits=%d misses=%d invalidated=%d fenced=%d",
+		verified, hadMultiVersionWindows, len(mirror.log), st.CacheHits, st.Misses, st.Invalidated, st.Fenced)
+}
+
+func idsOf(recs []Record) []int64 {
+	out := make([]int64, len(recs))
+	for i, r := range recs {
+		out[i] = r.ID
+	}
+	return out
+}
+
+func sameIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -33,6 +33,8 @@ func main() {
 	serveJitter := flag.Float64("jitter", 0.001, "-serve: gaussian query jitter (0 = exact repeats only)")
 	serveBatch := flag.Int("batch", 64, "-serve: queries per BatchTopK call")
 	serveWorkers := flag.Int("workers", 0, "-serve: engine worker-pool size (0 = GOMAXPROCS)")
+	serveChurn := flag.Float64("churn", 0, "-serve: fraction of operations that are Insert/Delete writes (> 0 runs the churn benchmark)")
+	serveJSON := flag.String("json", "", "-serve -churn: also write the measured rows to this file as JSON (the CI BENCH_serve.json artifact)")
 	flag.IntVar(&cfg.N, "n", cfg.N, "synthetic dataset cardinality (paper: 1000000)")
 	flag.IntVar(&cfg.Queries, "queries", cfg.Queries, "queries averaged per cell (paper: 100)")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "deterministic seed")
@@ -67,12 +69,21 @@ func main() {
 		if *serveStream < 0 {
 			fatal("bad -stream: %d", *serveStream)
 		}
-		err := runServe(serveConfig{
+		if *serveChurn < 0 || *serveChurn >= 1 {
+			fatal("bad -churn: %v (want a write fraction in [0, 1))", *serveChurn)
+		}
+		scfg := serveConfig{
 			N: cfg.N, D: 4, Seed: cfg.Seed,
 			Stream: *serveStream, Distinct: *serveDistinct,
 			ZipfS: *serveZipf, Jitter: *serveJitter,
 			Batch: *serveBatch, Workers: *serveWorkers,
-		}, os.Stdout)
+		}
+		var err error
+		if *serveChurn > 0 {
+			err = runChurn(scfg, *serveChurn, *serveJSON, os.Stdout)
+		} else {
+			err = runServe(scfg, os.Stdout)
+		}
 		if err != nil {
 			fatal("%v", err)
 		}

@@ -80,6 +80,7 @@ func runServe(cfg serveConfig, w io.Writer) error {
 
 	if err := row("engine no-cache", func() (gir.EngineStats, error) {
 		e := gir.NewEngine(ds, gir.EngineOptions{Workers: cfg.Workers, CacheCapacity: -1})
+		defer e.Close()
 		if err := serveBatches(e, queries, cfg.Batch); err != nil {
 			return gir.EngineStats{}, err
 		}
@@ -91,6 +92,7 @@ func runServe(cfg serveConfig, w io.Writer) error {
 	// Cold pass: every miss also pays its one-time GIR build (the cache
 	// fill the paper's caching application amortizes over later traffic).
 	e := gir.NewEngine(ds, gir.EngineOptions{Workers: cfg.Workers, CacheCapacity: cfg.Distinct * 2})
+	defer e.Close()
 	if err := row("engine cache (cold)", func() (gir.EngineStats, error) {
 		if err := serveBatches(e, queries, cfg.Batch); err != nil {
 			return gir.EngineStats{}, err

@@ -12,11 +12,13 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"github.com/girlib/gir/internal/datagen"
+	"github.com/girlib/gir/internal/vec"
 )
 
 func main() {
@@ -27,19 +29,11 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
-	kd := datagen.Kind(strings.ToUpper(*kind))
-	nn, dd := *n, *d
-	switch kd {
-	case datagen.HOUSE:
-		dd = datagen.HouseD
-		if nn <= 0 {
-			nn = datagen.HouseN
-		}
-	case datagen.HOTEL:
-		dd = datagen.HotelD
-		if nn <= 0 {
-			nn = datagen.HotelN
-		}
+	kd, nn, dd := datagen.Resolve(datagen.Kind(strings.ToUpper(*kind)), *n, *d)
+	if *n > nn {
+		// Unlike girquery (which mirrors the paper's datasets), girgen may
+		// generate surrogates beyond the paper cardinality on request.
+		nn = *n
 	}
 	pts, err := datagen.Generate(kd, nn, dd, *seed)
 	if err != nil {
@@ -47,20 +41,28 @@ func main() {
 		os.Exit(1)
 	}
 
-	var w *bufio.Writer
+	var f *os.File
 	if *out == "" {
-		w = bufio.NewWriter(os.Stdout)
+		f = os.Stdout
 	} else {
-		f, err := os.Create(*out)
+		f, err = os.Create(*out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "girgen: %v\n", err)
 			os.Exit(1)
 		}
 		defer f.Close()
-		w = bufio.NewWriter(f)
 	}
-	defer w.Flush()
+	if err := writeTSV(f, pts); err != nil {
+		fmt.Fprintf(os.Stderr, "girgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "girgen: wrote %d × %d %s records\n", nn, dd, kd)
+}
 
+// writeTSV writes one record per line, d tab-separated attribute columns,
+// formatted to round-trip exactly ('g', full precision).
+func writeTSV(dst io.Writer, pts []vec.Vector) error {
+	w := bufio.NewWriter(dst)
 	for _, p := range pts {
 		for j, x := range p {
 			if j > 0 {
@@ -70,5 +72,5 @@ func main() {
 		}
 		w.WriteByte('\n')
 	}
-	fmt.Fprintf(os.Stderr, "girgen: wrote %d × %d %s records\n", nn, dd, kd)
+	return w.Flush()
 }

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/girlib/gir/internal/datagen"
+	"github.com/girlib/gir/internal/vec"
+)
+
+func TestWriteTSV(t *testing.T) {
+	pts := []vec.Vector{{0.5, 0.25}, {1, 0.0625}}
+	var sb strings.Builder
+	if err := writeTSV(&sb, pts); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != len(pts) {
+		t.Fatalf("%d lines, want %d", len(lines), len(pts))
+	}
+	for i, line := range lines {
+		cols := strings.Split(line, "\t")
+		if len(cols) != len(pts[i]) {
+			t.Fatalf("line %d: %d columns, want %d", i, len(cols), len(pts[i]))
+		}
+		for j, col := range cols {
+			v, err := strconv.ParseFloat(col, 64)
+			if err != nil {
+				t.Fatalf("line %d col %d: %v", i, j, err)
+			}
+			if v != pts[i][j] { // full-precision format must round-trip exactly
+				t.Fatalf("line %d col %d: %v round-tripped to %v", i, j, pts[i][j], v)
+			}
+		}
+	}
+}
+
+func TestWriteTSVEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := writeTSV(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "" {
+		t.Fatalf("empty input wrote %q", sb.String())
+	}
+}
+
+// TestGenerateResolvedSmoke pins the girgen pipeline end to end (resolve →
+// generate) for every kind at a small cardinality.
+func TestGenerateResolvedSmoke(t *testing.T) {
+	for _, kind := range []datagen.Kind{datagen.IND, datagen.COR, datagen.ANTI, datagen.HOUSE, datagen.HOTEL} {
+		kd, n, d := datagen.Resolve(kind, 50, 3)
+		if kind == datagen.HOUSE || kind == datagen.HOTEL {
+			if n != 50 {
+				t.Errorf("%s: small n not preserved (%d)", kind, n)
+			}
+			if (kind == datagen.HOUSE && d != datagen.HouseD) || (kind == datagen.HOTEL && d != datagen.HotelD) {
+				t.Errorf("%s: dimension not pinned (%d)", kind, d)
+			}
+		}
+		pts, err := datagen.Generate(kd, n, d, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(pts) != n {
+			t.Fatalf("%s: %d points, want %d", kind, len(pts), n)
+		}
+		for _, p := range pts {
+			if len(p) != d {
+				t.Fatalf("%s: point dimension %d, want %d", kind, len(p), d)
+			}
+			for _, x := range p {
+				if x < 0 || x > 1 {
+					t.Fatalf("%s: coordinate %v outside [0,1]", kind, x)
+				}
+			}
+		}
+		var sb strings.Builder
+		if err := writeTSV(&sb, pts); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if got := strings.Count(sb.String(), "\n"); got != n {
+			t.Fatalf("%s: wrote %d lines, want %d", kind, got, n)
+		}
+	}
+	if _, err := datagen.Generate(datagen.Kind("NOPE"), 10, 3, 1); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+// TestResolveDefaultsAndCaps pins the paper-size defaulting girgen relies
+// on for -n 0 and the cap for oversized requests.
+func TestResolveDefaultsAndCaps(t *testing.T) {
+	if _, n, d := datagen.Resolve(datagen.HOUSE, 0, 9); n != datagen.HouseN || d != datagen.HouseD {
+		t.Errorf("HOUSE default = (%d, %d)", n, d)
+	}
+	if _, n, _ := datagen.Resolve(datagen.HOTEL, datagen.HotelN+5, 2); n != datagen.HotelN {
+		t.Errorf("HOTEL oversize not capped: %d", n)
+	}
+	if kd, n, d := datagen.Resolve(datagen.IND, 123, 7); kd != datagen.IND || n != 123 || d != 7 {
+		t.Errorf("IND passthrough = (%s, %d, %d)", kd, n, d)
+	}
+}

@@ -36,20 +36,7 @@ func main() {
 	volSamples := flag.Int("volsamples", 2000, "Monte-Carlo samples per volume factor")
 	flag.Parse()
 
-	kd := datagen.Kind(strings.ToUpper(*kind))
-	nn, dd := *n, *d
-	switch kd {
-	case datagen.HOUSE:
-		dd = datagen.HouseD
-		if nn <= 0 || nn > datagen.HouseN {
-			nn = datagen.HouseN
-		}
-	case datagen.HOTEL:
-		dd = datagen.HotelD
-		if nn <= 0 || nn > datagen.HotelN {
-			nn = datagen.HotelN
-		}
-	}
+	kd, nn, dd := datagen.Resolve(datagen.Kind(strings.ToUpper(*kind)), *n, *d)
 	pts, err := datagen.Generate(kd, nn, dd, *seed)
 	if err != nil {
 		fatal("%v", err)

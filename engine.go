@@ -3,9 +3,12 @@ package gir
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 
+	cacheint "github.com/girlib/gir/internal/cache"
 	engineint "github.com/girlib/gir/internal/engine"
+	"github.com/girlib/gir/internal/invalidate"
 	"github.com/girlib/gir/internal/score"
 	"github.com/girlib/gir/internal/vec"
 )
@@ -28,11 +31,18 @@ import (
 //     Dataset.TopK + Dataset.ComputeGIR pair per query.
 //   - All Engine methods are safe to call concurrently; an Engine may be
 //     shared by any number of goroutines.
-//   - Mutations invalidate the cache: a cached region only describes the
-//     dataset it was computed against, so the engine tracks the dataset
-//     version and flushes its cache when Insert/Delete have run. A query
-//     racing a mutation may be served from either side of it; once the
-//     mutation returns, later queries never see pre-mutation results.
+//   - Mutations invalidate the cache FINE-GRAINED: every Insert/Delete is
+//     published to the engine as an event, and a background drainer evicts
+//     exactly the entries the mutation can perturb — for a Delete, entries
+//     whose result contains the deleted record; for an Insert, entries
+//     whose region admits some weight vector that scores the new record
+//     above the entry's k-th result (internal/invalidate). Writes never
+//     block on that analysis, and a generation fence keeps lookups correct
+//     while events drain: a hit is served from a not-yet-reconciled cache
+//     only after the entry is proven unaffected by every pending mutation.
+//     A query racing a mutation may be served from either side of it; once
+//     the mutation returns, later queries never see results the mutation
+//     invalidated.
 //
 // The engine serves linear scoring only — GIR-keyed caching is only sound
 // for the linear family the regions are computed under (Section 3 of the
@@ -43,9 +53,22 @@ type Engine struct {
 	opts   EngineOptions
 	flight engineint.Group
 
-	cacheVersion atomic.Int64 // dataset version the cache contents describe
-	deduped      atomic.Int64
-	computed     atomic.Int64
+	// Invalidation state. pending holds published-but-unreconciled
+	// mutations in version order; applied is the dataset version the cache
+	// is fully reconciled with (every entry is valid at applied). invMu
+	// guards pending/closed and orders cache fills against drain passes.
+	invMu   sync.Mutex
+	invCond *sync.Cond
+	pending []mutation
+	applied atomic.Int64
+	closed  bool
+	unsub   func()
+	drained sync.WaitGroup
+
+	deduped     atomic.Int64
+	computed    atomic.Int64
+	invalidated atomic.Int64 // entries evicted by fine-grained invalidation
+	fenced      atomic.Int64 // cache hits vetoed by the generation fence
 }
 
 // EngineOptions tunes a new Engine. The zero value is ready to use:
@@ -63,6 +86,12 @@ type EngineOptions struct {
 	// CacheMethod is the GIR algorithm used to build regions on the miss
 	// path (default FP).
 	CacheMethod Method
+	// FlushOnWrite reverts mutation handling to the coarse pre-invalidation
+	// strategy: every Insert/Delete clears the entire cache instead of
+	// evicting only the entries it can perturb. No region analysis runs on
+	// writes, at the cost of a far lower hit rate under churn. Kept as a
+	// benchmark baseline and an escape hatch for write-dominated workloads.
+	FlushOnWrite bool
 }
 
 // NewEngine builds an engine over the dataset.
@@ -83,21 +112,158 @@ func NewEngine(ds *Dataset, opts EngineOptions) *Engine {
 		}
 	}
 	e := &Engine{ds: ds, cache: c, opts: opts}
-	e.cacheVersion.Store(ds.version.Load())
+	e.invCond = sync.NewCond(&e.invMu)
+	if c != nil {
+		// Subscribe before reading the version: events for any later
+		// mutation are then guaranteed to reach the queue, and applied can
+		// only be behind reality (conservative).
+		e.unsub = ds.subscribe(e.enqueueMutation)
+		e.applied.Store(ds.version.Load())
+		e.drained.Add(1)
+		go e.drainMutations()
+	}
 	return e
 }
 
-// syncCache flushes the cache when the dataset has mutated since it was
-// filled: every cached region describes a dataset state that no longer
-// exists. Self-healing under races — a missed flush is caught by the
-// next call.
-func (e *Engine) syncCache() {
+// Close detaches the engine from the dataset's mutation feed and stops the
+// invalidation drainer. Call it when the engine is no longer needed; an
+// engine must not serve queries after Close. Engines without a cache need
+// no Close (it is a no-op).
+func (e *Engine) Close() {
+	e.invMu.Lock()
+	unsub := e.unsub
+	e.unsub = nil
+	alreadyClosed := e.closed
+	e.closed = true
+	e.invCond.Broadcast()
+	e.invMu.Unlock()
+	if unsub != nil {
+		// Outside invMu: unsubscribing takes the dataset's mutation lock,
+		// and mutation publishing acquires ds.mu → invMu in that order.
+		unsub()
+	}
+	if !alreadyClosed && e.cache != nil {
+		e.drained.Wait()
+	}
+}
+
+// enqueueMutation receives one dataset mutation. It runs under the
+// dataset's exclusive lock, before the mutation's version becomes visible,
+// so it must only append and signal — the LP work happens in the drainer.
+func (e *Engine) enqueueMutation(m mutation) {
+	e.invMu.Lock()
+	if !e.closed {
+		e.pending = append(e.pending, m)
+		// Broadcast, not Signal: both the drainer (waiting for work) and
+		// Quiesce callers (waiting for its absence) sleep on this cond.
+		e.invCond.Broadcast()
+	}
+	e.invMu.Unlock()
+}
+
+// Quiesce blocks until every mutation published so far has been applied
+// to the cache (the generation fence is down and stats are settled).
+// Serving does not require it — the fence keeps lookups correct while
+// events drain — but benchmarks and tests use it to read deterministic
+// Invalidated/Fenced counters.
+func (e *Engine) Quiesce() {
 	if e.cache == nil {
 		return
 	}
-	if v := e.ds.version.Load(); e.cacheVersion.Load() != v {
-		e.cache.Clear()
-		e.cacheVersion.Store(v)
+	e.invMu.Lock()
+	defer e.invMu.Unlock()
+	for len(e.pending) > 0 && !e.closed {
+		e.invCond.Wait()
+	}
+}
+
+// drainMutations applies pending mutations to the cache in version order:
+// each pass evicts exactly the entries the mutation affects, then advances
+// the applied fence. The mutation stays in pending until its pass
+// completes, so putIfCurrent can tell "reconciled" from "in flight".
+func (e *Engine) drainMutations() {
+	defer e.drained.Done()
+	for {
+		e.invMu.Lock()
+		for len(e.pending) == 0 && !e.closed {
+			e.invCond.Wait()
+		}
+		if e.closed {
+			e.invMu.Unlock()
+			return
+		}
+		m := e.pending[0]
+		e.invMu.Unlock()
+
+		var n int
+		if e.opts.FlushOnWrite {
+			n = e.cache.inner.Clear()
+		} else {
+			n = e.cache.inner.EvictIf(func(entry *cacheint.Entry) bool {
+				return e.mutationAffects(m, entry)
+			})
+		}
+		e.invalidated.Add(int64(n))
+
+		e.invMu.Lock()
+		e.pending = e.pending[1:]
+		e.applied.Store(m.version)
+		e.invCond.Broadcast() // wake Quiesce callers once the queue empties
+		e.invMu.Unlock()
+	}
+}
+
+// mutationAffects is the per-entry invalidation predicate shared by the
+// drainer and the lookup fence. Each (mutation, entry) pair is decided at
+// most once cache-wide: a "no" raises the entry's ClearedThrough stamp, so
+// later fence checks and the drainer's own pass skip it with one atomic
+// load. The raise is contiguous — mutations are checked in version order,
+// and putIfCurrent never admits an entry older than a published mutation —
+// so a stamp of v really does cover everything ≤ v.
+func (e *Engine) mutationAffects(m mutation, entry *cacheint.Entry) bool {
+	if e.opts.FlushOnWrite {
+		return true // coarse mode: any pending mutation invalidates everything
+	}
+	if entry.ClearedThrough() >= m.version {
+		return false
+	}
+	affected := invalidate.Affects(invalidate.Mutation{
+		Insert: m.insert,
+		ID:     m.id,
+		Point:  vec.Vector(m.point),
+	}, entry.Region, entry.Records, entry.InnerLo, entry.InnerHi)
+	if affected {
+		return true
+	}
+	entry.RaiseCleared(m.version)
+	return false
+}
+
+// fenceVeto returns the lookup veto enforcing the generation fence, or nil
+// on the fast path (cache fully reconciled with the visible dataset
+// version — the steady state, two atomic loads). While mutations are
+// pending, a candidate hit is checked against every pending mutation and
+// suppressed unless provably unaffected; the drainer will evict the truly
+// affected entries and restore the fast path.
+func (e *Engine) fenceVeto() func(*cacheint.Entry) bool {
+	if e.applied.Load() >= e.ds.version.Load() {
+		return nil
+	}
+	e.invMu.Lock()
+	snap := append([]mutation(nil), e.pending...)
+	e.invMu.Unlock()
+	if len(snap) == 0 {
+		// The drainer finished between the two loads; applied has caught up.
+		return nil
+	}
+	return func(entry *cacheint.Entry) bool {
+		for _, m := range snap { // ascending version order (append order)
+			if e.mutationAffects(m, entry) {
+				e.fenced.Add(1)
+				return true
+			}
+		}
+		return false
 	}
 }
 
@@ -132,13 +298,17 @@ type EngineStats struct {
 	Misses      int64 // cache lookups that found nothing
 	Deduped     int64 // queries that shared an identical in-flight computation
 	Computed    int64 // full BRS (+ cache-fill GIR) computations executed
+	Invalidated int64 // cache entries evicted by fine-grained invalidation
+	Fenced      int64 // candidate hits vetoed while mutation events drained
 }
 
 // Stats returns cumulative engine counters.
 func (e *Engine) Stats() EngineStats {
 	st := EngineStats{
-		Deduped:  e.deduped.Load(),
-		Computed: e.computed.Load(),
+		Deduped:     e.deduped.Load(),
+		Computed:    e.computed.Load(),
+		Invalidated: e.invalidated.Load(),
+		Fenced:      e.fenced.Load(),
 	}
 	if e.cache != nil {
 		st.CacheHits, st.PartialHits, st.Misses = e.cache.Stats()
@@ -170,10 +340,9 @@ func (e *Engine) serveTopK(q Query) EngineResult {
 	if err := e.ds.validateQuery(q.Vector, q.K); err != nil {
 		return EngineResult{Err: err}
 	}
-	e.syncCache()
 	var partial bool
 	if e.cache != nil {
-		if hit, ok := e.cache.Lookup(q.Vector, q.K); ok {
+		if hit, ok := e.cache.lookupVeto(q.Vector, q.K, e.fenceVeto()); ok {
 			if hit.Complete {
 				return EngineResult{Records: e.rescore(hit.Records, q.Vector), CacheHit: true}
 			}
@@ -220,18 +389,34 @@ func (e *Engine) computeTopK(q Query) ([]Record, bool, error) {
 	return v.([]Record), shared, nil
 }
 
-// putIfCurrent inserts a freshly built region unless the dataset has
-// mutated since it was computed (a stale region must never enter the
-// cache; the narrow window after this check is closed by syncCache).
+// putIfCurrent inserts a freshly built region unless some mutation later
+// than its compute version has been published (a stale region must never
+// enter the cache). The check and the insert happen under invMu — the same
+// lock the drainer holds while popping a finished pass — so an entry can
+// never slip in behind an invalidation pass that would have evicted it: if
+// any mutation newer than ver exists, it is either still in pending (we
+// reject) or fully applied (applied > ver, we reject).
 func (e *Engine) putIfCurrent(g *GIR, recs []Record, ver int64, girErr error) {
 	if e.cache == nil || girErr != nil || g == nil {
 		return
 	}
-	if e.ds.version.Load() != ver || e.cacheVersion.Load() != ver {
+	// Staging (record copies, inscribed-box geometry) happens before the
+	// lock: dataset writers publish events under invMu (via ds.mu), so the
+	// critical section must stay at a few comparisons plus the shard
+	// append.
+	p := prepareCachePut(g, recs)
+	if p == nil {
 		return
 	}
-	res := &TopKResult{Records: recs, K: len(recs)}
-	e.cache.Put(g, res)
+	e.invMu.Lock()
+	defer e.invMu.Unlock()
+	if e.applied.Load() > ver {
+		return
+	}
+	if n := len(e.pending); n > 0 && e.pending[n-1].version > ver {
+		return
+	}
+	e.cache.commitPut(p, ver)
 }
 
 // BatchGIR answers a batch of queries AND computes each result's immutable
@@ -255,7 +440,6 @@ func (e *Engine) serveGIR(q Query, m Method) EngineResult {
 	if err := e.ds.validateQuery(q.Vector, q.K); err != nil {
 		return EngineResult{Err: err}
 	}
-	e.syncCache()
 	key := fmt.Sprintf("g%d:", m) + engineint.Key(q.Vector, q.K)
 	v, err, shared := e.flight.Do(key, func() (any, error) {
 		e.computed.Add(1)

@@ -72,6 +72,7 @@ func requireIdentical(t *testing.T, ds *gir.Dataset, q gir.Query, got gir.Engine
 func TestBatchTopKMatchesSequential(t *testing.T) {
 	ds := engineDataset(t, 1, 2500, 3)
 	e := gir.NewEngine(ds, gir.EngineOptions{Workers: 8, CacheCapacity: 64})
+	defer e.Close()
 	queries := engineWorkload(150)
 
 	// Two passes: the first mixes misses, dedups and hits; the second is
@@ -101,6 +102,7 @@ func TestBatchTopKMatchesSequential(t *testing.T) {
 func TestBatchTopKWithoutCache(t *testing.T) {
 	ds := engineDataset(t, 2, 1500, 3)
 	e := gir.NewEngine(ds, gir.EngineOptions{CacheCapacity: -1})
+	defer e.Close()
 	if e.Cache() != nil {
 		t.Fatal("cache not disabled")
 	}
@@ -116,6 +118,7 @@ func TestBatchTopKWithoutCache(t *testing.T) {
 func TestBatchGIRMatchesSequential(t *testing.T) {
 	ds := engineDataset(t, 3, 2000, 3)
 	e := gir.NewEngine(ds, gir.EngineOptions{Workers: 6, CacheCapacity: 32})
+	defer e.Close()
 	queries := engineWorkload(30)
 	// Include an exact duplicate pair to exercise sharing.
 	queries = append(queries, queries[0])
@@ -168,6 +171,7 @@ func TestBatchGIRMatchesSequential(t *testing.T) {
 func TestEngineInvalidQueriesDoNotPoisonBatch(t *testing.T) {
 	ds := engineDataset(t, 4, 800, 3)
 	e := gir.NewEngine(ds, gir.EngineOptions{})
+	defer e.Close()
 	queries := []gir.Query{
 		{Vector: []float64{0.5, 0.5, 0.5}, K: 5},
 		{Vector: []float64{0.5, 0.5}, K: 5},            // bad dimension
@@ -196,6 +200,7 @@ func TestEngineInvalidQueriesDoNotPoisonBatch(t *testing.T) {
 func TestEngineConcurrentSharedUse(t *testing.T) {
 	ds := engineDataset(t, 5, 2000, 3)
 	e := gir.NewEngine(ds, gir.EngineOptions{Workers: 4, CacheCapacity: 16, CacheShards: 4})
+	defer e.Close()
 	queries := engineWorkload(60)
 
 	// Ground truth computed sequentially up front.
@@ -266,6 +271,7 @@ func TestEngineConcurrentSharedUse(t *testing.T) {
 func TestEngineMutationInvalidatesCache(t *testing.T) {
 	ds := engineDataset(t, 9, 1000, 3)
 	e := gir.NewEngine(ds, gir.EngineOptions{CacheCapacity: 32})
+	defer e.Close()
 	q := gir.Query{Vector: []float64{0.5, 0.6, 0.4}, K: 5}
 
 	first := e.TopK(q.Vector, q.K)
@@ -312,6 +318,7 @@ func TestEngineMutationInvalidatesCache(t *testing.T) {
 func TestEngineQueriesRaceMutations(t *testing.T) {
 	ds := engineDataset(t, 10, 1500, 3)
 	e := gir.NewEngine(ds, gir.EngineOptions{Workers: 4, CacheCapacity: 16})
+	defer e.Close()
 	queries := engineWorkload(30)
 
 	stop := make(chan struct{})
@@ -376,6 +383,7 @@ func BenchmarkEngineServing(b *testing.B) {
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
 			e := gir.NewEngine(ds, gir.EngineOptions{CacheCapacity: cfg.capacity})
+			defer e.Close()
 			// Warm: first pass pays every GIR build outside the timer.
 			e.BatchTopK(queries)
 			var next atomic.Int64
@@ -401,6 +409,7 @@ func BenchmarkBatchTopK(b *testing.B) {
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			e := gir.NewEngine(ds, gir.EngineOptions{Workers: workers, CacheCapacity: -1})
+			defer e.Close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				e.BatchTopK(queries)

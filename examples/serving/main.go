@@ -57,6 +57,7 @@ func main() {
 
 	// Baseline: compute every query, no cache (still fanned out).
 	base := gir.NewEngine(ds, gir.EngineOptions{CacheCapacity: -1})
+	defer base.Close()
 	ds.ResetIOStats()
 	start := time.Now()
 	serve(base, queries, batch)
@@ -65,6 +66,7 @@ func main() {
 
 	// The serving engine: sharded GIR cache, FP cache fill.
 	e := gir.NewEngine(ds, gir.EngineOptions{CacheCapacity: 2 * distinct})
+	defer e.Close()
 	ds.ResetIOStats()
 	start = time.Now()
 	serve(e, queries, batch) // cold: misses also build their GIR

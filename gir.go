@@ -132,6 +132,56 @@ type Dataset struct {
 	cost    pager.CostModel
 	file    *pager.FileStore // non-nil when disk-backed (Close releases it)
 	version atomic.Int64     // bumped by every successful mutation
+
+	subID int64                    // next subscriber handle
+	subs  map[int64]func(mutation) // mutation listeners (Engines), under mu
+}
+
+// mutation describes one successful Insert or Delete, in the order the
+// mutations were applied. version is the dataset version the mutation
+// produced (the value ds.version holds once the mutation is visible).
+type mutation struct {
+	version int64
+	insert  bool
+	id      int64
+	point   []float64
+}
+
+// subscribe registers fn to observe every future mutation and returns an
+// unsubscribe function. fn is invoked while the exclusive mutation lock is
+// held and BEFORE the new dataset version becomes visible, so a reader
+// that observes version v is guaranteed the events for every mutation up
+// to v have already been delivered. fn must therefore be fast and must
+// never block (the Engine just appends to an in-memory queue).
+func (ds *Dataset) subscribe(fn func(mutation)) (unsubscribe func()) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.subs == nil {
+		ds.subs = make(map[int64]func(mutation))
+	}
+	id := ds.subID
+	ds.subID++
+	ds.subs[id] = fn
+	return func() {
+		ds.mu.Lock()
+		defer ds.mu.Unlock()
+		delete(ds.subs, id)
+	}
+}
+
+// publishLocked delivers a mutation event and then makes its version
+// visible; the caller holds ds.mu exclusively.
+func (ds *Dataset) publishLocked(insert bool, id int64, p []float64) {
+	m := mutation{
+		version: ds.version.Load() + 1,
+		insert:  insert,
+		id:      id,
+		point:   append([]float64(nil), p...),
+	}
+	for _, fn := range ds.subs {
+		fn(m)
+	}
+	ds.version.Store(m.version)
 }
 
 // NewDataset bulk-loads (STR) an R*-tree over the given points; record ids
@@ -172,7 +222,7 @@ func (ds *Dataset) Insert(id int64, p []float64) error {
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
 	ds.tree.Insert(id, vec.Vector(p))
-	ds.version.Add(1)
+	ds.publishLocked(true, id, p)
 	return nil
 }
 
@@ -183,7 +233,7 @@ func (ds *Dataset) Delete(id int64, p []float64) bool {
 	defer ds.mu.Unlock()
 	found := ds.tree.Delete(id, vec.Vector(p))
 	if found {
-		ds.version.Add(1)
+		ds.publishLocked(false, id, p)
 	}
 	return found
 }

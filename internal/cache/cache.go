@@ -37,6 +37,7 @@ import (
 	"github.com/girlib/gir/internal/gir"
 	"github.com/girlib/gir/internal/topk"
 	"github.com/girlib/gir/internal/vec"
+	"github.com/girlib/gir/internal/viz"
 )
 
 // DefaultShards is the shard count used by New. Sixteen read-write locks
@@ -50,7 +51,32 @@ type Entry struct {
 	Records []topk.Record // the cached top-k, in score order
 	K       int
 
+	// InnerLo/InnerHi is an axis-parallel box inscribed in the region (its
+	// MAH), computed once at Put time. Invalidation uses it as a closed-form
+	// filter: a mutation whose score margin is positive anywhere in the box
+	// is positive in the region, with no LP solve.
+	InnerLo, InnerHi vec.Vector
+
 	lastUse atomic.Int64
+	cleared atomic.Int64 // mutations ≤ this version are known not to affect the entry
+}
+
+// ClearedThrough returns the highest dataset version v such that every
+// mutation with version ≤ v is known not to affect this entry (starting at
+// the entry's compute version). The Engine's fence and drainer use it to
+// evaluate each (mutation, entry) pair at most once.
+func (e *Entry) ClearedThrough() int64 { return e.cleared.Load() }
+
+// RaiseCleared monotonically raises ClearedThrough to v. Callers must only
+// raise contiguously: v is safe once every mutation in (current, v] has
+// been checked against the entry.
+func (e *Entry) RaiseCleared(v int64) {
+	for {
+		cur := e.cleared.Load()
+		if cur >= v || e.cleared.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // shard is one lock domain of the cache. Entries are append-ordered;
@@ -125,15 +151,30 @@ func (c *Cache) shardFor(q vec.Vector) *shard {
 // force that recomputation on every repeat). Regions stored by Put are
 // always order-sensitive, so a hit is always sound for ordered serving.
 func (c *Cache) Lookup(q vec.Vector, k int) (*Entry, bool) {
+	return c.LookupVeto(q, k, nil)
+}
+
+// LookupVeto is Lookup with a per-entry veto: an entry for which veto
+// returns true is skipped as if it were not cached (and never counted as a
+// hit). The Engine uses this as its generation fence — while mutation
+// events are still draining, a hit is only served after the candidate
+// entry is proven unaffected by every pending mutation. The veto may be
+// expensive (LP solves); it runs against a snapshot of the shard WITHOUT
+// the shard lock held, so concurrent Puts and evictions never stall
+// behind it. That is sound because entries are immutable once published
+// and the caller takes its fence snapshot before the scan: an entry
+// evicted mid-check is one the veto itself rejects, or one whose mutation
+// the query legitimately raced.
+func (c *Cache) LookupVeto(q vec.Vector, k int, veto func(*Entry) bool) (*Entry, bool) {
 	home := c.shardFor(q)
-	best := c.scan(home, q, k)
+	best := c.scan(home, q, k, veto)
 	if best == nil || best.K < k {
 		for i := range c.shards {
 			s := &c.shards[i]
 			if s == home {
 				continue
 			}
-			if e := c.scan(s, q, k); e != nil && (best == nil || e.K > best.K) {
+			if e := c.scan(s, q, k, veto); e != nil && (best == nil || e.K > best.K) {
 				best = e
 				if best.K >= k {
 					break
@@ -148,15 +189,30 @@ func (c *Cache) Lookup(q vec.Vector, k int) (*Entry, bool) {
 	return nil, false
 }
 
-// scan searches one shard under its read lock: the first entry covering k
-// wins; otherwise the containing entry with the largest K (the longest
-// exact prefix) is returned.
-func (c *Cache) scan(s *shard, q vec.Vector, k int) *Entry {
+// scan searches one shard: the first entry covering k wins; otherwise the
+// containing entry with the largest K (the longest exact prefix) is
+// returned. Vetoed entries are invisible. Without a veto the walk happens
+// under the read lock (containment tests are a few dot products); with one
+// the entries are snapshotted first so the potentially-expensive veto
+// never runs with a cache lock held.
+func (c *Cache) scan(s *shard, q vec.Vector, k int, veto func(*Entry) bool) *Entry {
+	if veto != nil {
+		s.mu.RLock()
+		snap := append([]*Entry(nil), s.entries...)
+		s.mu.RUnlock()
+		return bestContaining(snap, q, k, veto)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return bestContaining(s.entries, q, k, nil)
+}
+
+// bestContaining returns the first entry containing q that covers k, else
+// the containing entry with the largest K.
+func bestContaining(entries []*Entry, q vec.Vector, k int, veto func(*Entry) bool) *Entry {
 	var best *Entry
-	for _, e := range s.entries {
-		if len(q) == e.Region.Dim && e.Region.Contains(q, 0) {
+	for _, e := range entries {
+		if len(q) == e.Region.Dim && e.Region.Contains(q, 0) && (veto == nil || !veto(e)) {
 			if e.K >= k {
 				return e
 			}
@@ -187,7 +243,20 @@ func (c *Cache) Put(reg *gir.Region, records []topk.Record) bool {
 	if reg == nil || !reg.OrderSensitive {
 		return false
 	}
-	e := &Entry{Region: reg, Records: records, K: len(records)}
+	lo, hi := viz.MAH(reg, reg.Query)
+	return c.PutWithBox(reg, records, lo, hi, 0)
+}
+
+// PutWithBox is Put with the inscribed box (and the entry's compute
+// version, seeding ClearedThrough) supplied by the caller. The Engine uses
+// it to do the box geometry outside its fill lock, so dataset writers —
+// who publish events under that lock — are never stalled behind it.
+func (c *Cache) PutWithBox(reg *gir.Region, records []topk.Record, innerLo, innerHi vec.Vector, clearedThrough int64) bool {
+	if reg == nil || !reg.OrderSensitive {
+		return false
+	}
+	e := &Entry{Region: reg, Records: records, K: len(records), InnerLo: innerLo, InnerHi: innerHi}
+	e.cleared.Store(clearedThrough)
 	e.lastUse.Store(c.clock.Add(1))
 	s := c.shardFor(reg.Query)
 	s.mu.Lock()
@@ -237,17 +306,62 @@ func (c *Cache) evictOldest() bool {
 	return true
 }
 
-// Clear drops every entry (hit/miss counters are preserved). Used when
-// the dataset behind the cached regions has mutated: a GIR only
+// EvictIf removes every entry for which pred returns true and reports how
+// many were removed. pred is evaluated on a snapshot of each shard WITHOUT
+// any cache lock held — it may be arbitrarily expensive (the invalidation
+// predicate solves LPs) without stalling concurrent lookups. Removal is by
+// identity afterward, so entries inserted or evicted concurrently are
+// simply not considered; the Engine's generation fence covers that window.
+func (c *Cache) EvictIf(pred func(*Entry) bool) int {
+	removed := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		snap := append([]*Entry(nil), s.entries...)
+		s.mu.RUnlock()
+		var victims []*Entry
+		for _, e := range snap {
+			if pred(e) {
+				victims = append(victims, e)
+			}
+		}
+		if len(victims) == 0 {
+			continue
+		}
+		s.mu.Lock()
+		for _, v := range victims {
+			for j, e := range s.entries {
+				if e == v {
+					n := len(s.entries)
+					s.entries[j] = s.entries[n-1]
+					s.entries[n-1] = nil
+					s.entries = s.entries[:n-1]
+					c.size.Add(-1)
+					removed++
+					break
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+	return removed
+}
+
+// Clear drops every entry (hit/miss counters are preserved) and reports
+// how many were dropped. Used when the dataset behind the cached regions
+// has mutated and per-entry invalidation is not wanted: a GIR only
 // describes the dataset state it was computed against.
-func (c *Cache) Clear() {
+func (c *Cache) Clear() int {
+	removed := 0
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
+		removed += len(s.entries)
 		c.size.Add(int64(-len(s.entries)))
 		s.entries = nil
 		s.mu.Unlock()
 	}
+	return removed
 }
 
 // Stats returns (hits, partial hits, misses).

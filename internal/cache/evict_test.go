@@ -1,0 +1,108 @@
+package cache
+
+import (
+	"testing"
+)
+
+func TestEvictIf(t *testing.T) {
+	c := New(8)
+	var regs []*Entry
+	for i := 0; i < 4; i++ {
+		_, _, reg, recs := setup(t, int64(i+1), 200, 3, 3+i)
+		if !c.Put(reg, recs) {
+			t.Fatal("Put failed")
+		}
+		e, ok := c.Lookup(reg.Query, 3+i)
+		if !ok {
+			t.Fatal("fresh entry missed")
+		}
+		regs = append(regs, e)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	// Evict entries with odd K; the rest must keep serving.
+	n := c.EvictIf(func(e *Entry) bool { return e.K%2 == 1 })
+	if n != 2 {
+		t.Fatalf("evicted %d entries, want 2", n)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len after EvictIf = %d", c.Len())
+	}
+	for _, e := range regs {
+		_, ok := c.Lookup(e.Region.Query, e.K)
+		if want := e.K%2 == 0; ok != want {
+			t.Errorf("entry K=%d: lookup ok=%v, want %v", e.K, ok, want)
+		}
+	}
+	if n := c.EvictIf(func(*Entry) bool { return false }); n != 0 {
+		t.Errorf("matched-nothing eviction removed %d", n)
+	}
+	if n := c.EvictIf(func(*Entry) bool { return true }); n != 2 {
+		t.Errorf("match-all eviction removed %d, want 2", n)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len after full eviction = %d", c.Len())
+	}
+}
+
+func TestLookupVeto(t *testing.T) {
+	_, q, reg, recs := setup(t, 9, 300, 3, 5)
+	c := New(4)
+	if !c.Put(reg, recs) {
+		t.Fatal("Put failed")
+	}
+	hits0, _, misses0 := c.Stats()
+
+	// A veto makes the entry invisible and counts a miss, not a hit.
+	if _, ok := c.LookupVeto(q, 5, func(*Entry) bool { return true }); ok {
+		t.Fatal("vetoed entry served")
+	}
+	hits1, _, misses1 := c.Stats()
+	if hits1 != hits0 || misses1 != misses0+1 {
+		t.Fatalf("veto accounting: hits %d→%d misses %d→%d", hits0, hits1, misses0, misses1)
+	}
+
+	// A nil veto and a false veto both serve.
+	if _, ok := c.LookupVeto(q, 5, nil); !ok {
+		t.Fatal("nil veto missed")
+	}
+	if _, ok := c.LookupVeto(q, 5, func(*Entry) bool { return false }); !ok {
+		t.Fatal("false veto missed")
+	}
+}
+
+func TestPutComputesInscribedBox(t *testing.T) {
+	_, q, reg, recs := setup(t, 11, 300, 3, 5)
+	c := New(4)
+	if !c.Put(reg, recs) {
+		t.Fatal("Put failed")
+	}
+	e, ok := c.Lookup(q, 5)
+	if !ok {
+		t.Fatal("lookup missed")
+	}
+	if len(e.InnerLo) != reg.Dim || len(e.InnerHi) != reg.Dim {
+		t.Fatalf("inscribed box dims: %d/%d", len(e.InnerLo), len(e.InnerHi))
+	}
+	for j := 0; j < reg.Dim; j++ {
+		if !(e.InnerLo[j] <= q[j] && q[j] <= e.InnerHi[j]) {
+			t.Fatalf("query outside its own inscribed box at dim %d: [%v, %v] vs %v",
+				j, e.InnerLo[j], e.InnerHi[j], q[j])
+		}
+	}
+	// Corners of the box must lie inside the region (it is inscribed).
+	for corner := 0; corner < 1<<reg.Dim; corner++ {
+		w := make([]float64, reg.Dim)
+		for j := range w {
+			if corner&(1<<j) != 0 {
+				w[j] = e.InnerHi[j]
+			} else {
+				w[j] = e.InnerLo[j]
+			}
+		}
+		if !reg.Contains(w, 1e-9) {
+			t.Fatalf("inscribed box corner %v outside the region", w)
+		}
+	}
+}

@@ -62,6 +62,26 @@ func Generate(kind Kind, n, d int, seed int64) ([]vec.Vector, error) {
 	return nil, fmt.Errorf("datagen: unknown kind %q", kind)
 }
 
+// Resolve normalizes a (kind, n, d) request the way the command-line tools
+// accept it: HOUSE and HOTEL pin their fixed dimensionality and default to
+// (or are capped at) the paper's cardinality, other kinds pass through.
+// The returned values are safe to hand to Generate.
+func Resolve(kind Kind, n, d int) (Kind, int, int) {
+	switch kind {
+	case HOUSE:
+		d = HouseD
+		if n <= 0 || n > HouseN {
+			n = HouseN
+		}
+	case HOTEL:
+		d = HotelD
+		if n <= 0 || n > HotelN {
+			n = HotelN
+		}
+	}
+	return kind, n, d
+}
+
 // Independent draws n points uniformly and independently from [0,1]^d.
 func Independent(n, d int, seed int64) []vec.Vector {
 	r := rand.New(rand.NewSource(seed))

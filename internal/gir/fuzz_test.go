@@ -1,0 +1,114 @@
+package gir
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"github.com/girlib/gir/internal/vec"
+)
+
+// FuzzGIRContains fuzzes Region.Contains over arbitrary query vectors and
+// region constraints. Contains is the cache's admission test — a wrong
+// "inside" serves a wrong result to a user — so the fuzzer pins it against
+// an independent re-evaluation of the definition (the [0,1]^d box within
+// tol plus Normal·q ≥ −tol for every constraint) and checks tolerance
+// monotonicity. Run as a smoke job with:
+//
+//	go test -run=^$ -fuzz=FuzzGIRContains -fuzztime=10s ./internal/gir
+func FuzzGIRContains(f *testing.F) {
+	// Corpus seeds mirroring the package fixtures: small dims, weights in
+	// (0,1), reorder/replace normals with mixed signs, boundary values.
+	f.Add(seedCase(2, []float64{0.5, 0.6}, []float64{0.3, -0.2}))
+	f.Add(seedCase(3, []float64{0.15, 0.7, 0.4}, []float64{0.05, -0.3, 0.12, -0.01, 0.2, -0.4}))
+	f.Add(seedCase(4, []float64{0.2, 0.3, 0.1, 0.9}, []float64{1, 0, -1, 0}))
+	f.Add(seedCase(2, []float64{0, 1}, []float64{0, 0}))
+	f.Add(seedCase(2, []float64{0.25, 0.75}, nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		d := 2 + int(data[0])%5 // 2..6, matching the library's supported dims
+		tol := float64(data[1]) * 1e-10
+		floats := decodeFloats(data[2:], 1+8*d) // 1 query + up to 8 constraints
+		if len(floats) < 2*d {
+			return
+		}
+		q := vec.Vector(floats[:d])
+		var cons []Constraint
+		for off := d; off+d <= len(floats); off += d {
+			cons = append(cons, Constraint{
+				Normal: vec.Vector(floats[off : off+d]),
+				Kind:   Replace,
+				A:      int64(off),
+				B:      int64(off + 1),
+			})
+		}
+		reg := &Region{Dim: d, Query: q, Constraints: cons, OrderSensitive: true}
+
+		got := reg.Contains(q, tol)
+		if want := containsOracle(reg, q, tol); got != want {
+			t.Fatalf("Contains(%v, %g) = %v, oracle says %v (constraints %v)", q, tol, got, want, cons)
+		}
+		// Monotone in tolerance: inside at a tight tolerance stays inside
+		// at a looser one.
+		if got && !reg.Contains(q, tol+1e-9) {
+			t.Fatalf("Contains not monotone in tol at %v", q)
+		}
+		// Wrong-dimension vectors are never inside.
+		if d > 2 && reg.Contains(q[:d-1], tol) {
+			t.Fatalf("Contains accepted a %d-vector in a %d-region", d-1, d)
+		}
+		// Exercise the derived views for panics on hostile regions.
+		if len(reg.Halfspaces()) != len(cons) {
+			t.Fatal("Halfspaces dropped constraints")
+		}
+		if len(reg.HalfspacesWithBox()) != len(cons)+2*d {
+			t.Fatal("HalfspacesWithBox miscounted the box")
+		}
+		_ = reg.BindingConstraint(q)
+	})
+}
+
+// containsOracle re-evaluates Definition 1's membership test directly,
+// mirroring the implementation's comparison form (NaNs fail no rejection
+// test, exactly as in Region.Contains — the fuzzer checks agreement, and
+// upstream validation keeps NaNs out of real queries).
+func containsOracle(r *Region, q vec.Vector, tol float64) bool {
+	if len(q) != r.Dim {
+		return false
+	}
+	for _, x := range q {
+		if x < -tol || x > 1+tol {
+			return false
+		}
+	}
+	for _, c := range r.Constraints {
+		dot := 0.0
+		for j := range c.Normal {
+			dot += c.Normal[j] * q[j]
+		}
+		if dot < -tol {
+			return false
+		}
+	}
+	return true
+}
+
+func seedCase(d int, q []float64, normals []float64) []byte {
+	out := []byte{byte(d - 2), 10}
+	for _, x := range append(append([]float64(nil), q...), normals...) {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(x))
+	}
+	return out
+}
+
+func decodeFloats(data []byte, max int) []float64 {
+	var out []float64
+	for len(data) >= 8 && len(out) < max {
+		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(data[:8])))
+		data = data[8:]
+	}
+	return out
+}

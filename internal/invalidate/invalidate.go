@@ -1,0 +1,137 @@
+// Package invalidate decides whether a dataset mutation can perturb a
+// cached top-k result anywhere inside its Global Immutable Region — the
+// fine-grained alternative to flushing a GIR-keyed cache on every write.
+//
+// The GIR is precisely a certificate of where a cached result stays valid,
+// so it also tells us which mutations matter:
+//
+//   - Delete(id): within the region the result's composition is fixed, so
+//     removing a record changes the result iff that record IS in the
+//     result. Deleting a non-result record never invalidates the entry —
+//     the result records are still present and still beat everything that
+//     remains (the true GIR can only grow; the cached region stays a sound,
+//     if no longer maximal, certificate).
+//
+//   - Insert(id, p): within the region the k-th result record p_k is fixed,
+//     and under linear scoring its score at weight w is w·p_k. The new
+//     record enters the top-k at weight w iff w·p > w·p_k. The entry is
+//     therefore affected iff
+//
+//     max_{w ∈ R} w·(p − p_k)  >  0,
+//
+//     a linear program over the region's constraint cone clipped to the
+//     query box — exactly what internal/lp solves. Two closed-form filters
+//     decide the common cases without an LP: if p is componentwise
+//     dominated by p_k, no nonnegative weight prefers p (keep); if the
+//     objective is already positive at the region's own query vector or
+//     anywhere in a precomputed inscribed box (the MAH), some weight in R
+//     prefers p (evict).
+//
+// Decisions are conservative: any numerical doubt (LP non-optimal status,
+// margins inside tolerance of zero) resolves toward "affected", so a kept
+// entry is always safe to serve. The one documented exception is exact
+// score ties: a new record that can only ever TIE the k-th record (margin
+// ≤ Tol everywhere in the region) is treated as unaffected, since tie
+// order between distinct records is not part of the GIR contract and exact
+// ties have measure zero under continuous data.
+package invalidate
+
+import (
+	gir "github.com/girlib/gir/internal/gir"
+	"github.com/girlib/gir/internal/lp"
+	"github.com/girlib/gir/internal/topk"
+	"github.com/girlib/gir/internal/vec"
+)
+
+// Tol is the margin below which a score difference is considered a tie.
+// It sits above the LP solver's internal tolerance (1e-9) and far below
+// any margin arising from data that is not engineered to tie.
+const Tol = 1e-9
+
+// Mutation is one dataset write, in the form the affectedness tests need.
+type Mutation struct {
+	Insert bool
+	ID     int64
+	Point  vec.Vector // the inserted record's attributes (Insert only)
+}
+
+// Affects reports whether the mutation can change the cached top-k result
+// recs anywhere inside region reg. innerLo/innerHi optionally give an
+// axis-parallel box inscribed in reg (e.g. its MAH) used as a fast
+// positive filter; pass nil to skip it.
+func Affects(m Mutation, reg *gir.Region, recs []topk.Record, innerLo, innerHi vec.Vector) bool {
+	if m.Insert {
+		return InsertAffects(reg, recs, m.Point, innerLo, innerHi)
+	}
+	return DeleteAffects(recs, m.ID)
+}
+
+// DeleteAffects reports whether deleting record id invalidates the cached
+// result recs: true iff the record is part of the result.
+func DeleteAffects(recs []topk.Record, id int64) bool {
+	for _, r := range recs {
+		if r.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// InsertAffects reports whether inserting a record with attributes p can
+// change the top-|recs| result anywhere in reg. It runs the closed-form
+// filters first and falls back to the LP only when they are inconclusive.
+func InsertAffects(reg *gir.Region, recs []topk.Record, p vec.Vector, innerLo, innerHi vec.Vector) bool {
+	if reg == nil || len(recs) == 0 {
+		return true // nothing to certify against: evict
+	}
+	pk := recs[len(recs)-1].Point
+	if len(p) != len(pk) || len(p) != reg.Dim {
+		return true // malformed input: evict rather than risk staleness
+	}
+	diff := make(vec.Vector, len(p))
+	boxMax := 0.0 // max of w·diff over the full [0,1]^d box ⊇ reg
+	for j := range p {
+		diff[j] = p[j] - pk[j]
+		if diff[j] > 0 {
+			boxMax += diff[j]
+		}
+	}
+	// Dominance filter: p ≤ p_k componentwise means w·p ≤ w·p_k for every
+	// nonnegative weight, inside or outside the region. Keep.
+	if boxMax <= Tol {
+		return false
+	}
+	// Query filter: the region's own query is inside it; a positive margin
+	// there means the new record enters that very result. Evict.
+	if vec.Dot(reg.Query, diff) > Tol {
+		return true
+	}
+	// Inscribed-box filter: maximize w·diff over [innerLo, innerHi] ⊆ reg
+	// in closed form; a positive margin anywhere in the box is a positive
+	// margin in the region. Evict.
+	if len(innerLo) == len(diff) && len(innerHi) == len(diff) {
+		inner := 0.0
+		for j, dj := range diff {
+			if dj > 0 {
+				inner += dj * innerHi[j]
+			} else {
+				inner += dj * innerLo[j]
+			}
+		}
+		if inner > Tol {
+			return true
+		}
+	}
+	// Exact decision: max w·(p − p_k) over the region's cone constraints
+	// clipped to the unit box. Note w = 0 is always feasible, so the
+	// maximum is ≥ 0; only a margin beyond Tol signals a genuine overtake.
+	cons := make([]lp.Constraint, 0, len(reg.Constraints))
+	for _, c := range reg.Constraints {
+		cons = append(cons, lp.Constraint{Coef: c.Normal, Op: lp.GE, RHS: 0})
+	}
+	sol := lp.MaximizeOverBox(diff, cons)
+	if sol.Status != lp.Optimal {
+		return true // numerical failure: evict conservatively
+	}
+	return sol.Objective > Tol
+}

@@ -349,6 +349,26 @@ func Minimize(c []float64, cons []Constraint) Solution {
 	return Solve(&Problem{NumVars: len(c), Objective: c, Constraints: cons})
 }
 
+// MaximizeOverBox maximizes c·x over the unit box [0,1]^n intersected with
+// the given constraint system (x ≥ 0 is implicit, x ≤ 1 is appended here).
+// This is the shape of the cache-invalidation subproblem: the GIR is a cone
+// clipped to the query space, and the question "can an inserted record
+// outscore the cached k-th record anywhere in the region" is exactly a
+// bounded LP over that body. The box guarantees the program is never
+// unbounded, so a non-Optimal status signals a numerical failure the
+// caller should treat conservatively.
+func MaximizeOverBox(c []float64, cons []Constraint) Solution {
+	n := len(c)
+	all := make([]Constraint, 0, n+len(cons))
+	for j := 0; j < n; j++ {
+		coef := make([]float64, n)
+		coef[j] = 1
+		all = append(all, Constraint{Coef: coef, Op: LE, RHS: 1})
+	}
+	all = append(all, cons...)
+	return Maximize(c, all)
+}
+
 // Maximize maximizes c·x over the system; the returned objective is the
 // maximum value.
 func Maximize(c []float64, cons []Constraint) Solution {

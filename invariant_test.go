@@ -1,0 +1,186 @@
+package gir_test
+
+import (
+	"math/rand"
+	"testing"
+
+	gir "github.com/girlib/gir"
+)
+
+// This file is the property-based harness for the paper's Theorem-level
+// invariant (Definition 1 / Section 3): every query vector inside a
+// computed GIR returns EXACTLY the region's top-k result — identical
+// composition and order for the order-sensitive GIR, identical composition
+// for the order-insensitive GIR*. The serving stack (Cache, Engine) is
+// sound only because of this property, so it is pinned directly here for
+// every Method variant over random datasets and random queries.
+
+// sampleInside draws count query vectors strictly inside g: points of the
+// MAH box (inscribed in the region by construction) and jittered copies of
+// the original query accepted by Contains.
+func sampleInside(r *rand.Rand, g *gir.GIR, count int) [][]float64 {
+	lo, hi := g.MAH()
+	q0 := g.Query()
+	out := [][]float64{q0}
+	for attempts := 0; len(out) < count && attempts < count*200; attempts++ {
+		q := make([]float64, g.Dim())
+		if attempts%2 == 0 {
+			for j := range q {
+				q[j] = lo[j] + (hi[j]-lo[j])*r.Float64()
+			}
+		} else {
+			for j := range q {
+				q[j] = q0[j] * (1 + 0.03*r.NormFloat64())
+				if q[j] < 0 {
+					q[j] = 0
+				}
+				if q[j] > 1 {
+					q[j] = 1
+				}
+			}
+		}
+		if g.Contains(q) {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+func resultIDs(recs []gir.Record) []int64 {
+	ids := make([]int64, len(recs))
+	for i, r := range recs {
+		ids[i] = r.ID
+	}
+	return ids
+}
+
+func sameOrder(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameSet(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[int64]int, len(a))
+	for _, id := range a {
+		seen[id]++
+	}
+	for _, id := range b {
+		if seen[id] == 0 {
+			return false
+		}
+		seen[id]--
+	}
+	return true
+}
+
+// TestGIRInvariant checks, for every Method and for both GIR and GIR*,
+// that queries sampled inside the region reproduce the cached result.
+func TestGIRInvariant(t *testing.T) {
+	methods := []gir.Method{gir.SP, gir.CP, gir.FP, gir.Exhaustive}
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 4; trial++ {
+		d := 2 + trial%2
+		k := 3 + trial*2
+		ds, err := gir.NewDataset(randomPoints(r, 350, d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = 0.2 + 0.6*r.Float64()
+		}
+		base, err := ds.TopK(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseIDs := resultIDs(base.Records)
+
+		for _, m := range methods {
+			for _, star := range []bool{false, true} {
+				res, err := ds.TopK(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var g *gir.GIR
+				if star {
+					g, err = ds.ComputeGIRStar(res, m)
+				} else {
+					g, err = ds.ComputeGIR(res, m)
+				}
+				if err != nil {
+					t.Fatalf("trial %d method %v star %v: %v", trial, m, star, err)
+				}
+				if !g.Contains(q) {
+					t.Fatalf("trial %d method %v star %v: query outside its own region", trial, m, star)
+				}
+				for _, q2 := range sampleInside(r, g, 10) {
+					fresh, err := ds.TopK(q2, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					freshIDs := resultIDs(fresh.Records)
+					if star {
+						if !sameSet(baseIDs, freshIDs) {
+							t.Fatalf("trial %d method %v GIR*: q'=%v changed result composition: %v vs %v",
+								trial, m, q2, freshIDs, baseIDs)
+						}
+					} else if !sameOrder(baseIDs, freshIDs) {
+						t.Fatalf("trial %d method %v GIR: q'=%v changed result: %v vs %v",
+							trial, m, q2, freshIDs, baseIDs)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGIRInvariantThroughCache closes the loop on the serving stack: a
+// result served from the Cache for an in-region query must be byte-
+// identical (ids, attrs, recomputed scores) to a fresh sequential TopK.
+func TestGIRInvariantThroughCache(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	ds, err := gir.NewDataset(randomPoints(r, 500, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := gir.NewEngine(ds, gir.EngineOptions{CacheCapacity: 16})
+	defer e.Close()
+	q := []float64{0.55, 0.4, 0.6}
+	const k = 6
+	first := e.TopK(q, k)
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	res, err := ds.TopK(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ds.ComputeGIR(res, gir.FP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for _, q2 := range sampleInside(r, g, 12) {
+		got := e.TopK(q2, k)
+		if got.Err != nil {
+			t.Fatal(got.Err)
+		}
+		if got.CacheHit {
+			hits++
+		}
+		requireIdentical(t, ds, gir.Query{Vector: q2, K: k}, got)
+	}
+	if hits == 0 {
+		t.Error("no in-region query hit the cache")
+	}
+}
