@@ -4,6 +4,8 @@ import (
 	"github.com/girlib/gir/internal/cache"
 	girint "github.com/girlib/gir/internal/gir"
 	"github.com/girlib/gir/internal/invalidate"
+	"github.com/girlib/gir/internal/repair"
+	"github.com/girlib/gir/internal/score"
 	"github.com/girlib/gir/internal/topk"
 	"github.com/girlib/gir/internal/vec"
 	"github.com/girlib/gir/internal/viz"
@@ -48,11 +50,14 @@ type CachedResult struct {
 
 // Put caches a result with its order-sensitive GIR. Order-insensitive
 // regions are rejected (serving an ordered list from one is unsound).
+// The result's retained repair state (Candidates plus unexpanded-subtree
+// bounds, snapshotted when the GIR computation consumed it) is stored with
+// the entry, so RepairInsert/RepairDelete can patch it later.
 func (c *Cache) Put(g *GIR, res *TopKResult) bool {
 	if res == nil {
 		return false
 	}
-	return c.commitPut(prepareCachePut(g, res.Records), 0)
+	return c.commitPut(prepareCachePut(g, res.Records, res.cand, res.bounds, res.complete), 0)
 }
 
 // preparedPut is a staged cache insert: all admission checks, record
@@ -62,12 +67,15 @@ func (c *Cache) Put(g *GIR, res *TopKResult) bool {
 type preparedPut struct {
 	reg    *girint.Region
 	recs   []topk.Record
+	cand   []topk.Record
+	bounds []vec.Vector
+	candOK bool
 	lo, hi vec.Vector
 }
 
 // prepareCachePut stages an insert, or returns nil when the entry is not
 // cacheable (no region, or an order-insensitive GIR*).
-func prepareCachePut(g *GIR, recs []Record) *preparedPut {
+func prepareCachePut(g *GIR, recs []Record, cand []topk.Record, bounds []vec.Vector, candOK bool) *preparedPut {
 	if g == nil {
 		return nil
 	}
@@ -80,7 +88,7 @@ func prepareCachePut(g *GIR, recs []Record) *preparedPut {
 		trecs[i] = topk.Record{ID: r.ID, Point: vec.Vector(r.Attrs), Score: r.Score}
 	}
 	lo, hi := viz.MAH(reg, reg.Query)
-	return &preparedPut{reg: reg, recs: trecs, lo: lo, hi: hi}
+	return &preparedPut{reg: reg, recs: trecs, cand: cand, bounds: bounds, candOK: candOK, lo: lo, hi: hi}
 }
 
 // commitPut inserts a staged entry, seeding its cleared-version stamp.
@@ -88,7 +96,7 @@ func (c *Cache) commitPut(p *preparedPut, clearedThrough int64) bool {
 	if p == nil {
 		return false
 	}
-	return c.inner.PutWithBox(p.reg, p.recs, p.lo, p.hi, clearedThrough)
+	return c.inner.PutWithBox(p.reg, p.recs, p.lo, p.hi, p.cand, p.bounds, p.candOK, clearedThrough)
 }
 
 // Lookup serves a top-k query from the cache if some cached GIR contains
@@ -131,25 +139,123 @@ func (c *Cache) Shards() int { return c.inner.Shards() }
 func (c *Cache) Clear() { c.inner.Clear() }
 
 // InvalidateInsert evicts every cached entry whose result could change if
-// a record with attributes p were inserted into the dataset: an entry
-// survives only if no weight vector in its region scores p above the
-// entry's k-th record (decided in closed form where possible, by a small
-// LP otherwise). It returns the number of entries evicted. Call it after
-// Dataset.Insert when managing a Cache by hand.
-func (c *Cache) InvalidateInsert(p []float64) int {
-	return c.inner.EvictIf(func(e *cache.Entry) bool {
-		return invalidate.InsertAffects(e.Region, e.Records, vec.Vector(p), e.InnerLo, e.InnerHi)
+// the record (id, p) were inserted into the dataset: an entry survives
+// only if no weight vector in its region scores p above the entry's k-th
+// record (decided in closed form where possible, by a small LP otherwise).
+// It returns the number of entries evicted. Call it after Dataset.Insert
+// when managing a Cache by hand.
+//
+// Surviving entries absorb the record into their retained candidate sets,
+// exactly as RepairInsert does — that is what keeps a later RepairDelete
+// sound, so the evict-only and repair API families can be mixed freely.
+// Like the repair methods, maintenance must not run concurrently with
+// itself (lookups may run concurrently freely).
+func (c *Cache) InvalidateInsert(id int64, p []float64) int {
+	_, evicted := c.inner.Maintain(func(e *cache.Entry) cache.Decision {
+		if !invalidate.InsertAffects(e.Region, e.Records, vec.Vector(p), e.InnerLo, e.InnerHi) {
+			c.absorbInsert(e, id, p)
+			return cache.Decision{}
+		}
+		return cache.Decision{Evict: true}
 	})
+	return evicted
 }
 
 // InvalidateDelete evicts every cached entry whose result contains the
 // deleted record id; entries whose results do not include the record keep
 // serving (their region remains a sound certificate — removing a
-// non-result record can only grow the true GIR). It returns the number of
-// entries evicted. Call it after Dataset.Delete when managing a Cache by
-// hand.
+// non-result record can only grow the true GIR) and drop the record from
+// their candidate sets. It returns the number of entries evicted. Call it
+// after Dataset.Delete when managing a Cache by hand; same concurrency
+// contract as InvalidateInsert.
 func (c *Cache) InvalidateDelete(id int64) int {
-	return c.inner.EvictIf(func(e *cache.Entry) bool {
-		return invalidate.DeleteAffects(e.Records, id)
+	_, evicted := c.inner.Maintain(func(e *cache.Entry) cache.Decision {
+		if !invalidate.DeleteAffects(e.Records, id) {
+			e.AbsorbDelete(e.AbsorbedThrough(), id)
+			return cache.Decision{}
+		}
+		return cache.Decision{Evict: true}
 	})
+	return evicted
+}
+
+// absorbInsert folds an unaffecting insert into an entry's candidate set
+// (hand-managed maintenance path; the Engine's drainer has its own
+// version-stamped equivalent).
+func (c *Cache) absorbInsert(e *cache.Entry, id int64, p []float64) {
+	e.AbsorbInsert(e.AbsorbedThrough(), topk.Record{
+		ID: id, Point: vec.Vector(p),
+		Score: score.Linear{}.Score(vec.Vector(p), e.Region.Query),
+	})
+}
+
+// RepairInsert is InvalidateInsert with repair: every entry the inserted
+// record (id, p) can perturb is patched in place when the perturbation is
+// the closed-form k-th-displacement case (internal/repair), and evicted
+// only otherwise; unaffected entries absorb the record into their
+// candidate sets so later RepairDelete calls stay sound. Call it after
+// Dataset.Insert when managing a Cache by hand; like the Engine's drainer,
+// repair maintenance must not run concurrently with itself or with
+// RepairDelete (lookups may run concurrently freely).
+func (c *Cache) RepairInsert(id int64, p []float64) (repaired, evicted int) {
+	return c.inner.Maintain(func(e *cache.Entry) cache.Decision {
+		if !invalidate.InsertAffects(e.Region, e.Records, vec.Vector(p), e.InnerLo, e.InnerHi) {
+			c.absorbInsert(e, id, p)
+			return cache.Decision{}
+		}
+		return repairDecision(e, true, id, vec.Vector(p))
+	})
+}
+
+// RepairDelete is InvalidateDelete with repair: an entry whose result
+// contains the deleted record promotes the best retained candidate into
+// the freed slot (shrinking its region to where the promotion is provably
+// correct) and is evicted only when no candidate can be certified;
+// unaffected entries drop the record from their candidate sets. Same
+// concurrency contract as RepairInsert.
+func (c *Cache) RepairDelete(id int64) (repaired, evicted int) {
+	return c.inner.Maintain(func(e *cache.Entry) cache.Decision {
+		if !invalidate.DeleteAffects(e.Records, id) {
+			e.AbsorbDelete(e.AbsorbedThrough(), id)
+			return cache.Decision{}
+		}
+		return repairDecision(e, false, id, nil)
+	})
+}
+
+// repairDecision attempts the repair of one affected entry and falls back
+// to eviction; shared by the hand-managed repair methods and the Engine's
+// drainer (which adds version stamps on top).
+func repairDecision(e *cache.Entry, insert bool, id int64, p vec.Vector) cache.Decision {
+	ne := repairedEntry(e, insert, id, p, e.AbsorbedThrough())
+	if ne == nil {
+		return cache.Decision{Evict: true}
+	}
+	return cache.Decision{Replace: ne}
+}
+
+// repairedEntry runs the repair analysis for one affected entry and builds
+// its replacement (with cleared/absorbed stamps at version), or returns
+// nil when the entry must evict instead.
+func repairedEntry(e *cache.Entry, insert bool, id int64, p vec.Vector, version int64) *cache.Entry {
+	re := repair.Entry{
+		Region: e.Region, Records: e.Records,
+		Cand: e.Cand, Bounds: e.Bounds,
+		InnerLo: e.InnerLo, InnerHi: e.InnerHi,
+	}
+	var rp *repair.Repaired
+	var ok bool
+	if insert {
+		rp, ok = repair.Insert(re, id, p)
+	} else {
+		if !e.CandComplete() {
+			return nil // candidate set was dropped or never covered the dataset
+		}
+		rp, ok = repair.Delete(re, id)
+	}
+	if !ok {
+		return nil
+	}
+	lo, hi := viz.MAH(rp.Region, rp.Region.Query)
+	return cache.RepairedEntry(e, rp.Region, rp.Records, rp.Cand, lo, hi, version)
 }

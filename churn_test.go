@@ -85,6 +85,19 @@ type servedResult struct {
 }
 
 func TestEngineChurnNeverServesStale(t *testing.T) {
+	runEngineChurn(t, EngineOptions{Workers: 4, CacheCapacity: 48})
+}
+
+// TestEngineChurnRepairMode runs the same mutator/querier race with
+// repair-instead-of-evict maintenance: every served answer must still
+// match brute-force top-k somewhere in its version window (a repaired
+// entry serving a stale or mis-promoted result fails exactly like an
+// un-evicted one), and the maintenance counters must reconcile.
+func TestEngineChurnRepairMode(t *testing.T) {
+	runEngineChurn(t, EngineOptions{Workers: 4, CacheCapacity: 48, RepairMode: true})
+}
+
+func runEngineChurn(t *testing.T, opts EngineOptions) {
 	r := rand.New(rand.NewSource(77))
 	const n, d = 500, 3
 	points := make([][]float64, n)
@@ -98,7 +111,7 @@ func TestEngineChurnNeverServesStale(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := NewEngine(ds, EngineOptions{Workers: 4, CacheCapacity: 48})
+	e := NewEngine(ds, opts)
 	defer e.Close()
 
 	// Query pool with repeats so the cache is genuinely exercised.
@@ -206,6 +219,7 @@ func TestEngineChurnNeverServesStale(t *testing.T) {
 	close(stop)
 	mutator.Wait()
 	close(results)
+	e.Quiesce() // settle the drainer so the maintenance counters are final
 
 	verified, hadMultiVersionWindows := 0, 0
 	for sr := range results {
@@ -233,8 +247,21 @@ func TestEngineChurnNeverServesStale(t *testing.T) {
 	if len(mirror.log) == 0 {
 		t.Error("no mutations ran — churn test is vacuous")
 	}
-	t.Logf("verified=%d (windows spanning mutations: %d) mutations=%d hits=%d misses=%d invalidated=%d fenced=%d",
-		verified, hadMultiVersionWindows, len(mirror.log), st.CacheHits, st.Misses, st.Invalidated, st.Fenced)
+	// Maintenance-counter consistency: every entry a mutation could perturb
+	// was either repaired in place or evicted, and nothing else was counted
+	// in either bucket.
+	if st.Repaired+st.Invalidated != st.Affected {
+		t.Errorf("counters inconsistent: repaired %d + evicted %d != affected %d",
+			st.Repaired, st.Invalidated, st.Affected)
+	}
+	if !opts.RepairMode && st.Repaired != 0 {
+		t.Errorf("repairs happened with RepairMode off: %d", st.Repaired)
+	}
+	if st.Fenced < 0 {
+		t.Errorf("negative fence counter: %d", st.Fenced)
+	}
+	t.Logf("verified=%d (windows spanning mutations: %d) mutations=%d hits=%d misses=%d affected=%d repaired=%d invalidated=%d fenced=%d",
+		verified, hadMultiVersionWindows, len(mirror.log), st.CacheHits, st.Misses, st.Affected, st.Repaired, st.Invalidated, st.Fenced)
 }
 
 func idsOf(recs []Record) []int64 {

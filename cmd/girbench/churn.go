@@ -32,8 +32,11 @@ type churnRow struct {
 	Partial     int64   `json:"partial"`
 	Misses      int64   `json:"misses"`
 	HitRate     float64 `json:"hit_rate"`
+	Affected    int64   `json:"affected"`
+	Repaired    int64   `json:"repaired"`
 	Invalidated int64   `json:"invalidated"`
 	Fenced      int64   `json:"fenced"`
+	Recomputes  int64   `json:"recomputes"`
 	PageReads   int64   `json:"page_reads"`
 }
 
@@ -53,9 +56,10 @@ type churnConfig struct {
 	ZipfS    float64 `json:"zipf_s"`
 	Jitter   float64 `json:"jitter"`
 	Churn    float64 `json:"churn"`
+	Repair   bool    `json:"repair"`
 }
 
-func runChurn(cfg serveConfig, churn float64, jsonPath string, w io.Writer) error {
+func runChurn(cfg serveConfig, churn float64, repair bool, jsonPath string, w io.Writer) error {
 	pts := datagen.Independent(cfg.N, cfg.D, cfg.Seed)
 	raw := make([][]float64, len(pts))
 	for i, p := range pts {
@@ -66,17 +70,18 @@ func runChurn(cfg serveConfig, churn float64, jsonPath string, w io.Writer) erro
 
 	fmt.Fprintf(w, "churn benchmark: n=%d d=%d, %d operations (%d queries, %d writes = %.1f%%) over %d distinct vectors (zipf s=%.2f)\n\n",
 		cfg.N, cfg.D, cfg.Stream, queries, writes, 100*float64(writes)/float64(max(1, cfg.Stream)), cfg.Distinct, cfg.ZipfS)
-	fmt.Fprintf(w, "%-22s %10s %10s %8s %8s %8s %9s %12s %8s\n",
-		"configuration", "elapsed", "queries/s", "hits", "misses", "hitrate", "evicted", "fence-vetos", "reads")
+	fmt.Fprintf(w, "%-22s %10s %10s %8s %8s %8s %9s %9s %12s %10s %8s\n",
+		"configuration", "elapsed", "queries/s", "hits", "misses", "hitrate", "repaired", "evicted", "fence-vetos", "recomputes", "reads")
 
 	var rows []churnRow
-	measure := func(name string, flushOnWrite bool) error {
+	measure := func(name string, flushOnWrite, repairMode bool) error {
 		ds, err := gir.NewDataset(raw)
 		if err != nil {
 			return err
 		}
 		e := gir.NewEngine(ds, gir.EngineOptions{
-			Workers: cfg.Workers, CacheCapacity: cfg.Distinct * 2, FlushOnWrite: flushOnWrite,
+			Workers: cfg.Workers, CacheCapacity: cfg.Distinct * 2,
+			FlushOnWrite: flushOnWrite, RepairMode: repairMode,
 		})
 		defer e.Close()
 		// Warm: serve the whole query side once so the cache is populated
@@ -117,32 +122,45 @@ func runChurn(cfg serveConfig, churn float64, jsonPath string, w io.Writer) erro
 			Hits:        st.CacheHits - warm.CacheHits,
 			Partial:     st.PartialHits - warm.PartialHits,
 			Misses:      st.Misses - warm.Misses,
+			Affected:    st.Affected - warm.Affected,
+			Repaired:    st.Repaired - warm.Repaired,
 			Invalidated: st.Invalidated - warm.Invalidated,
 			Fenced:      st.Fenced - warm.Fenced,
+			Recomputes:  st.Computed - warm.Computed,
 			PageReads:   ds.IOStats().PageReads,
 		}
 		if lookups := row.Hits + row.Partial + row.Misses; lookups > 0 {
 			row.HitRate = float64(row.Hits) / float64(lookups)
 		}
 		rows = append(rows, row)
-		fmt.Fprintf(w, "%-22s %10v %10.0f %8d %8d %7.1f%% %9d %12d %8d\n",
+		fmt.Fprintf(w, "%-22s %10v %10.0f %8d %8d %7.1f%% %9d %9d %12d %10d %8d\n",
 			name, elapsed.Round(time.Millisecond), row.QPS, row.Hits, row.Misses,
-			100*row.HitRate, row.Invalidated, row.Fenced, row.PageReads)
+			100*row.HitRate, row.Repaired, row.Invalidated, row.Fenced, row.Recomputes, row.PageReads)
 		return nil
 	}
 
-	if err := measure("fine-grained", false); err != nil {
+	if repair {
+		if err := measure("repair", false, true); err != nil {
+			return err
+		}
+	}
+	if err := measure("fine-grained", false, false); err != nil {
 		return err
 	}
-	if err := measure("global flush", true); err != nil {
+	if err := measure("global flush", true, false); err != nil {
 		return err
 	}
 
-	fg, gf := rows[0], rows[1]
+	fg, gf := rows[len(rows)-2], rows[len(rows)-1]
 	fmt.Fprintf(w, "\nfine-grained invalidation retains %.1f%% warm hit rate under %.1f%% writes (global flush: %.1f%%);\n",
 		100*fg.HitRate, 100*float64(writes)/float64(max(1, cfg.Stream)), 100*gf.HitRate)
 	fmt.Fprintf(w, "each write evicted only the cached regions it could perturb (%d evictions across %d writes).\n",
 		fg.Invalidated, writes)
+	if repair {
+		rp := rows[0]
+		fmt.Fprintf(w, "repair-instead-of-evict: %.1f%% hit rate with %d full recomputes (eviction: %.1f%% with %d) — %d of %d affected entries were patched in place.\n",
+			100*rp.HitRate, rp.Recomputes, 100*fg.HitRate, fg.Recomputes, rp.Repaired, rp.Affected)
+	}
 
 	if jsonPath != "" {
 		report := churnReport{
@@ -150,6 +168,7 @@ func runChurn(cfg serveConfig, churn float64, jsonPath string, w io.Writer) erro
 			Config: churnConfig{
 				N: cfg.N, D: cfg.D, Seed: cfg.Seed, Stream: cfg.Stream,
 				Distinct: cfg.Distinct, ZipfS: cfg.ZipfS, Jitter: cfg.Jitter, Churn: churn,
+				Repair: repair,
 			},
 			Rows: rows,
 		}

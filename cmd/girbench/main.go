@@ -34,7 +34,8 @@ func main() {
 	serveBatch := flag.Int("batch", 64, "-serve: queries per BatchTopK call")
 	serveWorkers := flag.Int("workers", 0, "-serve: engine worker-pool size (0 = GOMAXPROCS)")
 	serveChurn := flag.Float64("churn", 0, "-serve: fraction of operations that are Insert/Delete writes (> 0 runs the churn benchmark)")
-	serveJSON := flag.String("json", "", "-serve -churn: also write the measured rows to this file as JSON (the CI BENCH_serve.json artifact)")
+	serveRepair := flag.Bool("repair", false, "-serve -churn: also measure RepairMode (repair-instead-of-evict cache maintenance) as a third configuration")
+	serveJSON := flag.String("json", "", "-serve -churn: also write the measured rows to this file as JSON (the CI BENCH_serve.json / BENCH_repair.json artifact)")
 	flag.IntVar(&cfg.N, "n", cfg.N, "synthetic dataset cardinality (paper: 1000000)")
 	flag.IntVar(&cfg.Queries, "queries", cfg.Queries, "queries averaged per cell (paper: 100)")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "deterministic seed")
@@ -80,7 +81,7 @@ func main() {
 		}
 		var err error
 		if *serveChurn > 0 {
-			err = runChurn(scfg, *serveChurn, *serveJSON, os.Stdout)
+			err = runChurn(scfg, *serveChurn, *serveRepair, *serveJSON, os.Stdout)
 		} else {
 			err = runServe(scfg, os.Stdout)
 		}

@@ -10,6 +10,7 @@ import (
 	engineint "github.com/girlib/gir/internal/engine"
 	"github.com/girlib/gir/internal/invalidate"
 	"github.com/girlib/gir/internal/score"
+	"github.com/girlib/gir/internal/topk"
 	"github.com/girlib/gir/internal/vec"
 )
 
@@ -67,6 +68,8 @@ type Engine struct {
 
 	deduped     atomic.Int64
 	computed    atomic.Int64
+	affected    atomic.Int64 // entries a mutation could perturb (repaired + evicted)
+	repaired    atomic.Int64 // affected entries patched in place instead of evicted
 	invalidated atomic.Int64 // entries evicted by fine-grained invalidation
 	fenced      atomic.Int64 // cache hits vetoed by the generation fence
 }
@@ -92,6 +95,16 @@ type EngineOptions struct {
 	// writes, at the cost of a far lower hit rate under churn. Kept as a
 	// benchmark baseline and an escape hatch for write-dominated workloads.
 	FlushOnWrite bool
+	// RepairMode upgrades fine-grained invalidation to
+	// repair-instead-of-evict: an affected entry is patched in place when
+	// the mutation perturbs it in a closed-form way — an Insert that
+	// displaces only its k-th record swaps the new record in and shrinks
+	// the region by the new pairwise constraint; a Delete of one of its
+	// result records promotes the best retained candidate — and evicted
+	// only when no sound repair exists (internal/repair). Repaired entries
+	// keep serving without a full top-k + GIR recompute on the next miss.
+	// Ignored when FlushOnWrite is set.
+	RepairMode bool
 }
 
 // NewEngine builds an engine over the dataset.
@@ -195,21 +208,56 @@ func (e *Engine) drainMutations() {
 		m := e.pending[0]
 		e.invMu.Unlock()
 
-		var n int
 		if e.opts.FlushOnWrite {
-			n = e.cache.inner.Clear()
+			n := int64(e.cache.inner.Clear())
+			e.affected.Add(n)
+			e.invalidated.Add(n)
 		} else {
-			n = e.cache.inner.EvictIf(func(entry *cacheint.Entry) bool {
-				return e.mutationAffects(m, entry)
+			rep, ev := e.cache.inner.Maintain(func(entry *cacheint.Entry) cacheint.Decision {
+				if !e.mutationAffects(m, entry) {
+					e.absorbMutation(m, entry)
+					return cacheint.Decision{}
+				}
+				if e.opts.RepairMode {
+					if ne := repairedEntry(entry, m.insert, m.id, vec.Vector(m.point), m.version); ne != nil {
+						return cacheint.Decision{Replace: ne}
+					}
+				}
+				return cacheint.Decision{Evict: true}
 			})
+			// Affected is counted from applied outcomes (repair + evict), so
+			// the Repaired + Invalidated = Affected invariant is exact even
+			// when an affected entry vanishes to concurrent LRU pressure
+			// between the decision and its application.
+			e.affected.Add(int64(rep + ev))
+			e.repaired.Add(int64(rep))
+			e.invalidated.Add(int64(ev))
 		}
-		e.invalidated.Add(int64(n))
 
 		e.invMu.Lock()
 		e.pending = e.pending[1:]
 		e.applied.Store(m.version)
 		e.invCond.Broadcast() // wake Quiesce callers once the queue empties
 		e.invMu.Unlock()
+	}
+}
+
+// absorbMutation folds a mutation that does NOT affect an entry into the
+// entry's retained candidate set: an inserted record becomes a promotion
+// candidate (it is a non-result record of this entry from m.version on),
+// a deleted one stops being one. Without this, a later delete-repair could
+// promote a ghost or miss a better candidate. Only the drainer calls it,
+// and absorbedThrough makes it idempotent per (mutation, entry) even when
+// the fence's RaiseCleared already marked the pair unaffecting.
+func (e *Engine) absorbMutation(m mutation, entry *cacheint.Entry) {
+	if entry.AbsorbedThrough() >= m.version {
+		return
+	}
+	if m.insert {
+		p := vec.Vector(m.point)
+		entry.AbsorbInsert(m.version, topk.Record{ID: m.id, Point: p, Score: score.Linear{}.Score(p, entry.Region.Query)})
+	} else {
+		entry.AbsorbDelete(m.version, m.id)
 	}
 }
 
@@ -298,6 +346,8 @@ type EngineStats struct {
 	Misses      int64 // cache lookups that found nothing
 	Deduped     int64 // queries that shared an identical in-flight computation
 	Computed    int64 // full BRS (+ cache-fill GIR) computations executed
+	Affected    int64 // entries a mutation could perturb (= Repaired + Invalidated)
+	Repaired    int64 // affected entries patched in place (RepairMode)
 	Invalidated int64 // cache entries evicted by fine-grained invalidation
 	Fenced      int64 // candidate hits vetoed while mutation events drained
 }
@@ -307,6 +357,8 @@ func (e *Engine) Stats() EngineStats {
 	st := EngineStats{
 		Deduped:     e.deduped.Load(),
 		Computed:    e.computed.Load(),
+		Affected:    e.affected.Load(),
+		Repaired:    e.repaired.Load(),
 		Invalidated: e.invalidated.Load(),
 		Fenced:      e.fenced.Load(),
 	}
@@ -373,12 +425,12 @@ func (e *Engine) computeTopK(q Query) ([]Record, bool, error) {
 		// lock (no mutation can slip between them), and one GIR build per
 		// distinct result amortizes over every later hit. A GIR failure
 		// only skips the insert.
-		recs, g, ver, topkErr, girErr := e.ds.topKAndGIR(q.Vector, q.K, e.opts.CacheMethod)
-		if topkErr != nil {
-			return nil, topkErr
+		fill, err := e.ds.topKAndGIR(q.Vector, q.K, e.opts.CacheMethod)
+		if err != nil {
+			return nil, err
 		}
-		e.putIfCurrent(g, recs, ver, girErr)
-		return recs, nil
+		e.putIfCurrent(fill)
+		return fill.recs, nil
 	})
 	if shared {
 		e.deduped.Add(1)
@@ -396,27 +448,27 @@ func (e *Engine) computeTopK(q Query) ([]Record, bool, error) {
 // never slip in behind an invalidation pass that would have evicted it: if
 // any mutation newer than ver exists, it is either still in pending (we
 // reject) or fully applied (applied > ver, we reject).
-func (e *Engine) putIfCurrent(g *GIR, recs []Record, ver int64, girErr error) {
-	if e.cache == nil || girErr != nil || g == nil {
+func (e *Engine) putIfCurrent(fill *topKFill) {
+	if e.cache == nil || fill.girErr != nil || fill.g == nil {
 		return
 	}
 	// Staging (record copies, inscribed-box geometry) happens before the
 	// lock: dataset writers publish events under invMu (via ds.mu), so the
 	// critical section must stay at a few comparisons plus the shard
 	// append.
-	p := prepareCachePut(g, recs)
+	p := prepareCachePut(fill.g, fill.recs, fill.cand, fill.bounds, fill.candOK)
 	if p == nil {
 		return
 	}
 	e.invMu.Lock()
 	defer e.invMu.Unlock()
-	if e.applied.Load() > ver {
+	if e.applied.Load() > fill.version {
 		return
 	}
-	if n := len(e.pending); n > 0 && e.pending[n-1].version > ver {
+	if n := len(e.pending); n > 0 && e.pending[n-1].version > fill.version {
 		return
 	}
-	e.cache.commitPut(p, ver)
+	e.cache.commitPut(p, fill.version)
 }
 
 // BatchGIR answers a batch of queries AND computes each result's immutable
@@ -443,15 +495,15 @@ func (e *Engine) serveGIR(q Query, m Method) EngineResult {
 	key := fmt.Sprintf("g%d:", m) + engineint.Key(q.Vector, q.K)
 	v, err, shared := e.flight.Do(key, func() (any, error) {
 		e.computed.Add(1)
-		recs, g, ver, topkErr, girErr := e.ds.topKAndGIR(q.Vector, q.K, m)
-		if topkErr != nil {
-			return nil, topkErr
+		fill, err := e.ds.topKAndGIR(q.Vector, q.K, m)
+		if err != nil {
+			return nil, err
 		}
-		if girErr != nil {
-			return nil, girErr
+		if fill.girErr != nil {
+			return nil, fill.girErr
 		}
-		e.putIfCurrent(g, recs, ver, nil)
-		return girAnswer{records: recs, gir: g}, nil
+		e.putIfCurrent(fill)
+		return girAnswer{records: fill.recs, gir: fill.g}, nil
 	})
 	if shared {
 		e.deduped.Add(1)

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	cacheint "github.com/girlib/gir/internal/cache"
 	girint "github.com/girlib/gir/internal/gir"
 	"github.com/girlib/gir/internal/pager"
 	"github.com/girlib/gir/internal/rtree"
@@ -270,6 +271,15 @@ type TopKResult struct {
 
 	inner    *topk.Result
 	consumed bool
+
+	// Repair state, snapshotted when a GIR computation consumes the result
+	// (Phase 2 mutates the retained heap, so the snapshot must happen
+	// first): the candidate set T plus the top corners of unexpanded
+	// subtrees. Cache.Put stores these so the entry supports
+	// repair-instead-of-evict maintenance.
+	cand     []topk.Record
+	bounds   []vec.Vector
+	complete bool
 }
 
 // TopK answers a top-k query with linear scoring. The query vector must
@@ -326,11 +336,53 @@ func (ds *Dataset) validateLocked(q []float64, k int) error {
 	return nil
 }
 
-// take marks the result consumed, returning an error on reuse.
+// take marks the result consumed, returning an error on reuse. It also
+// snapshots the repair state: Phase 2 consumes and mutates the retained
+// heap, so the (T, unexpanded-subtree bounds) pair — which together with
+// the result covers the whole dataset — must be captured now.
 func (r *TopKResult) take() (*topk.Result, error) {
 	if r.consumed || r.inner == nil {
 		return nil, errors.New("gir: this TopKResult cannot power a GIR computation (already used, or a records-only copy); run TopK again")
 	}
 	r.consumed = true
+	r.cand, r.bounds, r.complete = retainRepairState(r.inner)
 	return r.inner, nil
+}
+
+// retainRepairState snapshots the traversal state delete-repair needs: the
+// candidate set T and the top corner of every search-heap subtree BRS left
+// unexpanded. Oversized state (see cache.MaxRetained) is dropped — the
+// entry then simply evicts instead of repairing on delete.
+func retainRepairState(inner *topk.Result) (cand []topk.Record, bounds []vec.Vector, complete bool) {
+	n := len(inner.T)
+	if inner.Heap != nil {
+		n += inner.Heap.Len()
+	}
+	if n > cacheint.MaxRetained {
+		return nil, nil, false
+	}
+	cand = append([]topk.Record(nil), inner.T...)
+	if inner.Heap != nil {
+		bounds = make([]vec.Vector, 0, inner.Heap.Len())
+		for _, it := range *inner.Heap {
+			bounds = append(bounds, it.Rect.Hi.Clone())
+		}
+	}
+	return cand, bounds, true
+}
+
+// Candidates returns the non-result records the top-k traversal retained
+// (the paper's set T), in decreasing score order for the query. These are
+// the promotion candidates repair draws from when a result record is
+// deleted; they are exposed for diagnostics and hand-managed caches.
+func (r *TopKResult) Candidates() []Record {
+	src := r.cand
+	if !r.consumed && r.inner != nil {
+		src = r.inner.T
+	}
+	out := make([]Record, len(src))
+	for i, t := range src {
+		out[i] = Record{ID: t.ID, Attrs: t.Point, Score: t.Score}
+	}
+	return out
 }

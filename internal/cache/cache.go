@@ -45,6 +45,14 @@ import (
 // the cross-shard probe on a miss cheap.
 const DefaultShards = 16
 
+// MaxRetained caps the repair state (candidates + subtree bounds) stored
+// per entry. A fill whose retained state exceeds the cap is cached without
+// it (candComplete = false): the entry still serves and still supports
+// insert repair, but a delete of one of its result records evicts instead
+// of promoting — promotion is only sound when the candidate set provably
+// covers every record the fill did not report.
+const MaxRetained = 2048
+
 // Entry is one cached result with its immutable region.
 type Entry struct {
 	Region  *gir.Region
@@ -56,6 +64,20 @@ type Entry struct {
 	// filter: a mutation whose score margin is positive anywhere in the box
 	// is positive in the region, with no LP solve.
 	InnerLo, InnerHi vec.Vector
+
+	// Repair state (see internal/repair). Cand is the retained non-result
+	// candidate set: the fill's T, maintained since by absorbing every
+	// later unaffecting mutation. Bounds holds the top corners of R-tree
+	// subtrees the fill never expanded; together with Records and Cand they
+	// cover the whole dataset, which is what makes delete-repair promotion
+	// sound. Both are owned by the single maintenance goroutine (the
+	// Engine's drainer, or the caller of the Cache's repair methods) —
+	// lookups never touch them — so they need no locking beyond the
+	// publish via the shard lock.
+	Cand         []topk.Record
+	Bounds       []vec.Vector
+	candComplete bool
+	absorbed     int64 // mutations ≤ this version are folded into Cand
 
 	lastUse atomic.Int64
 	cleared atomic.Int64 // mutations ≤ this version are known not to affect the entry
@@ -77,6 +99,42 @@ func (e *Entry) RaiseCleared(v int64) {
 			return
 		}
 	}
+}
+
+// CandComplete reports whether Records ∪ Cand ∪ Bounds provably covers the
+// dataset (as of AbsorbedThrough) — the precondition for delete repair.
+func (e *Entry) CandComplete() bool { return e.candComplete }
+
+// AbsorbedThrough returns the version through which unaffecting mutations
+// have been folded into the candidate set. Maintenance-goroutine only.
+func (e *Entry) AbsorbedThrough() int64 { return e.absorbed }
+
+// AbsorbInsert folds an unaffecting insert (version v) into the candidate
+// set: the new record is a non-result candidate of this entry from v on.
+// Maintenance-goroutine only.
+func (e *Entry) AbsorbInsert(v int64, rec topk.Record) {
+	if e.candComplete {
+		if len(e.Cand) >= MaxRetained {
+			e.candComplete = false
+			e.Cand, e.Bounds = nil, nil
+		} else {
+			e.Cand = append(e.Cand, rec)
+		}
+	}
+	e.absorbed = v
+}
+
+// AbsorbDelete folds an unaffecting delete (version v) into the candidate
+// set, dropping the record if it was a candidate. Maintenance-goroutine
+// only.
+func (e *Entry) AbsorbDelete(v int64, id int64) {
+	for i, c := range e.Cand {
+		if c.ID == id {
+			e.Cand = append(e.Cand[:i], e.Cand[i+1:]...)
+			break
+		}
+	}
+	e.absorbed = v
 }
 
 // shard is one lock domain of the cache. Entries are append-ordered;
@@ -239,26 +297,44 @@ func (c *Cache) recordHit(e *Entry, k int) bool {
 // home shard, evicting the approximately least recently used entry
 // (cache-wide) if the cache is full. Order-insensitive regions are
 // rejected: serving a cached *ordered* list from them would be unsound.
+// Entries stored through Put carry no repair state (delete repair evicts).
 func (c *Cache) Put(reg *gir.Region, records []topk.Record) bool {
 	if reg == nil || !reg.OrderSensitive {
 		return false
 	}
 	lo, hi := viz.MAH(reg, reg.Query)
-	return c.PutWithBox(reg, records, lo, hi, 0)
+	return c.PutWithBox(reg, records, lo, hi, nil, nil, false, 0)
 }
 
-// PutWithBox is Put with the inscribed box (and the entry's compute
-// version, seeding ClearedThrough) supplied by the caller. The Engine uses
+// PutWithBox is Put with the inscribed box, the retained repair state
+// (candidate set + unexpanded-subtree bounds; candComplete asserts they
+// cover the dataset at the compute version) and the entry's compute
+// version (seeding ClearedThrough) supplied by the caller. The Engine uses
 // it to do the box geometry outside its fill lock, so dataset writers —
 // who publish events under that lock — are never stalled behind it.
-func (c *Cache) PutWithBox(reg *gir.Region, records []topk.Record, innerLo, innerHi vec.Vector, clearedThrough int64) bool {
+func (c *Cache) PutWithBox(reg *gir.Region, records []topk.Record, innerLo, innerHi vec.Vector, cand []topk.Record, bounds []vec.Vector, candComplete bool, clearedThrough int64) bool {
 	if reg == nil || !reg.OrderSensitive {
 		return false
 	}
-	e := &Entry{Region: reg, Records: records, K: len(records), InnerLo: innerLo, InnerHi: innerHi}
+	// The candidate set is mutated in place by later absorption
+	// (AbsorbInsert/AbsorbDelete), so the entry must own its backing array
+	// — the caller's slice may alias a TopKResult (Candidates) or be Put
+	// into several caches. Bounds are never mutated and can be shared.
+	e := &Entry{
+		Region: reg, Records: records, K: len(records),
+		InnerLo: innerLo, InnerHi: innerHi,
+		Cand: append([]topk.Record(nil), cand...), Bounds: bounds, candComplete: candComplete,
+		absorbed: clearedThrough,
+	}
 	e.cleared.Store(clearedThrough)
+	c.insert(e)
+	return true
+}
+
+// insert publishes a fresh entry and enforces capacity.
+func (c *Cache) insert(e *Entry) {
 	e.lastUse.Store(c.clock.Add(1))
-	s := c.shardFor(reg.Query)
+	s := c.shardFor(e.Region.Query)
 	s.mu.Lock()
 	s.entries = append(s.entries, e)
 	s.mu.Unlock()
@@ -268,7 +344,6 @@ func (c *Cache) PutWithBox(reg *gir.Region, records []topk.Record, innerLo, inne
 			break // cache drained by concurrent evictions
 		}
 	}
-	return true
 }
 
 // evictOldest removes the entry with the globally smallest recency stamp.
@@ -304,6 +379,106 @@ func (c *Cache) evictOldest() bool {
 	}
 	// A concurrent Put already evicted it; count that as progress.
 	return true
+}
+
+// RepairedEntry builds the replacement entry a successful repair swaps in
+// for old: the patched region/result/candidates, a freshly inscribed box,
+// the old entry's unexpanded-subtree bounds and completeness flag, and
+// cleared/absorbed stamps at the repairing mutation's version (the repaired
+// entry is current as of that mutation, so the fence serves it
+// immediately). Recency carries over when the swap happens (Maintain).
+func RepairedEntry(old *Entry, reg *gir.Region, records, cand []topk.Record, innerLo, innerHi vec.Vector, version int64) *Entry {
+	e := &Entry{
+		Region: reg, Records: records, K: len(records),
+		InnerLo: innerLo, InnerHi: innerHi,
+		Cand: cand, Bounds: old.Bounds, candComplete: old.candComplete,
+		absorbed: version,
+	}
+	e.cleared.Store(version)
+	return e
+}
+
+// Decision is a Maintain callback's verdict for one entry: keep (zero
+// value), evict, or swap in a repaired replacement.
+type Decision struct {
+	Evict   bool
+	Replace *Entry
+}
+
+// Maintain runs one maintenance pass: decide is evaluated for every entry
+// on a snapshot of each shard WITHOUT any cache lock held (it may solve
+// LPs), then evictions and replacements are applied under the shard lock
+// by identity — entries inserted or evicted concurrently are simply not
+// considered, exactly as in EvictIf; the Engine's generation fence covers
+// that window. A replacement inherits the old entry's recency stamp, so a
+// repair never perturbs LRU order. It returns how many entries were
+// replaced (repaired) and how many were evicted.
+//
+// Lookups may keep serving a just-replaced old entry they snapshotted
+// before the swap; that is the same race as serving a just-evicted entry,
+// and the same fence veto suppresses it while the triggering mutation is
+// pending.
+func (c *Cache) Maintain(decide func(*Entry) Decision) (repaired, evicted int) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		snap := append([]*Entry(nil), s.entries...)
+		s.mu.RUnlock()
+		var victims []*Entry
+		type swap struct{ old, new *Entry }
+		var swaps []swap
+		for _, e := range snap {
+			d := decide(e)
+			switch {
+			case d.Replace != nil:
+				swaps = append(swaps, swap{e, d.Replace})
+			case d.Evict:
+				victims = append(victims, e)
+			}
+		}
+		if len(victims) == 0 && len(swaps) == 0 {
+			continue
+		}
+		s.mu.Lock()
+		for _, v := range victims {
+			for j, e := range s.entries {
+				if e == v {
+					n := len(s.entries)
+					s.entries[j] = s.entries[n-1]
+					s.entries[n-1] = nil
+					s.entries = s.entries[:n-1]
+					c.size.Add(-1)
+					evicted++
+					break
+				}
+			}
+		}
+		for _, sw := range swaps {
+			for j, e := range s.entries {
+				if e == sw.old {
+					sw.new.lastUse.Store(sw.old.lastUse.Load())
+					s.entries[j] = sw.new
+					repaired++
+					break
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+	return repaired, evicted
+}
+
+// Entries returns a point-in-time snapshot of every cached entry (tests,
+// diagnostics, and future persistence).
+func (c *Cache) Entries() []*Entry {
+	var out []*Entry
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		out = append(out, s.entries...)
+		s.mu.RUnlock()
+	}
+	return out
 }
 
 // EvictIf removes every entry for which pred returns true and reports how

@@ -1,0 +1,105 @@
+package cache
+
+import (
+	"testing"
+
+	"github.com/girlib/gir/internal/topk"
+	"github.com/girlib/gir/internal/vec"
+	"github.com/girlib/gir/internal/viz"
+)
+
+// TestMaintain pins the three verdicts of a maintenance pass: keep (entry
+// untouched), evict (entry gone), replace (repaired entry swapped in with
+// the old entry's recency and the new records served from then on).
+func TestMaintain(t *testing.T) {
+	c := New(8)
+	var olds []*Entry
+	for i := 0; i < 3; i++ {
+		_, _, reg, recs := setup(t, int64(i+1), 200, 3, 3+i)
+		if !c.Put(reg, recs) {
+			t.Fatal("Put failed")
+		}
+		e, ok := c.Lookup(reg.Query, 3+i)
+		if !ok {
+			t.Fatal("fresh entry missed")
+		}
+		olds = append(olds, e)
+	}
+	keepE, evictE, swapE := olds[0], olds[1], olds[2]
+
+	// The replacement keeps the region but re-stamps records/state, as a
+	// repair would.
+	lo, hi := viz.MAH(swapE.Region, swapE.Region.Query)
+	newRecs := append([]topk.Record(nil), swapE.Records...)
+	newRecs[len(newRecs)-1] = topk.Record{ID: 4242, Point: newRecs[len(newRecs)-1].Point, Score: newRecs[len(newRecs)-1].Score}
+	repl := RepairedEntry(swapE, swapE.Region, newRecs, nil, lo, hi, 17)
+
+	rep, ev := c.Maintain(func(e *Entry) Decision {
+		switch e {
+		case evictE:
+			return Decision{Evict: true}
+		case swapE:
+			return Decision{Replace: repl}
+		default:
+			return Decision{}
+		}
+	})
+	if rep != 1 || ev != 1 {
+		t.Fatalf("Maintain = (%d repaired, %d evicted), want (1, 1)", rep, ev)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Lookup(keepE.Region.Query, keepE.K); !ok {
+		t.Error("kept entry vanished")
+	}
+	if _, ok := c.Lookup(evictE.Region.Query, evictE.K); ok {
+		t.Error("evicted entry still serves")
+	}
+	got, ok := c.Lookup(swapE.Region.Query, swapE.K)
+	if !ok {
+		t.Fatal("replaced entry vanished")
+	}
+	if got != repl {
+		t.Error("lookup did not serve the replacement entry")
+	}
+	if got.Records[len(got.Records)-1].ID != 4242 {
+		t.Error("replacement records not served")
+	}
+	if got.ClearedThrough() != 17 || got.AbsorbedThrough() != 17 {
+		t.Errorf("replacement stamps: cleared %d absorbed %d, want 17/17", got.ClearedThrough(), got.AbsorbedThrough())
+	}
+	if got.lastUse.Load() == 0 {
+		t.Error("replacement lost the recency stamp")
+	}
+}
+
+// TestAbsorb pins the candidate-set bookkeeping unaffecting mutations
+// drive: inserts append (until the cap drops completeness), deletes
+// remove, and stamps advance.
+func TestAbsorb(t *testing.T) {
+	e := &Entry{candComplete: true}
+	e.AbsorbInsert(3, topk.Record{ID: 7})
+	e.AbsorbInsert(4, topk.Record{ID: 8})
+	if len(e.Cand) != 2 || e.AbsorbedThrough() != 4 {
+		t.Fatalf("after inserts: %d candidates, absorbed %d", len(e.Cand), e.AbsorbedThrough())
+	}
+	e.AbsorbDelete(5, 7)
+	if len(e.Cand) != 1 || e.Cand[0].ID != 8 || e.AbsorbedThrough() != 5 {
+		t.Fatalf("after delete: %+v, absorbed %d", e.Cand, e.AbsorbedThrough())
+	}
+	e.AbsorbDelete(6, 99) // absent id: stamp still advances
+	if len(e.Cand) != 1 || e.AbsorbedThrough() != 6 {
+		t.Fatalf("after no-op delete: %d candidates, absorbed %d", len(e.Cand), e.AbsorbedThrough())
+	}
+
+	full := &Entry{candComplete: true, Cand: make([]topk.Record, MaxRetained)}
+	full.Bounds = []vec.Vector{{1, 1}}
+	full.AbsorbInsert(9, topk.Record{ID: 1})
+	if full.CandComplete() {
+		t.Error("candidate set over the cap must drop completeness")
+	}
+	if full.Cand != nil || full.Bounds != nil {
+		t.Error("dropped candidate state must be released")
+	}
+}

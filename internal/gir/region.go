@@ -113,6 +113,41 @@ func (r *Region) BindingConstraint(q vec.Vector) int {
 	return best
 }
 
+// Shrink returns a new region equal to r intersected with the added
+// half-spaces {Normal·q' ≥ 0}, with the combined constraint set reduced to
+// a minimal representation. The receiver is not modified — regions stay
+// immutable, which is what lets cached entries be read lock-free — and the
+// result shares the receiver's Dim, Query and OrderSensitive.
+//
+// Added constraints whose normal is componentwise nonnegative are dropped
+// up front: over the nonnegative query space they hold everywhere, so they
+// can never cut the region. This is the geometric core of cache repair
+// (internal/repair): a mutation that perturbs a cached result in a
+// closed-form way is absorbed by shrinking the region with the new
+// pairwise constraints instead of recomputing it from scratch.
+func (r *Region) Shrink(added []Constraint) *Region {
+	cons := make([]Constraint, 0, len(r.Constraints)+len(added))
+	cons = append(cons, r.Constraints...)
+	for _, c := range added {
+		redundant := true
+		for _, x := range c.Normal {
+			if x < 0 {
+				redundant = false
+				break
+			}
+		}
+		if !redundant {
+			cons = append(cons, c)
+		}
+	}
+	return &Region{
+		Dim:            r.Dim,
+		Query:          r.Query.Clone(),
+		Constraints:    reduce(cons),
+		OrderSensitive: r.OrderSensitive,
+	}
+}
+
 // Stats reports what a GIR computation did — the quantities plotted in the
 // paper's Figures 6, 8 and 15–18.
 type Stats struct {

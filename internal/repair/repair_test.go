@@ -1,0 +1,304 @@
+package repair
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	gir "github.com/girlib/gir/internal/gir"
+	"github.com/girlib/gir/internal/invalidate"
+	"github.com/girlib/gir/internal/pager"
+	"github.com/girlib/gir/internal/rtree"
+	"github.com/girlib/gir/internal/score"
+	"github.com/girlib/gir/internal/topk"
+	"github.com/girlib/gir/internal/vec"
+	"github.com/girlib/gir/internal/viz"
+)
+
+// fixture is a dataset with one cached-entry-shaped bundle: the region,
+// result, and the repair state (candidates + unexpanded-subtree bounds)
+// snapshotted between BRS and Phase 2 — exactly what the cache retains.
+type fixture struct {
+	entry  Entry
+	points map[int64]vec.Vector // full dataset contents, for brute force
+	q      vec.Vector
+	k      int
+}
+
+func makeFixture(t *testing.T, r *rand.Rand, n, d, k int) *fixture {
+	t.Helper()
+	pts := make([]vec.Vector, n)
+	points := make(map[int64]vec.Vector, n)
+	for i := range pts {
+		pts[i] = make(vec.Vector, d)
+		for j := range pts[i] {
+			pts[i][j] = r.Float64()
+		}
+		points[int64(i)] = pts[i]
+	}
+	q := make(vec.Vector, d)
+	for j := range q {
+		q[j] = 0.15 + 0.7*r.Float64()
+	}
+	tree := rtree.BulkLoad(pager.NewMemStore(), d, pts, nil)
+	res := topk.BRS(tree, score.Linear{}, q, k)
+	cand := append([]topk.Record(nil), res.T...)
+	var bounds []vec.Vector
+	for _, it := range *res.Heap {
+		bounds = append(bounds, it.Rect.Hi.Clone())
+	}
+	reg, _, err := gir.Compute(tree, res, gir.Options{Method: gir.FP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := viz.MAH(reg, reg.Query)
+	return &fixture{
+		entry: Entry{
+			Region: reg, Records: res.Records,
+			Cand: cand, Bounds: bounds,
+			InnerLo: lo, InnerHi: hi,
+		},
+		points: points,
+		q:      q,
+		k:      k,
+	}
+}
+
+// brute returns the exact top-k ids at w over the point set, or nil when
+// the ranking rests on a near-tie (below the repair tolerance ties are
+// out of contract; callers skip those samples).
+func brute(points map[int64]vec.Vector, w vec.Vector, k int) []int64 {
+	type scored struct {
+		id int64
+		s  float64
+	}
+	all := make([]scored, 0, len(points))
+	for id, p := range points {
+		all = append(all, scored{id, score.Linear{}.Score(p, w)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].s != all[j].s {
+			return all[i].s > all[j].s
+		}
+		return all[i].id < all[j].id
+	})
+	for i := 0; i < k && i+1 < len(all); i++ {
+		if all[i].s-all[i+1].s <= 10*Tol {
+			return nil
+		}
+	}
+	ids := make([]int64, k)
+	for i := range ids {
+		ids[i] = all[i].id
+	}
+	return ids
+}
+
+// sampleRegion draws weight vectors inside reg: its query, points of its
+// inscribed box, and accepted jittered queries.
+func sampleRegion(r *rand.Rand, reg *gir.Region, count int) []vec.Vector {
+	lo, hi := viz.MAH(reg, reg.Query)
+	out := []vec.Vector{reg.Query.Clone()}
+	for tries := 0; len(out) < count && tries < 50*count; tries++ {
+		w := make(vec.Vector, reg.Dim)
+		if tries%2 == 0 {
+			for j := range w {
+				w[j] = lo[j] + (hi[j]-lo[j])*r.Float64()
+			}
+		} else {
+			for j := range w {
+				w[j] = reg.Query[j] + 0.05*r.NormFloat64()
+			}
+			if !reg.Contains(w, 0) {
+				continue
+			}
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+func recIDs(recs []topk.Record) []int64 {
+	out := make([]int64, len(recs))
+	for i, r := range recs {
+		out[i] = r.ID
+	}
+	return out
+}
+
+func equalIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkRepaired asserts the full repair contract for one repaired entry
+// against the mutated point set: the result is the exact top-k at the
+// entry's query, the region is a subset of the old one, and every sampled
+// weight vector inside the repaired region reproduces the repaired result
+// by brute force.
+func checkRepaired(t *testing.T, r *rand.Rand, old *gir.Region, rp *Repaired, points map[int64]vec.Vector, k int) {
+	t.Helper()
+	q := rp.Region.Query
+	if want := brute(points, q, k); want != nil && !equalIDs(recIDs(rp.Records), want) {
+		t.Fatalf("repaired result %v != brute force %v at the entry query", recIDs(rp.Records), want)
+	}
+	for i, rec := range rp.Records {
+		if got, want := rec.Score, (score.Linear{}).Score(rec.Point, q); got != want {
+			t.Fatalf("repaired record %d score %v != recomputed %v (must be byte-equal)", i, got, want)
+		}
+	}
+	for _, w := range sampleRegion(r, rp.Region, 40) {
+		if !old.Contains(w, 1e-9) {
+			t.Fatalf("repaired region escaped the old region at w=%v", w)
+		}
+		want := brute(points, w, k)
+		if want == nil {
+			continue // ranking ties below tolerance are out of contract
+		}
+		if !equalIDs(recIDs(rp.Records), want) {
+			t.Fatalf("repaired entry unsound at w=%v: cached %v, brute force %v", w, recIDs(rp.Records), want)
+		}
+	}
+}
+
+// TestInsertRepair drives random inserts through the classifier and checks
+// every successful repair (swap or keep) against brute force; it also
+// requires both repair flavors to actually occur, so the test cannot pass
+// vacuously.
+func TestInsertRepair(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	var swaps, keeps int
+	for trial := 0; trial < 8; trial++ {
+		fx := makeFixture(t, r, 300, 2+trial%3, 3+trial%3)
+		d := fx.entry.Region.Dim
+		nextID := int64(1 << 20)
+		for c := 0; c < 60; c++ {
+			p := make(vec.Vector, d)
+			for j := range p {
+				p[j] = r.Float64()
+			}
+			if c%4 == 0 {
+				// Nudge toward the k-th record so the displacement cases
+				// actually arise.
+				pk := fx.entry.Records[fx.k-1].Point
+				for j := range p {
+					p[j] = pk[j] + 0.03*r.NormFloat64()
+					if p[j] < 0 {
+						p[j] = 0
+					}
+					if p[j] > 1 {
+						p[j] = 1
+					}
+				}
+			}
+			if !invalidate.InsertAffects(fx.entry.Region, fx.entry.Records, p, fx.entry.InnerLo, fx.entry.InnerHi) {
+				continue
+			}
+			id := nextID
+			nextID++
+			rp, ok := Insert(fx.entry, id, p)
+			if !ok {
+				continue
+			}
+			mutated := make(map[int64]vec.Vector, len(fx.points)+1)
+			for k, v := range fx.points {
+				mutated[k] = v
+			}
+			mutated[id] = p
+			if containsID(rp.Records, id) {
+				swaps++
+			} else {
+				keeps++
+			}
+			checkRepaired(t, r, fx.entry.Region, rp, mutated, fx.k)
+		}
+	}
+	if swaps == 0 {
+		t.Error("no swap repairs occurred — test is vacuous for the displacement case")
+	}
+	if keeps == 0 {
+		t.Error("no keep repairs occurred — test is vacuous for the shrink case")
+	}
+	t.Logf("verified %d swap and %d keep repairs", swaps, keeps)
+}
+
+func containsID(recs []topk.Record, id int64) bool {
+	for _, r := range recs {
+		if r.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDeleteRepair deletes result records and checks every successful
+// promotion against brute force over the remaining points.
+func TestDeleteRepair(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	var promoted, evicted int
+	for trial := 0; trial < 10; trial++ {
+		fx := makeFixture(t, r, 250, 2+trial%3, 3+trial%4)
+		victim := fx.entry.Records[r.Intn(fx.k)]
+		rp, ok := Delete(fx.entry, victim.ID)
+		if !ok {
+			evicted++
+			continue
+		}
+		promoted++
+		mutated := make(map[int64]vec.Vector, len(fx.points))
+		for k, v := range fx.points {
+			mutated[k] = v
+		}
+		delete(mutated, victim.ID)
+		if containsID(rp.Records, victim.ID) {
+			t.Fatal("deleted record survived in the repaired result")
+		}
+		if len(rp.Records) != fx.k {
+			t.Fatalf("repaired result has %d records, want %d", len(rp.Records), fx.k)
+		}
+		if len(rp.Cand) != len(fx.entry.Cand)-1 {
+			t.Fatalf("promoted candidate not removed from the candidate set")
+		}
+		checkRepaired(t, r, fx.entry.Region, rp, mutated, fx.k)
+	}
+	if promoted == 0 {
+		t.Error("no delete repairs occurred — test is vacuous")
+	}
+	t.Logf("verified %d promotions (%d conservative evictions)", promoted, evicted)
+}
+
+// TestDeleteRepairGuards pins the conservative fallbacks: no candidates,
+// a record that is not in the result, and a bound that could hide a better
+// record must all refuse to repair.
+func TestDeleteRepairGuards(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	fx := makeFixture(t, r, 200, 3, 4)
+	victim := fx.entry.Records[fx.k-1]
+
+	noCand := fx.entry
+	noCand.Cand = nil
+	if _, ok := Delete(noCand, victim.ID); ok {
+		t.Error("repair with an exhausted candidate set must refuse")
+	}
+
+	if _, ok := Delete(fx.entry, int64(1<<50)); ok {
+		t.Error("repair of a non-result delete must refuse (nothing to repair)")
+	}
+
+	hidden := fx.entry
+	top := make(vec.Vector, fx.entry.Region.Dim)
+	for j := range top {
+		top[j] = 1
+	}
+	hidden.Bounds = append(append([]vec.Vector(nil), fx.entry.Bounds...), top)
+	if _, ok := Delete(hidden, victim.ID); ok {
+		t.Error("a subtree bound above every candidate must force eviction")
+	}
+}

@@ -102,26 +102,39 @@ func (ds *Dataset) computeGIRLocked(inner *topk.Result, m Method, star bool) (*G
 	}, nil
 }
 
+// topKFill is the engine's cache-fill bundle: one query's records, region
+// and retained repair state, all computed against one dataset version.
+type topKFill struct {
+	recs    []Record
+	g       *GIR // nil with girErr set when only the region build failed
+	cand    []topk.Record
+	bounds  []vec.Vector
+	candOK  bool
+	version int64
+	girErr  error
+}
+
 // topKAndGIR answers a query and computes its GIR under ONE read lock, so
 // no mutation can land between the traversal and the region build (the
 // retained BRS heap stays consistent with the pages Phase 2 resumes
-// into). It returns the records, the region (nil with girErr set when
-// only the region build failed), and the dataset version the pair was
-// computed against.
-func (ds *Dataset) topKAndGIR(q []float64, k int, m Method) (recs []Record, g *GIR, version int64, topkErr, girErr error) {
+// into). The repair state is snapshotted between BRS and Phase 2 — Phase 2
+// consumes the heap, and FP prunes subtrees from it without reading them,
+// so only the pre-Phase-2 state covers the dataset.
+func (ds *Dataset) topKAndGIR(q []float64, k int, m Method) (*topKFill, error) {
 	ds.mu.RLock()
 	defer ds.mu.RUnlock()
-	version = ds.version.Load()
+	out := &topKFill{version: ds.version.Load()}
 	res, err := ds.topKLocked(q, k, Linear)
 	if err != nil {
-		return nil, nil, version, err, nil
+		return nil, err
 	}
-	recs = make([]Record, len(res.Records))
+	out.recs = make([]Record, len(res.Records))
 	for i, r := range res.Records {
-		recs[i] = Record{ID: r.ID, Attrs: r.Point, Score: r.Score}
+		out.recs[i] = Record{ID: r.ID, Attrs: r.Point, Score: r.Score}
 	}
-	g, girErr = ds.computeGIRLocked(res, m, false)
-	return recs, g, version, nil, girErr
+	out.cand, out.bounds, out.candOK = retainRepairState(res)
+	out.g, out.girErr = ds.computeGIRLocked(res, m, false)
+	return out, nil
 }
 
 // Dim returns the query-space dimensionality.
@@ -153,6 +166,31 @@ func (g *GIR) Constraints() []Constraint {
 		}
 	}
 	return out
+}
+
+// Shrink returns a new GIR equal to this one intersected with the
+// additional half-spaces {w : normal·w ≥ 0}, with the combined constraint
+// set reduced to a minimal representation. The receiver is unchanged.
+//
+// This is the public face of repair-style region maintenance: when a
+// dataset mutation perturbs a cached result in a known pairwise way (a new
+// record p displacing the k-th record p_k, say), the post-mutation region
+// is the old one shrunk by the new pairwise constraint (p − p_k here) —
+// no recomputation needed. Normals must have the region's dimension.
+func (g *GIR) Shrink(normals [][]float64) (*GIR, error) {
+	added := make([]girint.Constraint, 0, len(normals))
+	for i, n := range normals {
+		if len(n) != g.region.Dim {
+			return nil, fmt.Errorf("gir: shrink normal %d has dimension %d, want %d", i, len(n), g.region.Dim)
+		}
+		added = append(added, girint.Constraint{
+			Normal: append(vec.Vector(nil), n...),
+			Kind:   girint.Replace,
+			A:      -1,
+			B:      -1,
+		})
+	}
+	return &GIR{region: g.region.Shrink(added), Stats: g.Stats}, nil
 }
 
 // VolumeOptions tunes VolumeRatio.
