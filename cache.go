@@ -3,9 +3,7 @@ package gir
 import (
 	"github.com/girlib/gir/internal/cache"
 	girint "github.com/girlib/gir/internal/gir"
-	"github.com/girlib/gir/internal/invalidate"
-	"github.com/girlib/gir/internal/repair"
-	"github.com/girlib/gir/internal/score"
+	"github.com/girlib/gir/internal/maintain"
 	"github.com/girlib/gir/internal/topk"
 	"github.com/girlib/gir/internal/vec"
 	"github.com/girlib/gir/internal/viz"
@@ -138,12 +136,74 @@ func (c *Cache) Shards() int { return c.inner.Shards() }
 // automatically from dataset mutation events).
 func (c *Cache) Clear() { c.inner.Clear() }
 
+// CacheMutation is one already-applied dataset write, in the form
+// ApplyBatch reconciles a hand-managed cache with. Version optionally
+// stamps the mutation with the dataset version it produced — stamped
+// entries skip re-evaluation of mutations they are already cleared
+// through, exactly as in the Engine; 0 leaves stamps out of play.
+type CacheMutation struct {
+	Version int64
+	Insert  bool
+	ID      int64
+	Point   []float64 // the inserted record's attributes (Insert only)
+}
+
+// BatchStats reports what one ApplyBatch pass did. Affected counts
+// (mutation, entry) pairs the batch could perturb and always equals
+// Repaired + Evicted; Entries, StampRaises and Predicates expose the
+// batching economics (one cache scan per pass, at most one stamp raise
+// per entry, and the number of affectedness predicates evaluated).
+type BatchStats struct {
+	Entries     int
+	Scans       int // full cache scans the pass performed (always 1)
+	Affected    int
+	Repaired    int
+	Evicted     int
+	StampRaises int
+	Predicates  int64
+}
+
+// ApplyBatch reconciles the cache with an ordered batch of dataset
+// mutations in ONE maintenance pass: the cache is scanned once, and every
+// entry walks the whole batch in order through the unified verdict chain
+// (internal/maintain) — unaffecting mutations are absorbed into the
+// entry's candidate set, affecting ones patch the entry in place when a
+// sound closed-form repair exists and evict it otherwise, and a repaired
+// entry keeps being checked against the rest of the batch. Call it after
+// applying a burst of Dataset writes when managing a Cache by hand; it is
+// the batched generalization of RepairInsert/RepairDelete (which are
+// one-element batches of it), with the same concurrency contract:
+// maintenance must not run concurrently with itself (lookups may run
+// concurrently freely).
+func (c *Cache) ApplyBatch(ms []CacheMutation) BatchStats {
+	batch := make([]maintain.Mutation, len(ms))
+	for i, m := range ms {
+		batch[i] = maintain.Mutation{Version: m.Version, Insert: m.Insert, ID: m.ID, Point: vec.Vector(m.Point)}
+	}
+	return c.apply(batch, true)
+}
+
+// apply runs one planner pass over the cache.
+func (c *Cache) apply(batch []maintain.Mutation, repairMode bool) BatchStats {
+	p := maintain.Planner{Repair: repairMode}
+	out := p.Drain(c.inner, batch)
+	return BatchStats{
+		Entries:     out.Entries,
+		Scans:       out.Scans,
+		Affected:    out.Affected,
+		Repaired:    out.Repaired,
+		Evicted:     out.Evicted,
+		StampRaises: out.StampRaises,
+		Predicates:  out.Predicates,
+	}
+}
+
 // InvalidateInsert evicts every cached entry whose result could change if
 // the record (id, p) were inserted into the dataset: an entry survives
 // only if no weight vector in its region scores p above the entry's k-th
 // record (decided in closed form where possible, by a small LP otherwise).
 // It returns the number of entries evicted. Call it after Dataset.Insert
-// when managing a Cache by hand.
+// when managing a Cache by hand. It is a one-element evict-only ApplyBatch.
 //
 // Surviving entries absorb the record into their retained candidate sets,
 // exactly as RepairInsert does — that is what keeps a later RepairDelete
@@ -151,14 +211,7 @@ func (c *Cache) Clear() { c.inner.Clear() }
 // Like the repair methods, maintenance must not run concurrently with
 // itself (lookups may run concurrently freely).
 func (c *Cache) InvalidateInsert(id int64, p []float64) int {
-	_, evicted := c.inner.Maintain(func(e *cache.Entry) cache.Decision {
-		if !invalidate.InsertAffects(e.Region, e.Records, vec.Vector(p), e.InnerLo, e.InnerHi) {
-			c.absorbInsert(e, id, p)
-			return cache.Decision{}
-		}
-		return cache.Decision{Evict: true}
-	})
-	return evicted
+	return c.apply([]maintain.Mutation{{Insert: true, ID: id, Point: vec.Vector(p)}}, false).Evicted
 }
 
 // InvalidateDelete evicts every cached entry whose result contains the
@@ -169,24 +222,7 @@ func (c *Cache) InvalidateInsert(id int64, p []float64) int {
 // after Dataset.Delete when managing a Cache by hand; same concurrency
 // contract as InvalidateInsert.
 func (c *Cache) InvalidateDelete(id int64) int {
-	_, evicted := c.inner.Maintain(func(e *cache.Entry) cache.Decision {
-		if !invalidate.DeleteAffects(e.Records, id) {
-			e.AbsorbDelete(e.AbsorbedThrough(), id)
-			return cache.Decision{}
-		}
-		return cache.Decision{Evict: true}
-	})
-	return evicted
-}
-
-// absorbInsert folds an unaffecting insert into an entry's candidate set
-// (hand-managed maintenance path; the Engine's drainer has its own
-// version-stamped equivalent).
-func (c *Cache) absorbInsert(e *cache.Entry, id int64, p []float64) {
-	e.AbsorbInsert(e.AbsorbedThrough(), topk.Record{
-		ID: id, Point: vec.Vector(p),
-		Score: score.Linear{}.Score(vec.Vector(p), e.Region.Query),
-	})
+	return c.apply([]maintain.Mutation{{Insert: false, ID: id}}, false).Evicted
 }
 
 // RepairInsert is InvalidateInsert with repair: every entry the inserted
@@ -198,13 +234,8 @@ func (c *Cache) absorbInsert(e *cache.Entry, id int64, p []float64) {
 // repair maintenance must not run concurrently with itself or with
 // RepairDelete (lookups may run concurrently freely).
 func (c *Cache) RepairInsert(id int64, p []float64) (repaired, evicted int) {
-	return c.inner.Maintain(func(e *cache.Entry) cache.Decision {
-		if !invalidate.InsertAffects(e.Region, e.Records, vec.Vector(p), e.InnerLo, e.InnerHi) {
-			c.absorbInsert(e, id, p)
-			return cache.Decision{}
-		}
-		return repairDecision(e, true, id, vec.Vector(p))
-	})
+	st := c.apply([]maintain.Mutation{{Insert: true, ID: id, Point: vec.Vector(p)}}, true)
+	return st.Repaired, st.Evicted
 }
 
 // RepairDelete is InvalidateDelete with repair: an entry whose result
@@ -214,48 +245,6 @@ func (c *Cache) RepairInsert(id int64, p []float64) (repaired, evicted int) {
 // unaffected entries drop the record from their candidate sets. Same
 // concurrency contract as RepairInsert.
 func (c *Cache) RepairDelete(id int64) (repaired, evicted int) {
-	return c.inner.Maintain(func(e *cache.Entry) cache.Decision {
-		if !invalidate.DeleteAffects(e.Records, id) {
-			e.AbsorbDelete(e.AbsorbedThrough(), id)
-			return cache.Decision{}
-		}
-		return repairDecision(e, false, id, nil)
-	})
-}
-
-// repairDecision attempts the repair of one affected entry and falls back
-// to eviction; shared by the hand-managed repair methods and the Engine's
-// drainer (which adds version stamps on top).
-func repairDecision(e *cache.Entry, insert bool, id int64, p vec.Vector) cache.Decision {
-	ne := repairedEntry(e, insert, id, p, e.AbsorbedThrough())
-	if ne == nil {
-		return cache.Decision{Evict: true}
-	}
-	return cache.Decision{Replace: ne}
-}
-
-// repairedEntry runs the repair analysis for one affected entry and builds
-// its replacement (with cleared/absorbed stamps at version), or returns
-// nil when the entry must evict instead.
-func repairedEntry(e *cache.Entry, insert bool, id int64, p vec.Vector, version int64) *cache.Entry {
-	re := repair.Entry{
-		Region: e.Region, Records: e.Records,
-		Cand: e.Cand, Bounds: e.Bounds,
-		InnerLo: e.InnerLo, InnerHi: e.InnerHi,
-	}
-	var rp *repair.Repaired
-	var ok bool
-	if insert {
-		rp, ok = repair.Insert(re, id, p)
-	} else {
-		if !e.CandComplete() {
-			return nil // candidate set was dropped or never covered the dataset
-		}
-		rp, ok = repair.Delete(re, id)
-	}
-	if !ok {
-		return nil
-	}
-	lo, hi := viz.MAH(rp.Region, rp.Region.Query)
-	return cache.RepairedEntry(e, rp.Region, rp.Records, rp.Cand, lo, hi, version)
+	st := c.apply([]maintain.Mutation{{Insert: false, ID: id}}, true)
+	return st.Repaired, st.Evicted
 }

@@ -260,8 +260,20 @@ func runEngineChurn(t *testing.T, opts EngineOptions) {
 	if st.Fenced < 0 {
 		t.Errorf("negative fence counter: %d", st.Fenced)
 	}
-	t.Logf("verified=%d (windows spanning mutations: %d) mutations=%d hits=%d misses=%d affected=%d repaired=%d invalidated=%d fenced=%d",
-		verified, hadMultiVersionWindows, len(mirror.log), st.CacheHits, st.Misses, st.Affected, st.Repaired, st.Invalidated, st.Fenced)
+	// Batched drain bookkeeping: every published mutation was reconciled by
+	// some pass, and passes never outnumber mutations (a pass coalesces ≥ 1).
+	if st.DrainedMutations != int64(len(mirror.log)) {
+		t.Errorf("drainer reconciled %d mutations, %d were published", st.DrainedMutations, len(mirror.log))
+	}
+	if st.DrainPasses > st.DrainedMutations {
+		t.Errorf("%d drain passes for %d mutations — passes must coalesce", st.DrainPasses, st.DrainedMutations)
+	}
+	if st.DrainPasses == 0 && len(mirror.log) > 0 {
+		t.Error("mutations ran but no drain pass was counted")
+	}
+	t.Logf("verified=%d (windows spanning mutations: %d) mutations=%d hits=%d misses=%d affected=%d repaired=%d invalidated=%d fenced=%d drain passes=%d (batched %d mutations) predicates=%d fence open %v",
+		verified, hadMultiVersionWindows, len(mirror.log), st.CacheHits, st.Misses, st.Affected, st.Repaired, st.Invalidated, st.Fenced,
+		st.DrainPasses, st.DrainedMutations, st.PredicateEvals, st.FenceOpen)
 }
 
 func idsOf(recs []Record) []int64 {

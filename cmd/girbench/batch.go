@@ -1,0 +1,185 @@
+// The -serve -churn -burst mode benchmarks the batched maintenance
+// pipeline: writes arrive in bursts of B (the SIGMOD-contest-style mixed
+// traffic pattern), and the same engine is measured twice — with the
+// default batched drain (one internal/maintain pass reconciles the whole
+// burst) and with the pre-batching one-mutation-per-pass drain
+// (DrainBatch: 1). The interesting columns are the maintenance economics:
+// drain passes per mutation, affectedness predicate evaluations, how long
+// the generation fence stayed up, and what that does to the warm hit
+// rate. With -json the rows are written as BENCH_batch.json (a CI
+// artifact next to BENCH_serve/BENCH_repair).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	gir "github.com/girlib/gir"
+	"github.com/girlib/gir/internal/datagen"
+	"github.com/girlib/gir/internal/engine"
+)
+
+// batchRow is one measured drain configuration.
+type batchRow struct {
+	Name        string  `json:"name"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	QPS         float64 `json:"qps"`
+	Queries     int     `json:"queries"`
+	Writes      int     `json:"writes"`
+	Hits        int64   `json:"hits"`
+	Partial     int64   `json:"partial"`
+	Misses      int64   `json:"misses"`
+	HitRate     float64 `json:"hit_rate"`
+	Affected    int64   `json:"affected"`
+	Repaired    int64   `json:"repaired"`
+	Invalidated int64   `json:"invalidated"`
+	Fenced      int64   `json:"fenced"`
+	DrainPasses int64   `json:"drain_passes"`
+	Drained     int64   `json:"drained_mutations"`
+	Predicates  int64   `json:"predicate_evals"`
+	FenceOpenMS float64 `json:"fence_open_ms"`
+	Recomputes  int64   `json:"recomputes"`
+}
+
+type batchReport struct {
+	Benchmark string      `json:"benchmark"`
+	Config    batchConfig `json:"config"`
+	Rows      []batchRow  `json:"rows"`
+}
+
+type batchConfig struct {
+	N        int     `json:"n"`
+	D        int     `json:"d"`
+	Seed     int64   `json:"seed"`
+	Stream   int     `json:"stream"`
+	Distinct int     `json:"distinct"`
+	ZipfS    float64 `json:"zipf_s"`
+	Jitter   float64 `json:"jitter"`
+	Churn    float64 `json:"churn"`
+	Burst    int     `json:"burst"`
+	Repair   bool    `json:"repair"`
+}
+
+func runBurst(cfg serveConfig, churn float64, burst int, repair bool, jsonPath string, w io.Writer) error {
+	pts := datagen.Independent(cfg.N, cfg.D, cfg.Seed)
+	raw := make([][]float64, len(pts))
+	for i, p := range pts {
+		raw[i] = p
+	}
+	ops, queries, writes := engine.NewChurnWorkload(
+		cfg.Seed+1, cfg.D, cfg.Distinct, cfg.ZipfS, cfg.Jitter, cfg.Stream, churn, burst, 5, 20)
+
+	fmt.Fprintf(w, "burst-churn benchmark: n=%d d=%d, %d operations (%d queries, %d writes in bursts of %d) over %d distinct vectors (zipf s=%.2f)\n\n",
+		cfg.N, cfg.D, cfg.Stream, queries, writes, burst, cfg.Distinct, cfg.ZipfS)
+	fmt.Fprintf(w, "%-18s %9s %9s %8s %8s %7s %7s %8s %10s %10s %11s %10s\n",
+		"drain", "elapsed", "queries/s", "hits", "hitrate", "passes", "mut/pass", "fenced", "predicates", "fence-open", "recomputes", "repaired")
+
+	var rows []batchRow
+	measure := func(name string, drainBatch int) error {
+		ds, err := gir.NewDataset(raw)
+		if err != nil {
+			return err
+		}
+		e := gir.NewEngine(ds, gir.EngineOptions{
+			Workers: cfg.Workers, CacheCapacity: cfg.Distinct * 2,
+			RepairMode: repair, DrainBatch: drainBatch,
+		})
+		defer e.Close()
+		for _, op := range ops { // warm the cache with the query side
+			if !op.Write {
+				if res := e.TopK(op.Query, op.K); res.Err != nil {
+					return res.Err
+				}
+			}
+		}
+		warm := e.Stats()
+		ds.ResetIOStats()
+		start := time.Now()
+		for _, op := range ops {
+			switch {
+			case op.Write && op.Insert:
+				if err := ds.Insert(op.ID, op.Point); err != nil {
+					return err
+				}
+			case op.Write:
+				ds.Delete(op.ID, op.Point)
+			default:
+				if res := e.TopK(op.Query, op.K); res.Err != nil {
+					return res.Err
+				}
+			}
+		}
+		elapsed := time.Since(start)
+		e.Quiesce()
+		st := e.Stats()
+		row := batchRow{
+			Name:        name,
+			ElapsedMS:   float64(elapsed.Microseconds()) / 1000,
+			QPS:         float64(queries) / elapsed.Seconds(),
+			Queries:     queries,
+			Writes:      writes,
+			Hits:        st.CacheHits - warm.CacheHits,
+			Partial:     st.PartialHits - warm.PartialHits,
+			Misses:      st.Misses - warm.Misses,
+			Affected:    st.Affected - warm.Affected,
+			Repaired:    st.Repaired - warm.Repaired,
+			Invalidated: st.Invalidated - warm.Invalidated,
+			Fenced:      st.Fenced - warm.Fenced,
+			DrainPasses: st.DrainPasses - warm.DrainPasses,
+			Drained:     st.DrainedMutations - warm.DrainedMutations,
+			Predicates:  st.PredicateEvals - warm.PredicateEvals,
+			FenceOpenMS: float64((st.FenceOpen - warm.FenceOpen).Microseconds()) / 1000,
+			Recomputes:  st.Computed - warm.Computed,
+		}
+		if lookups := row.Hits + row.Partial + row.Misses; lookups > 0 {
+			row.HitRate = float64(row.Hits) / float64(lookups)
+		}
+		perPass := 0.0
+		if row.DrainPasses > 0 {
+			perPass = float64(row.Drained) / float64(row.DrainPasses)
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%-18s %9v %9.0f %8d %7.1f%% %7d %8.1f %8d %10d %9.1fms %11d %10d\n",
+			name, elapsed.Round(time.Millisecond), row.QPS, row.Hits, 100*row.HitRate,
+			row.DrainPasses, perPass, row.Fenced, row.Predicates, row.FenceOpenMS, row.Recomputes, row.Repaired)
+		return nil
+	}
+
+	if err := measure("batched", 0); err != nil {
+		return err
+	}
+	if err := measure("per-mutation", 1); err != nil {
+		return err
+	}
+
+	ba, pm := rows[0], rows[1]
+	fmt.Fprintf(w, "\nbatched drain reconciled %d writes in %d passes (%.1f mutations/pass) with the fence open %.1fms;\n",
+		ba.Drained, ba.DrainPasses, float64(ba.Drained)/float64(max(1, int(ba.DrainPasses))), ba.FenceOpenMS)
+	fmt.Fprintf(w, "per-mutation needed %d passes, %d predicate evaluations (batched: %d) and %.1fms of fence;\n",
+		pm.DrainPasses, pm.Predicates, ba.Predicates, pm.FenceOpenMS)
+	fmt.Fprintf(w, "warm hit rate: batched %.1f%% vs per-mutation %.1f%%.\n", 100*ba.HitRate, 100*pm.HitRate)
+
+	if jsonPath != "" {
+		report := batchReport{
+			Benchmark: "girbench-serve-churn-burst",
+			Config: batchConfig{
+				N: cfg.N, D: cfg.D, Seed: cfg.Seed, Stream: cfg.Stream,
+				Distinct: cfg.Distinct, ZipfS: cfg.ZipfS, Jitter: cfg.Jitter,
+				Churn: churn, Burst: burst, Repair: repair,
+			},
+			Rows: rows,
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	return nil
+}

@@ -66,7 +66,7 @@ func runChurn(cfg serveConfig, churn float64, repair bool, jsonPath string, w io
 		raw[i] = p
 	}
 	ops, queries, writes := engine.NewChurnWorkload(
-		cfg.Seed+1, cfg.D, cfg.Distinct, cfg.ZipfS, cfg.Jitter, cfg.Stream, churn, 5, 20)
+		cfg.Seed+1, cfg.D, cfg.Distinct, cfg.ZipfS, cfg.Jitter, cfg.Stream, churn, 1, 5, 20)
 
 	fmt.Fprintf(w, "churn benchmark: n=%d d=%d, %d operations (%d queries, %d writes = %.1f%%) over %d distinct vectors (zipf s=%.2f)\n\n",
 		cfg.N, cfg.D, cfg.Stream, queries, writes, 100*float64(writes)/float64(max(1, cfg.Stream)), cfg.Distinct, cfg.ZipfS)

@@ -35,7 +35,8 @@ func main() {
 	serveWorkers := flag.Int("workers", 0, "-serve: engine worker-pool size (0 = GOMAXPROCS)")
 	serveChurn := flag.Float64("churn", 0, "-serve: fraction of operations that are Insert/Delete writes (> 0 runs the churn benchmark)")
 	serveRepair := flag.Bool("repair", false, "-serve -churn: also measure RepairMode (repair-instead-of-evict cache maintenance) as a third configuration")
-	serveJSON := flag.String("json", "", "-serve -churn: also write the measured rows to this file as JSON (the CI BENCH_serve.json / BENCH_repair.json artifact)")
+	serveBurst := flag.Int("burst", 0, "-serve -churn: writes arrive in bursts of this size (> 1 runs the batched-vs-per-mutation drain benchmark)")
+	serveJSON := flag.String("json", "", "-serve -churn: also write the measured rows to this file as JSON (the CI BENCH_serve.json / BENCH_repair.json / BENCH_batch.json artifact)")
 	flag.IntVar(&cfg.N, "n", cfg.N, "synthetic dataset cardinality (paper: 1000000)")
 	flag.IntVar(&cfg.Queries, "queries", cfg.Queries, "queries averaged per cell (paper: 100)")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "deterministic seed")
@@ -79,10 +80,19 @@ func main() {
 			ZipfS: *serveZipf, Jitter: *serveJitter,
 			Batch: *serveBatch, Workers: *serveWorkers,
 		}
+		if *serveBurst < 0 || *serveBurst == 1 {
+			fatal("bad -burst: %d (want a burst size > 1, or 0 for uniform writes)", *serveBurst)
+		}
+		if *serveBurst > 1 && *serveChurn == 0 {
+			fatal("-burst shapes write arrivals and needs a write mix: add -churn (e.g. -churn 0.05)")
+		}
 		var err error
-		if *serveChurn > 0 {
+		switch {
+		case *serveChurn > 0 && *serveBurst > 1:
+			err = runBurst(scfg, *serveChurn, *serveBurst, *serveRepair, *serveJSON, os.Stdout)
+		case *serveChurn > 0:
 			err = runChurn(scfg, *serveChurn, *serveRepair, *serveJSON, os.Stdout)
-		} else {
+		default:
 			err = runServe(scfg, os.Stdout)
 		}
 		if err != nil {

@@ -5,12 +5,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	cacheint "github.com/girlib/gir/internal/cache"
 	engineint "github.com/girlib/gir/internal/engine"
-	"github.com/girlib/gir/internal/invalidate"
+	"github.com/girlib/gir/internal/maintain"
 	"github.com/girlib/gir/internal/score"
-	"github.com/girlib/gir/internal/topk"
 	"github.com/girlib/gir/internal/vec"
 )
 
@@ -33,45 +33,54 @@ import (
 //   - All Engine methods are safe to call concurrently; an Engine may be
 //     shared by any number of goroutines.
 //   - Mutations invalidate the cache FINE-GRAINED: every Insert/Delete is
-//     published to the engine as an event, and a background drainer evicts
-//     exactly the entries the mutation can perturb — for a Delete, entries
-//     whose result contains the deleted record; for an Insert, entries
-//     whose region admits some weight vector that scores the new record
-//     above the entry's k-th result (internal/invalidate). Writes never
-//     block on that analysis, and a generation fence keeps lookups correct
-//     while events drain: a hit is served from a not-yet-reconciled cache
-//     only after the entry is proven unaffected by every pending mutation.
-//     A query racing a mutation may be served from either side of it; once
-//     the mutation returns, later queries never see results the mutation
-//     invalidated.
+//     published to the engine as an event, and a background drainer pops
+//     ALL pending events at once and reconciles the cache in one batched
+//     pass (internal/maintain): for each cached entry the batch is walked
+//     in version order — unaffecting mutations are absorbed into the
+//     entry's candidate set, affecting ones repair it in place (RepairMode)
+//     or evict it, and a repaired entry keeps being checked against the
+//     rest of the batch. A write burst of B mutations costs one cache scan
+//     and at most one stamp raise per entry, not B. Writes never block on
+//     that analysis, and a generation fence keeps lookups correct while
+//     events drain: a hit is served from a not-yet-reconciled cache only
+//     after one batched predicate proves the entry unaffected by the whole
+//     pending window. A query racing a mutation may be served from either
+//     side of it; once the mutation returns, later queries never see
+//     results the mutation invalidated.
 //
 // The engine serves linear scoring only — GIR-keyed caching is only sound
 // for the linear family the regions are computed under (Section 3 of the
 // paper).
 type Engine struct {
-	ds     *Dataset
-	cache  *Cache
-	opts   EngineOptions
-	flight engineint.Group
+	ds      *Dataset
+	cache   *Cache
+	opts    EngineOptions
+	flight  engineint.Group
+	planner maintain.Planner // all maintenance policy lives here
 
 	// Invalidation state. pending holds published-but-unreconciled
 	// mutations in version order; applied is the dataset version the cache
 	// is fully reconciled with (every entry is valid at applied). invMu
-	// guards pending/closed and orders cache fills against drain passes.
-	invMu   sync.Mutex
-	invCond *sync.Cond
-	pending []mutation
-	applied atomic.Int64
-	closed  bool
-	unsub   func()
-	drained sync.WaitGroup
+	// guards pending/closed/fenceUpSince and orders cache fills against
+	// drain passes.
+	invMu        sync.Mutex
+	invCond      *sync.Cond
+	pending      []mutation
+	applied      atomic.Int64
+	closed       bool
+	unsub        func()
+	drained      sync.WaitGroup
+	fenceUpSince time.Time // when pending last went non-empty (zero when empty)
 
 	deduped     atomic.Int64
 	computed    atomic.Int64
-	affected    atomic.Int64 // entries a mutation could perturb (repaired + evicted)
-	repaired    atomic.Int64 // affected entries patched in place instead of evicted
+	affected    atomic.Int64 // (mutation, entry) pairs a mutation could perturb (repair + evict events)
+	repaired    atomic.Int64 // affect events resolved by an in-place patch
 	invalidated atomic.Int64 // entries evicted by fine-grained invalidation
 	fenced      atomic.Int64 // cache hits vetoed by the generation fence
+	drainPasses atomic.Int64 // batched maintenance passes run
+	drainedMuts atomic.Int64 // mutations those passes reconciled
+	fenceNanos  atomic.Int64 // cumulative wall time the generation fence was up
 }
 
 // EngineOptions tunes a new Engine. The zero value is ready to use:
@@ -105,6 +114,11 @@ type EngineOptions struct {
 	// keep serving without a full top-k + GIR recompute on the next miss.
 	// Ignored when FlushOnWrite is set.
 	RepairMode bool
+	// DrainBatch caps how many pending mutations one maintenance pass
+	// coalesces (0 = unbounded, the default: a drain pass pops everything
+	// pending). 1 reproduces the pre-batching one-mutation-per-pass drain
+	// and is kept as a benchmark baseline (girbench -burst).
+	DrainBatch int
 }
 
 // NewEngine builds an engine over the dataset.
@@ -125,6 +139,7 @@ func NewEngine(ds *Dataset, opts EngineOptions) *Engine {
 		}
 	}
 	e := &Engine{ds: ds, cache: c, opts: opts}
+	e.planner.Repair = opts.RepairMode && !opts.FlushOnWrite
 	e.invCond = sync.NewCond(&e.invMu)
 	if c != nil {
 		// Subscribe before reading the version: events for any later
@@ -166,6 +181,9 @@ func (e *Engine) Close() {
 func (e *Engine) enqueueMutation(m mutation) {
 	e.invMu.Lock()
 	if !e.closed {
+		if len(e.pending) == 0 {
+			e.fenceUpSince = time.Now() // the generation fence just went up
+		}
 		e.pending = append(e.pending, m)
 		// Broadcast, not Signal: both the drainer (waiting for work) and
 		// Quiesce callers (waiting for its absence) sleep on this cond.
@@ -190,10 +208,13 @@ func (e *Engine) Quiesce() {
 	}
 }
 
-// drainMutations applies pending mutations to the cache in version order:
-// each pass evicts exactly the entries the mutation affects, then advances
-// the applied fence. The mutation stays in pending until its pass
-// completes, so putIfCurrent can tell "reconciled" from "in flight".
+// drainMutations reconciles pending mutations with the cache in version
+// order, a whole batch per pass: every pass pops all pending mutations (up
+// to DrainBatch) and hands them to the internal/maintain planner, which
+// scans the cache once and walks each entry through the batch's verdict
+// chain. The batch stays in pending until its pass completes, so
+// putIfCurrent can tell "reconciled" from "in flight"; applied then
+// advances straight to the batch's maximum version.
 func (e *Engine) drainMutations() {
 	defer e.drained.Done()
 	for {
@@ -205,111 +226,78 @@ func (e *Engine) drainMutations() {
 			e.invMu.Unlock()
 			return
 		}
-		m := e.pending[0]
+		n := len(e.pending)
+		if e.opts.DrainBatch > 0 && n > e.opts.DrainBatch {
+			n = e.opts.DrainBatch
+		}
+		batch := make([]maintain.Mutation, n)
+		for i, m := range e.pending[:n] {
+			batch[i] = maintain.Mutation{Version: m.version, Insert: m.insert, ID: m.id, Point: vec.Vector(m.point)}
+		}
 		e.invMu.Unlock()
 
 		if e.opts.FlushOnWrite {
-			n := int64(e.cache.inner.Clear())
-			e.affected.Add(n)
-			e.invalidated.Add(n)
+			cleared := int64(e.cache.inner.Clear())
+			e.affected.Add(cleared)
+			e.invalidated.Add(cleared)
 		} else {
-			rep, ev := e.cache.inner.Maintain(func(entry *cacheint.Entry) cacheint.Decision {
-				if !e.mutationAffects(m, entry) {
-					e.absorbMutation(m, entry)
-					return cacheint.Decision{}
-				}
-				if e.opts.RepairMode {
-					if ne := repairedEntry(entry, m.insert, m.id, vec.Vector(m.point), m.version); ne != nil {
-						return cacheint.Decision{Replace: ne}
-					}
-				}
-				return cacheint.Decision{Evict: true}
-			})
-			// Affected is counted from applied outcomes (repair + evict), so
-			// the Repaired + Invalidated = Affected invariant is exact even
-			// when an affected entry vanishes to concurrent LRU pressure
-			// between the decision and its application.
-			e.affected.Add(int64(rep + ev))
-			e.repaired.Add(int64(rep))
-			e.invalidated.Add(int64(ev))
+			out := e.planner.Drain(e.cache.inner, batch)
+			// Event counts are credited from applied outcomes, so the
+			// Repaired + Invalidated = Affected invariant is exact even when
+			// an affected entry vanishes to concurrent LRU pressure between
+			// the decision and its application.
+			e.affected.Add(int64(out.Affected))
+			e.repaired.Add(int64(out.Repaired))
+			e.invalidated.Add(int64(out.Evicted))
 		}
+		e.drainPasses.Add(1)
+		e.drainedMuts.Add(int64(n))
 
 		e.invMu.Lock()
-		e.pending = e.pending[1:]
-		e.applied.Store(m.version)
+		e.pending = e.pending[n:]
+		e.applied.Store(batch[n-1].Version)
+		if len(e.pending) == 0 && !e.fenceUpSince.IsZero() {
+			e.fenceNanos.Add(time.Since(e.fenceUpSince).Nanoseconds())
+			e.fenceUpSince = time.Time{}
+		}
 		e.invCond.Broadcast() // wake Quiesce callers once the queue empties
 		e.invMu.Unlock()
 	}
 }
 
-// absorbMutation folds a mutation that does NOT affect an entry into the
-// entry's retained candidate set: an inserted record becomes a promotion
-// candidate (it is a non-result record of this entry from m.version on),
-// a deleted one stops being one. Without this, a later delete-repair could
-// promote a ghost or miss a better candidate. Only the drainer calls it,
-// and absorbedThrough makes it idempotent per (mutation, entry) even when
-// the fence's RaiseCleared already marked the pair unaffecting.
-func (e *Engine) absorbMutation(m mutation, entry *cacheint.Entry) {
-	if entry.AbsorbedThrough() >= m.version {
-		return
-	}
-	if m.insert {
-		p := vec.Vector(m.point)
-		entry.AbsorbInsert(m.version, topk.Record{ID: m.id, Point: p, Score: score.Linear{}.Score(p, entry.Region.Query)})
-	} else {
-		entry.AbsorbDelete(m.version, m.id)
-	}
-}
-
-// mutationAffects is the per-entry invalidation predicate shared by the
-// drainer and the lookup fence. Each (mutation, entry) pair is decided at
-// most once cache-wide: a "no" raises the entry's ClearedThrough stamp, so
-// later fence checks and the drainer's own pass skip it with one atomic
-// load. The raise is contiguous — mutations are checked in version order,
-// and putIfCurrent never admits an entry older than a published mutation —
-// so a stamp of v really does cover everything ≤ v.
-func (e *Engine) mutationAffects(m mutation, entry *cacheint.Entry) bool {
-	if e.opts.FlushOnWrite {
-		return true // coarse mode: any pending mutation invalidates everything
-	}
-	if entry.ClearedThrough() >= m.version {
-		return false
-	}
-	affected := invalidate.Affects(invalidate.Mutation{
-		Insert: m.insert,
-		ID:     m.id,
-		Point:  vec.Vector(m.point),
-	}, entry.Region, entry.Records, entry.InnerLo, entry.InnerHi)
-	if affected {
-		return true
-	}
-	entry.RaiseCleared(m.version)
-	return false
-}
-
 // fenceVeto returns the lookup veto enforcing the generation fence, or nil
 // on the fast path (cache fully reconciled with the visible dataset
 // version — the steady state, two atomic loads). While mutations are
-// pending, a candidate hit is checked against every pending mutation and
-// suppressed unless provably unaffected; the drainer will evict the truly
-// affected entries and restore the fast path.
+// pending, a candidate hit is suppressed unless one batched predicate over
+// the whole pending window proves it unaffected (maintain.FenceAffected,
+// which also raises the entry's cleared stamp over the unaffecting prefix
+// so no (mutation, entry) pair is ever evaluated twice); the drainer will
+// evict or repair the truly affected entries and restore the fast path.
 func (e *Engine) fenceVeto() func(*cacheint.Entry) bool {
 	if e.applied.Load() >= e.ds.version.Load() {
 		return nil
 	}
 	e.invMu.Lock()
-	snap := append([]mutation(nil), e.pending...)
+	snap := make([]maintain.Mutation, len(e.pending))
+	for i, m := range e.pending { // ascending version order (append order)
+		snap[i] = maintain.Mutation{Version: m.version, Insert: m.insert, ID: m.id, Point: vec.Vector(m.point)}
+	}
 	e.invMu.Unlock()
 	if len(snap) == 0 {
 		// The drainer finished between the two loads; applied has caught up.
 		return nil
 	}
+	if e.opts.FlushOnWrite {
+		return func(*cacheint.Entry) bool {
+			// Coarse mode: any pending mutation invalidates everything.
+			e.fenced.Add(1)
+			return true
+		}
+	}
 	return func(entry *cacheint.Entry) bool {
-		for _, m := range snap { // ascending version order (append order)
-			if e.mutationAffects(m, entry) {
-				e.fenced.Add(1)
-				return true
-			}
+		if e.planner.FenceAffected(entry, snap) {
+			e.fenced.Add(1)
+			return true
 		}
 		return false
 	}
@@ -346,21 +334,35 @@ type EngineStats struct {
 	Misses      int64 // cache lookups that found nothing
 	Deduped     int64 // queries that shared an identical in-flight computation
 	Computed    int64 // full BRS (+ cache-fill GIR) computations executed
-	Affected    int64 // entries a mutation could perturb (= Repaired + Invalidated)
-	Repaired    int64 // affected entries patched in place (RepairMode)
+	Affected    int64 // (mutation, entry) pairs a mutation could perturb (= Repaired + Invalidated)
+	Repaired    int64 // affect events resolved by an in-place patch (RepairMode)
 	Invalidated int64 // cache entries evicted by fine-grained invalidation
 	Fenced      int64 // candidate hits vetoed while mutation events drained
+
+	// Maintenance-pipeline economics (the batching the internal/maintain
+	// planner buys): how many passes reconciled how many mutations, how
+	// many affectedness predicates ran (drain + fence), and how long the
+	// generation fence was up in total. DrainPasses < DrainedMutations
+	// means write bursts were coalesced.
+	DrainPasses      int64
+	DrainedMutations int64
+	PredicateEvals   int64
+	FenceOpen        time.Duration
 }
 
 // Stats returns cumulative engine counters.
 func (e *Engine) Stats() EngineStats {
 	st := EngineStats{
-		Deduped:     e.deduped.Load(),
-		Computed:    e.computed.Load(),
-		Affected:    e.affected.Load(),
-		Repaired:    e.repaired.Load(),
-		Invalidated: e.invalidated.Load(),
-		Fenced:      e.fenced.Load(),
+		Deduped:          e.deduped.Load(),
+		Computed:         e.computed.Load(),
+		Affected:         e.affected.Load(),
+		Repaired:         e.repaired.Load(),
+		Invalidated:      e.invalidated.Load(),
+		Fenced:           e.fenced.Load(),
+		DrainPasses:      e.drainPasses.Load(),
+		DrainedMutations: e.drainedMuts.Load(),
+		PredicateEvals:   e.planner.Predicates(),
+		FenceOpen:        time.Duration(e.fenceNanos.Load()),
 	}
 	if e.cache != nil {
 		st.CacheHits, st.PartialHits, st.Misses = e.cache.Stats()

@@ -109,6 +109,19 @@ func (e *Entry) CandComplete() bool { return e.candComplete }
 // have been folded into the candidate set. Maintenance-goroutine only.
 func (e *Entry) AbsorbedThrough() int64 { return e.absorbed }
 
+// RaiseStamps raises both maintenance stamps (cleared and absorbed) to v —
+// the batch planner's single per-entry stamp raise: individual mutations of
+// a batch are absorbed without advancing the stamps, then one call here
+// marks the whole batch reconciled. Maintenance-goroutine only (the cleared
+// raise is atomic and safe against concurrent fence raises; the absorbed
+// raise is not, exactly like Absorb*).
+func (e *Entry) RaiseStamps(v int64) {
+	e.RaiseCleared(v)
+	if e.absorbed < v {
+		e.absorbed = v
+	}
+}
+
 // AbsorbInsert folds an unaffecting insert (version v) into the candidate
 // set: the new record is a non-result candidate of this entry from v on.
 // Maintenance-goroutine only.
@@ -386,7 +399,7 @@ func (c *Cache) evictOldest() bool {
 // the old entry's unexpanded-subtree bounds and completeness flag, and
 // cleared/absorbed stamps at the repairing mutation's version (the repaired
 // entry is current as of that mutation, so the fence serves it
-// immediately). Recency carries over when the swap happens (Maintain).
+// immediately). Recency carries over when the swap happens (MaintainBatch).
 func RepairedEntry(old *Entry, reg *gir.Region, records, cand []topk.Record, innerLo, innerHi vec.Vector, version int64) *Entry {
 	e := &Entry{
 		Region: reg, Records: records, K: len(records),
@@ -398,78 +411,95 @@ func RepairedEntry(old *Entry, reg *gir.Region, records, cand []topk.Record, inn
 	return e
 }
 
-// Decision is a Maintain callback's verdict for one entry: keep (zero
-// value), evict, or swap in a repaired replacement.
-type Decision struct {
-	Evict   bool
-	Replace *Entry
+// BatchDecision is a MaintainBatch callback's verdict for one entry after
+// walking a whole ordered mutation batch: keep (zero value), evict, or
+// swap in the final repaired replacement. Affected and Repaired carry the
+// per-(mutation, entry) event counts of the entry's verdict chain — an
+// entry repaired twice and then evicted reports Affected 3, Repaired 2,
+// Evict true — and are credited to the pass outcome only if the verdict
+// actually applies (the entry was still present when the shard lock was
+// retaken), which keeps Affected == Repaired + Evicted exact even under
+// concurrent LRU pressure.
+type BatchDecision struct {
+	Evict    bool
+	Replace  *Entry
+	Affected int
+	Repaired int
 }
 
-// Maintain runs one maintenance pass: decide is evaluated for every entry
-// on a snapshot of each shard WITHOUT any cache lock held (it may solve
-// LPs), then evictions and replacements are applied under the shard lock
-// by identity — entries inserted or evicted concurrently are simply not
-// considered, exactly as in EvictIf; the Engine's generation fence covers
-// that window. A replacement inherits the old entry's recency stamp, so a
-// repair never perturbs LRU order. It returns how many entries were
-// replaced (repaired) and how many were evicted.
+// BatchOutcome sums what one MaintainBatch pass actually applied.
+type BatchOutcome struct {
+	Entries  int // entries the pass scanned (exactly one scan per pass)
+	Affected int // (mutation, entry) affect events credited
+	Repaired int // in-place patches credited (≥ entries replaced: a chain may repair several times)
+	Evicted  int // entries removed
+}
+
+// MaintainBatch runs one maintenance pass over the whole cache for an
+// entire batch of pending mutations: decide is evaluated once per entry on
+// a snapshot of each shard WITHOUT any cache lock held (it may solve LPs
+// for every mutation of the batch), then evictions and replacements are
+// applied under the shard lock by identity — entries inserted or evicted
+// concurrently are simply not considered, exactly as in EvictIf; the
+// Engine's generation fence covers that window. However long the batch,
+// the cache is scanned once and each shard lock is taken at most twice
+// (snapshot + apply). A replacement inherits the old entry's recency
+// stamp, so a repair never perturbs LRU order.
 //
 // Lookups may keep serving a just-replaced old entry they snapshotted
 // before the swap; that is the same race as serving a just-evicted entry,
-// and the same fence veto suppresses it while the triggering mutation is
+// and the same fence veto suppresses it while the triggering mutations are
 // pending.
-func (c *Cache) Maintain(decide func(*Entry) Decision) (repaired, evicted int) {
+func (c *Cache) MaintainBatch(decide func(*Entry) BatchDecision) BatchOutcome {
+	var out BatchOutcome
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.RLock()
 		snap := append([]*Entry(nil), s.entries...)
 		s.mu.RUnlock()
-		var victims []*Entry
-		type swap struct{ old, new *Entry }
-		var swaps []swap
+		out.Entries += len(snap)
+		type verdict struct {
+			old *Entry
+			d   BatchDecision
+		}
+		var verdicts []verdict
 		for _, e := range snap {
-			d := decide(e)
-			switch {
-			case d.Replace != nil:
-				swaps = append(swaps, swap{e, d.Replace})
-			case d.Evict:
-				victims = append(victims, e)
+			if d := decide(e); d.Evict || d.Replace != nil {
+				verdicts = append(verdicts, verdict{e, d})
 			}
 		}
-		if len(victims) == 0 && len(swaps) == 0 {
+		if len(verdicts) == 0 {
 			continue
 		}
 		s.mu.Lock()
-		for _, v := range victims {
+		for _, v := range verdicts {
 			for j, e := range s.entries {
-				if e == v {
+				if e != v.old {
+					continue
+				}
+				if v.d.Evict {
 					n := len(s.entries)
 					s.entries[j] = s.entries[n-1]
 					s.entries[n-1] = nil
 					s.entries = s.entries[:n-1]
 					c.size.Add(-1)
-					evicted++
-					break
+					out.Evicted++
+				} else {
+					v.d.Replace.lastUse.Store(v.old.lastUse.Load())
+					s.entries[j] = v.d.Replace
 				}
-			}
-		}
-		for _, sw := range swaps {
-			for j, e := range s.entries {
-				if e == sw.old {
-					sw.new.lastUse.Store(sw.old.lastUse.Load())
-					s.entries[j] = sw.new
-					repaired++
-					break
-				}
+				out.Affected += v.d.Affected
+				out.Repaired += v.d.Repaired
+				break
 			}
 		}
 		s.mu.Unlock()
 	}
-	return repaired, evicted
+	return out
 }
 
 // Entries returns a point-in-time snapshot of every cached entry (tests,
-// diagnostics, and future persistence).
+// diagnostics, and persistence).
 func (c *Cache) Entries() []*Entry {
 	var out []*Entry
 	for i := range c.shards {
@@ -479,6 +509,62 @@ func (c *Cache) Entries() []*Entry {
 		s.mu.RUnlock()
 	}
 	return out
+}
+
+// Snapshot is the exported view of one entry's full state, in the form
+// warm-cache persistence serializes and Restore rebuilds. Version is the
+// entry's maintenance stamp (cleared and absorbed agree whenever the
+// maintenance goroutine is quiescent, which is when snapshots are taken).
+type Snapshot struct {
+	Region           *gir.Region
+	Records          []topk.Record
+	InnerLo, InnerHi vec.Vector
+	Cand             []topk.Record
+	Bounds           []vec.Vector
+	CandComplete     bool
+	Version          int64
+}
+
+// LastUse returns the entry's recency stamp on the cache's global clock
+// (larger = more recently used); persistence sorts by it so a restored
+// cache keeps the saved LRU order.
+func (e *Entry) LastUse() int64 { return e.lastUse.Load() }
+
+// Snapshot exports the entry's state. Call it only while maintenance is
+// quiescent (Cand/Bounds are maintenance-goroutine-owned). The candidate
+// slice is copied — it is the one piece of entry state later absorbs
+// mutate in place, so the snapshot must not alias it; everything else is
+// immutable once published.
+func (e *Entry) Snapshot() Snapshot {
+	return Snapshot{
+		Region:  e.Region,
+		Records: e.Records,
+		InnerLo: e.InnerLo, InnerHi: e.InnerHi,
+		Cand: append([]topk.Record(nil), e.Cand...), Bounds: e.Bounds, CandComplete: e.candComplete,
+		Version: e.ClearedThrough(),
+	}
+}
+
+// Restore inserts a previously snapshotted entry, re-stamped at version
+// (the dataset version the restoring process considers current — the
+// caller certifies the dataset contents match the snapshot). Insertion
+// order becomes recency order, so restoring snapshots oldest-first
+// preserves the saved LRU behavior. Order-insensitive or region-less
+// snapshots are rejected.
+func (c *Cache) Restore(s Snapshot, version int64) bool {
+	if s.Region == nil || !s.Region.OrderSensitive {
+		return false
+	}
+	e := &Entry{
+		Region: s.Region, Records: s.Records, K: len(s.Records),
+		InnerLo: s.InnerLo, InnerHi: s.InnerHi,
+		Cand: append([]topk.Record(nil), s.Cand...), Bounds: s.Bounds,
+		candComplete: s.CandComplete,
+		absorbed:     version,
+	}
+	e.cleared.Store(version)
+	c.insert(e)
+	return true
 }
 
 // EvictIf removes every entry for which pred returns true and reports how

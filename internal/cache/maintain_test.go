@@ -8,10 +8,12 @@ import (
 	"github.com/girlib/gir/internal/viz"
 )
 
-// TestMaintain pins the three verdicts of a maintenance pass: keep (entry
-// untouched), evict (entry gone), replace (repaired entry swapped in with
-// the old entry's recency and the new records served from then on).
-func TestMaintain(t *testing.T) {
+// TestMaintainBatch pins the three verdicts of a maintenance pass: keep
+// (entry untouched), evict (entry gone), replace (repaired entry swapped
+// in with the old entry's recency and the new records served from then
+// on) — and that the outcome credits the callback's per-chain event
+// counts only for applied verdicts.
+func TestMaintainBatch(t *testing.T) {
 	c := New(8)
 	var olds []*Entry
 	for i := 0; i < 3; i++ {
@@ -34,18 +36,25 @@ func TestMaintain(t *testing.T) {
 	newRecs[len(newRecs)-1] = topk.Record{ID: 4242, Point: newRecs[len(newRecs)-1].Point, Score: newRecs[len(newRecs)-1].Score}
 	repl := RepairedEntry(swapE, swapE.Region, newRecs, nil, lo, hi, 17)
 
-	rep, ev := c.Maintain(func(e *Entry) Decision {
+	out := c.MaintainBatch(func(e *Entry) BatchDecision {
 		switch e {
 		case evictE:
-			return Decision{Evict: true}
+			// A chain that repaired twice before the terminal eviction.
+			return BatchDecision{Evict: true, Affected: 3, Repaired: 2}
 		case swapE:
-			return Decision{Replace: repl}
+			return BatchDecision{Replace: repl, Affected: 1, Repaired: 1}
 		default:
-			return Decision{}
+			return BatchDecision{}
 		}
 	})
-	if rep != 1 || ev != 1 {
-		t.Fatalf("Maintain = (%d repaired, %d evicted), want (1, 1)", rep, ev)
+	if out.Repaired != 3 || out.Evicted != 1 || out.Affected != 4 {
+		t.Fatalf("MaintainBatch = %+v, want Repaired 3, Evicted 1, Affected 4", out)
+	}
+	if out.Entries != 3 {
+		t.Fatalf("scanned %d entries, want 3", out.Entries)
+	}
+	if out.Affected != out.Repaired+out.Evicted {
+		t.Fatalf("outcome breaks Affected == Repaired + Evicted: %+v", out)
 	}
 	if c.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", c.Len())

@@ -21,37 +21,61 @@ type ChurnOp struct {
 // any cached top-k; one in four lands near the top corner, where it
 // genuinely displaces results and forces real invalidation work. It
 // returns the stream and the query/write counts.
-func NewChurnWorkload(seed int64, d, distinct int, zipfS, jitter float64, stream int, writeMix float64, kmin, kmax int) (ops []ChurnOp, queries, writes int) {
+//
+// burst shapes the write arrivals: ≤ 1 spreads them uniformly (each
+// operation is independently a write with probability writeMix — the
+// original workload, byte-identical for a given seed); burst B > 1 makes
+// writes arrive in runs of B back-to-back operations (a run starts with
+// probability writeMix/B, so the overall write fraction is preserved) —
+// the bursty mixed traffic batched cache maintenance exists for.
+func NewChurnWorkload(seed int64, d, distinct int, zipfS, jitter float64, stream int, writeMix float64, burst, kmin, kmax int) (ops []ChurnOp, queries, writes int) {
 	st := NewStream(seed, d, distinct, zipfS, kmin, kmax, jitter)
 	r := rand.New(rand.NewSource(seed + 1))
 	ops = make([]ChurnOp, stream)
 	nextID := int64(1 << 40)
 	var liveIDs []int64
 	livePts := make(map[int64][]float64)
-	for i := range ops {
-		if r.Float64() < writeMix {
-			writes++
-			if len(liveIDs) > 0 && r.Intn(2) == 0 {
-				j := r.Intn(len(liveIDs))
-				id := liveIDs[j]
-				ops[i] = ChurnOp{Write: true, ID: id, Point: livePts[id]}
-				liveIDs = append(liveIDs[:j], liveIDs[j+1:]...)
-				delete(livePts, id)
-			} else {
-				p := make([]float64, d)
-				for j := range p {
-					p[j] = r.Float64()
-				}
-				if r.Intn(4) == 0 { // adversarial: near-top records
-					for j := range p {
-						p[j] = 0.9 + 0.099*r.Float64()
-					}
-				}
-				ops[i] = ChurnOp{Write: true, Insert: true, ID: nextID, Point: p}
-				liveIDs = append(liveIDs, nextID)
-				livePts[nextID] = p
-				nextID++
+	makeWrite := func() ChurnOp {
+		if len(liveIDs) > 0 && r.Intn(2) == 0 {
+			j := r.Intn(len(liveIDs))
+			id := liveIDs[j]
+			op := ChurnOp{Write: true, ID: id, Point: livePts[id]}
+			liveIDs = append(liveIDs[:j], liveIDs[j+1:]...)
+			delete(livePts, id)
+			return op
+		}
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = r.Float64()
+		}
+		if r.Intn(4) == 0 { // adversarial: near-top records
+			for j := range p {
+				p[j] = 0.9 + 0.099*r.Float64()
 			}
+		}
+		op := ChurnOp{Write: true, Insert: true, ID: nextID, Point: p}
+		liveIDs = append(liveIDs, nextID)
+		livePts[nextID] = p
+		nextID++
+		return op
+	}
+	pending := 0 // writes remaining in the current burst
+	for i := range ops {
+		isWrite := false
+		if burst <= 1 {
+			isWrite = r.Float64() < writeMix
+		} else {
+			if pending == 0 && r.Float64() < writeMix/float64(burst) {
+				pending = burst
+			}
+			if pending > 0 {
+				pending--
+				isWrite = true
+			}
+		}
+		if isWrite {
+			writes++
+			ops[i] = makeWrite()
 		} else {
 			queries++
 			q, k := st.Next()

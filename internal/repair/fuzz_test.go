@@ -41,10 +41,10 @@ func FuzzRepairInsert(f *testing.F) {
 		if len(data) < 3 {
 			return
 		}
-		d := 2 + int(data[0])%3       // 2..4
-		k := 1 + int(data[1])%4       // 1..4
+		d := 2 + int(data[0])%3        // 2..4
+		k := 1 + int(data[1])%4        // 1..4
 		floats := fuzzFloats(data[2:]) // clamped to [0,1]
-		need := d * (k + 3)           // at least k+2 points + query + insert
+		need := d * (k + 3)            // at least k+2 points + query + insert
 		if len(floats) < need {
 			return
 		}

@@ -1,12 +1,22 @@
 package gir
 
 import (
+	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
 
+	cacheint "github.com/girlib/gir/internal/cache"
 	"github.com/girlib/gir/internal/engine"
+	girint "github.com/girlib/gir/internal/gir"
 	"github.com/girlib/gir/internal/pager"
 	"github.com/girlib/gir/internal/rtree"
+	"github.com/girlib/gir/internal/topk"
+	"github.com/girlib/gir/internal/vec"
 )
 
 // Save persists the dataset's index — all pages plus tree metadata — to a
@@ -140,4 +150,302 @@ func (ds *Dataset) ComputeGIRBatch(items []BatchItem, m Method, parallelism int)
 		out[i] = BatchResult{Item: it, Result: public, GIR: g, Err: err}
 	})
 	return out
+}
+
+// warmCacheMagic heads a warm-cache snapshot file (the trailing byte is a
+// format version).
+var warmCacheMagic = [8]byte{'G', 'I', 'R', 'W', 'A', 'R', 'M', '1'}
+
+// SaveCache persists the engine's warm GIR cache — every entry's region,
+// result records, inscribed box, retained repair state (candidate set +
+// unexpanded-subtree bounds) and maintenance stamps — so a restarted
+// server can skip the cold-fill phase (LoadCache). The engine quiesces
+// first: every published mutation is reconciled before the snapshot, so
+// the saved entries are exactly the cache a fresh engine over the same
+// dataset state would serve from. Entries are written in recency order,
+// preserving LRU behavior across the restart. Save the dataset alongside
+// (Dataset.Save): a warm cache is only sound for the dataset state it was
+// saved against.
+func (e *Engine) SaveCache(path string) error {
+	if e.cache == nil {
+		return errors.New("gir: engine has no cache to save")
+	}
+	snaps := e.snapshotCacheQuiesced()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	enc := cacheEncoder{w: w}
+	enc.bytes(warmCacheMagic[:])
+	enc.u32(uint32(e.ds.Dim()))
+	enc.u32(uint32(len(snaps)))
+	for _, s := range snaps {
+		enc.entry(s)
+	}
+	if enc.err == nil {
+		enc.err = w.Flush()
+	}
+	if enc.err != nil {
+		f.Close()
+		return fmt.Errorf("gir: saving cache to %s: %w", path, enc.err)
+	}
+	return f.Close()
+}
+
+// snapshotCacheQuiesced captures every cache entry in recency order at a
+// moment when no mutation is pending and none can be published: it waits
+// for the drain queue to empty while holding the fill lock — the same
+// lock mutation publishing and drain-pass completion run under — and
+// snapshots inside that critical section. A drain pass only exists while
+// its batch is in pending, so an empty queue under invMu means the
+// maintenance goroutine is idle and no absorb can race the copy
+// (Entry.Snapshot also copies the candidate slice, the one mutable piece
+// of entry state). Writers that arrive while the snapshot is being taken
+// simply block on publishing, exactly as they do behind a fill commit.
+func (e *Engine) snapshotCacheQuiesced() []cacheint.Snapshot {
+	e.invMu.Lock()
+	defer e.invMu.Unlock()
+	for len(e.pending) > 0 && !e.closed {
+		e.invCond.Wait()
+	}
+	entries := e.cache.inner.Entries()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].LastUse() < entries[j].LastUse() })
+	snaps := make([]cacheint.Snapshot, len(entries))
+	for i, ent := range entries {
+		snaps[i] = ent.Snapshot()
+	}
+	return snaps
+}
+
+// LoadCache restores a warm cache saved by SaveCache into the engine's
+// cache, stamping every entry at the current dataset version. The caller
+// certifies the dataset contents are the ones the cache was saved against
+// (load the matching Dataset snapshot first); a dimension mismatch is
+// rejected, anything subtler is the caller's contract — exactly as for a
+// hand-managed Cache. Restored entries serve immediately: the first
+// lookups of the restarted engine are warm hits.
+func (e *Engine) LoadCache(path string) error {
+	if e.cache == nil {
+		return errors.New("gir: engine has no cache to load into")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dec := cacheDecoder{r: bufio.NewReader(f)}
+	var magic [8]byte
+	dec.bytes(magic[:])
+	if dec.err == nil && magic != warmCacheMagic {
+		return fmt.Errorf("gir: %s is not a warm-cache snapshot", path)
+	}
+	dim := int(dec.u32())
+	if dec.err == nil && dim != e.ds.Dim() {
+		return fmt.Errorf("gir: cache snapshot has dimension %d, dataset has %d", dim, e.ds.Dim())
+	}
+	count := int(dec.u32())
+	version := e.ds.version.Load()
+	for i := 0; i < count; i++ {
+		snap := dec.entry(dim)
+		if dec.err != nil {
+			break
+		}
+		e.cache.inner.Restore(snap, version)
+	}
+	if dec.err != nil {
+		return fmt.Errorf("gir: loading cache from %s: %w", path, dec.err)
+	}
+	return nil
+}
+
+// cacheEncoder serializes snapshots with sticky-error little-endian
+// primitives (the same style as the dataset snapshot format above).
+type cacheEncoder struct {
+	w   io.Writer
+	err error
+}
+
+func (e *cacheEncoder) bytes(b []byte) {
+	if e.err == nil {
+		_, e.err = e.w.Write(b)
+	}
+}
+
+func (e *cacheEncoder) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	e.bytes(b[:])
+}
+
+func (e *cacheEncoder) i64(v int64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	e.bytes(b[:])
+}
+
+func (e *cacheEncoder) f64(v float64) {
+	e.i64(int64(math.Float64bits(v)))
+}
+
+func (e *cacheEncoder) vec(v vec.Vector) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.f64(x)
+	}
+}
+
+func (e *cacheEncoder) rec(r topk.Record) {
+	e.i64(r.ID)
+	e.vec(r.Point)
+	e.f64(r.Score)
+}
+
+func (e *cacheEncoder) bool(v bool) {
+	if v {
+		e.bytes([]byte{1})
+	} else {
+		e.bytes([]byte{0})
+	}
+}
+
+func (e *cacheEncoder) entry(s cacheint.Snapshot) {
+	e.vec(s.Region.Query)
+	e.bool(s.Region.OrderSensitive)
+	e.u32(uint32(len(s.Region.Constraints)))
+	for _, c := range s.Region.Constraints {
+		e.vec(c.Normal)
+		e.bytes([]byte{byte(c.Kind)})
+		e.i64(c.A)
+		e.i64(c.B)
+	}
+	e.u32(uint32(len(s.Records)))
+	for _, r := range s.Records {
+		e.rec(r)
+	}
+	e.vec(s.InnerLo)
+	e.vec(s.InnerHi)
+	e.bool(s.CandComplete)
+	e.u32(uint32(len(s.Cand)))
+	for _, r := range s.Cand {
+		e.rec(r)
+	}
+	e.u32(uint32(len(s.Bounds)))
+	for _, b := range s.Bounds {
+		e.vec(b)
+	}
+	e.i64(s.Version)
+}
+
+// cacheDecoder mirrors cacheEncoder.
+type cacheDecoder struct {
+	r   io.Reader
+	err error
+}
+
+// maxCacheSlice bounds any decoded slice length: corrupt or truncated
+// snapshots must fail, not allocate unboundedly.
+const maxCacheSlice = 1 << 24
+
+func (d *cacheDecoder) bytes(b []byte) {
+	if d.err == nil {
+		_, d.err = io.ReadFull(d.r, b)
+	}
+}
+
+func (d *cacheDecoder) u32() uint32 {
+	var b [4]byte
+	d.bytes(b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (d *cacheDecoder) i64() int64 {
+	var b [8]byte
+	d.bytes(b[:])
+	return int64(binary.LittleEndian.Uint64(b[:]))
+}
+
+func (d *cacheDecoder) f64() float64 {
+	return math.Float64frombits(uint64(d.i64()))
+}
+
+func (d *cacheDecoder) count(what string) int {
+	n := d.u32()
+	if d.err == nil && n > maxCacheSlice {
+		d.err = fmt.Errorf("%s count %d exceeds sanity bound", what, n)
+	}
+	return int(n)
+}
+
+func (d *cacheDecoder) vec() vec.Vector {
+	n := d.count("vector")
+	if d.err != nil {
+		return nil
+	}
+	v := make(vec.Vector, n)
+	for i := range v {
+		v[i] = d.f64()
+	}
+	return v
+}
+
+func (d *cacheDecoder) bool() bool {
+	var b [1]byte
+	d.bytes(b[:])
+	return b[0] != 0
+}
+
+// dimVec decodes a vector and rejects any dimension other than dim: a
+// corrupt length prefix must fail the load, not half-restore entries
+// whose first lookup would panic on a mismatched dot product.
+func (d *cacheDecoder) dimVec(dim int, what string) vec.Vector {
+	v := d.vec()
+	if d.err == nil && len(v) != dim {
+		d.err = fmt.Errorf("%s has dimension %d, want %d", what, len(v), dim)
+	}
+	return v
+}
+
+func (d *cacheDecoder) dimRec(dim int, what string) topk.Record {
+	var r topk.Record
+	r.ID = d.i64()
+	r.Point = d.dimVec(dim, what)
+	r.Score = d.f64()
+	return r
+}
+
+func (d *cacheDecoder) entry(dim int) cacheint.Snapshot {
+	var s cacheint.Snapshot
+	reg := &girint.Region{Dim: dim}
+	reg.Query = d.dimVec(dim, "entry query")
+	reg.OrderSensitive = d.bool()
+	nc := d.count("constraint")
+	for i := 0; i < nc && d.err == nil; i++ {
+		var c girint.Constraint
+		c.Normal = d.dimVec(dim, "constraint normal")
+		var kind [1]byte
+		d.bytes(kind[:])
+		c.Kind = girint.ConstraintKind(kind[0])
+		c.A = d.i64()
+		c.B = d.i64()
+		reg.Constraints = append(reg.Constraints, c)
+	}
+	s.Region = reg
+	nr := d.count("record")
+	for i := 0; i < nr && d.err == nil; i++ {
+		s.Records = append(s.Records, d.dimRec(dim, "record point"))
+	}
+	s.InnerLo = d.dimVec(dim, "inscribed-box corner")
+	s.InnerHi = d.dimVec(dim, "inscribed-box corner")
+	s.CandComplete = d.bool()
+	ncand := d.count("candidate")
+	for i := 0; i < ncand && d.err == nil; i++ {
+		s.Cand = append(s.Cand, d.dimRec(dim, "candidate point"))
+	}
+	nb := d.count("bound")
+	for i := 0; i < nb && d.err == nil; i++ {
+		s.Bounds = append(s.Bounds, d.dimVec(dim, "subtree bound"))
+	}
+	s.Version = d.i64()
+	return s
 }

@@ -1,0 +1,262 @@
+package gir
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWarmCacheRoundTrip pins the warm-cache persistence contract: a
+// restarted engine that loads a saved cache serves its first lookups as
+// warm hits, with entries byte-equal to the saved ones (regions, records,
+// candidate sets, bounds, stamps) — including the retained repair state,
+// proven by a post-restart delete being repaired in place.
+func TestWarmCacheRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(88))
+	const n, d, k = 2000, 3, 8
+	points := make([][]float64, n)
+	for i := range points {
+		points[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+	}
+	ds1, err := NewDataset(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := NewEngine(ds1, EngineOptions{RepairMode: true})
+
+	pool := make([][]float64, 16)
+	for i := range pool {
+		pool[i] = []float64{0.15 + 0.7*r.Float64(), 0.15 + 0.7*r.Float64(), 0.15 + 0.7*r.Float64()}
+	}
+	saved := make([][]Record, len(pool))
+	for i, q := range pool {
+		res := e1.TopK(q, k)
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		saved[i] = res.Records
+	}
+
+	path := filepath.Join(t.TempDir(), "warm.gircache")
+	if err := e1.SaveCache(path); err != nil {
+		t.Fatal(err)
+	}
+	before := cacheFingerprints(e1.Cache())
+	if len(before) == 0 {
+		t.Fatal("nothing cached — round trip is vacuous")
+	}
+	e1.Close()
+
+	// "Restart": a fresh dataset over the same points (the production shape
+	// is Dataset.Save + Open alongside SaveCache/LoadCache) and a fresh
+	// engine that loads the warm cache before serving.
+	ds2, err := NewDataset(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEngine(ds2, EngineOptions{RepairMode: true})
+	defer e2.Close()
+	if err := e2.LoadCache(path); err != nil {
+		t.Fatal(err)
+	}
+	after := cacheFingerprints(e2.Cache())
+	if len(after) != len(before) {
+		t.Fatalf("loaded %d entries, saved %d", len(after), len(before))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("entry state changed across the round trip:\nsaved:\n%s\nloaded:\n%s", before[i], after[i])
+		}
+	}
+
+	// First lookups on the restarted engine are warm hits, byte-equal to
+	// the pre-restart answers.
+	for i, q := range pool {
+		res := e2.TopK(q, k)
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if !res.CacheHit {
+			t.Fatalf("query %d missed on the restarted engine", i)
+		}
+		for j := range res.Records {
+			if res.Records[j].ID != saved[i][j].ID || res.Records[j].Score != saved[i][j].Score {
+				t.Fatalf("query %d rank %d differs after restart: %+v vs %+v", i, j, res.Records[j], saved[i][j])
+			}
+		}
+	}
+	st := e2.Stats()
+	if st.Misses != 0 || st.Computed != 0 {
+		t.Fatalf("restarted engine recomputed: %d misses, %d computations — cache did not restore warm", st.Misses, st.Computed)
+	}
+	if st.CacheHits != int64(len(pool)) {
+		t.Fatalf("restarted engine served %d hits, want %d", st.CacheHits, len(pool))
+	}
+
+	// The retained repair state survived: deleting a cached result record
+	// must be repairable in place (candidate promotion), not just evicted,
+	// and the repaired entry must serve the true post-delete result.
+	victim := saved[0][k-1]
+	if !ds2.Delete(victim.ID, victim.Attrs) {
+		t.Fatal("victim record missing from the restarted dataset")
+	}
+	e2.Quiesce()
+	if got := e2.Stats().Repaired; got < 1 {
+		t.Fatalf("post-restart delete was not repaired (repaired=%d) — retained repair state was lost", got)
+	}
+	res := e2.TopK(pool[0], k)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	fresh, err := ds2.TopK(pool[0], k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range fresh.Records {
+		if res.Records[j].ID != fresh.Records[j].ID || res.Records[j].Score != fresh.Records[j].Score {
+			t.Fatalf("post-restart repair serves %v at rank %d, fresh top-k has %v",
+				res.Records[j], j, fresh.Records[j])
+		}
+	}
+}
+
+// TestSaveCacheDuringWrites pins that SaveCache is safe to call while
+// mutations keep arriving: the snapshot is taken in a quiesced critical
+// section (no drain pass in flight, publishing blocked), so the encoder
+// never races the drainer's candidate-set absorbs. Run under -race this
+// is the regression test for exactly that race; the saved file must also
+// always load cleanly.
+func TestSaveCacheDuringWrites(t *testing.T) {
+	r := rand.New(rand.NewSource(90))
+	const n, d, k = 800, 3, 6
+	points := make([][]float64, n)
+	for i := range points {
+		points[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+	}
+	ds, err := NewDataset(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(ds, EngineOptions{RepairMode: true})
+	defer e.Close()
+	for i := 0; i < 12; i++ {
+		q := []float64{0.15 + 0.7*r.Float64(), 0.15 + 0.7*r.Float64(), 0.15 + 0.7*r.Float64()}
+		if res := e.TopK(q, k); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wr := rand.New(rand.NewSource(91))
+		id := int64(1 << 41)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Background inserts: mostly unaffecting, so the drainer's absorb
+			// path — the one that mutates entry candidate sets in place — runs
+			// continuously while snapshots are taken.
+			p := []float64{wr.Float64(), wr.Float64(), wr.Float64()}
+			if err := ds.Insert(id, p); err != nil {
+				t.Error(err)
+				return
+			}
+			id++
+		}
+	}()
+
+	dir := t.TempDir()
+	for i := 0; i < 8; i++ {
+		path := filepath.Join(dir, "warm.gircache")
+		if err := e.SaveCache(path); err != nil {
+			t.Fatal(err)
+		}
+		ds2, err := NewDataset(points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2 := NewEngine(ds2, EngineOptions{})
+		if err := e2.LoadCache(path); err != nil {
+			t.Fatalf("snapshot %d did not load: %v", i, err)
+		}
+		e2.Close()
+	}
+	close(stop)
+	<-done
+}
+
+// TestLoadCacheRejectsGarbage pins the failure modes: wrong magic, wrong
+// dimension, truncation.
+func TestLoadCacheRejectsGarbage(t *testing.T) {
+	r := rand.New(rand.NewSource(89))
+	points := make([][]float64, 200)
+	for i := range points {
+		points[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+	}
+	ds, err := NewDataset(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(ds, EngineOptions{})
+	defer e.Close()
+	if res := e.TopK([]float64{0.5, 0.6, 0.7}, 5); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "warm.gircache")
+	if err := e.SaveCache(path); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := e.LoadCache(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+
+	// A 2-d dataset must reject the 3-d snapshot.
+	pts2 := make([][]float64, 100)
+	for i := range pts2 {
+		pts2[i] = []float64{r.Float64(), r.Float64()}
+	}
+	ds2, err := NewDataset(pts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEngine(ds2, EngineOptions{})
+	defer e2.Close()
+	if err := e2.LoadCache(path); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+
+	// Truncated snapshot must error, not panic or half-load silently.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.gircache")
+	if err := os.WriteFile(trunc, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadCache(trunc); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+
+	// A corrupt vector-length prefix must fail the load, not restore an
+	// entry whose first lookup panics on a mismatched dot product. The
+	// first entry's query-vector length lives right after the 16-byte
+	// header (magic + dim + count).
+	corrupt := append([]byte(nil), data...)
+	corrupt[16] = 200
+	bad := filepath.Join(dir, "bad.gircache")
+	if err := os.WriteFile(bad, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadCache(bad); err == nil {
+		t.Error("snapshot with corrupted vector dimension accepted")
+	}
+}
