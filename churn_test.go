@@ -85,7 +85,7 @@ type servedResult struct {
 }
 
 func TestEngineChurnNeverServesStale(t *testing.T) {
-	runEngineChurn(t, EngineOptions{Workers: 4, CacheCapacity: 48})
+	runEngineChurn(t, EngineOptions{Workers: 4, CacheCapacity: 48}, SpaceBox)
 }
 
 // TestEngineChurnRepairMode runs the same mutator/querier race with
@@ -94,10 +94,22 @@ func TestEngineChurnNeverServesStale(t *testing.T) {
 // entry serving a stale or mis-promoted result fails exactly like an
 // un-evicted one), and the maintenance counters must reconcile.
 func TestEngineChurnRepairMode(t *testing.T) {
-	runEngineChurn(t, EngineOptions{Workers: 4, CacheCapacity: 48, RepairMode: true})
+	runEngineChurn(t, EngineOptions{Workers: 4, CacheCapacity: 48, RepairMode: true}, SpaceBox)
 }
 
-func runEngineChurn(t *testing.T, opts EngineOptions) {
+// Simplex arms: the same mutator/querier races over the Σw=1 query space.
+// Every layer the verdict chain touches — region membership, the fence
+// predicate, invalidation LPs, repair certification — must clip to the
+// simplex; a box assumption anywhere shows up as a stale serve here.
+func TestEngineChurnSimplex(t *testing.T) {
+	runEngineChurn(t, EngineOptions{Workers: 4, CacheCapacity: 48}, SpaceSimplex)
+}
+
+func TestEngineChurnRepairModeSimplex(t *testing.T) {
+	runEngineChurn(t, EngineOptions{Workers: 4, CacheCapacity: 48, RepairMode: true}, SpaceSimplex)
+}
+
+func runEngineChurn(t *testing.T, opts EngineOptions, space Space) {
 	r := rand.New(rand.NewSource(77))
 	const n, d = 500, 3
 	points := make([][]float64, n)
@@ -107,7 +119,7 @@ func runEngineChurn(t *testing.T, opts EngineOptions) {
 		points[i] = p
 		mirror.base[int64(i)] = p
 	}
-	ds, err := NewDataset(points)
+	ds, err := NewDatasetInSpace(points, space)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,6 +131,9 @@ func runEngineChurn(t *testing.T, opts EngineOptions) {
 	ks := make([]int, len(pool))
 	for i := range pool {
 		pool[i] = []float64{0.15 + 0.7*r.Float64(), 0.15 + 0.7*r.Float64(), 0.15 + 0.7*r.Float64()}
+		if space == SpaceSimplex {
+			pool[i] = space.Normalize(pool[i])
+		}
 		ks[i] = 3 + r.Intn(6)
 	}
 

@@ -61,6 +61,7 @@ type batchConfig struct {
 	Churn    float64 `json:"churn"`
 	Burst    int     `json:"burst"`
 	Repair   bool    `json:"repair"`
+	Space    string  `json:"space"`
 }
 
 func runBurst(cfg serveConfig, churn float64, burst int, repair bool, jsonPath string, w io.Writer) error {
@@ -69,8 +70,9 @@ func runBurst(cfg serveConfig, churn float64, burst int, repair bool, jsonPath s
 	for i, p := range pts {
 		raw[i] = p
 	}
-	ops, queries, writes := engine.NewChurnWorkload(
-		cfg.Seed+1, cfg.D, cfg.Distinct, cfg.ZipfS, cfg.Jitter, cfg.Stream, churn, burst, 5, 20)
+	ops, queries, writes := engine.NewChurnWorkloadIn(
+		cfg.Seed+1, cfg.D, cfg.Distinct, cfg.ZipfS, cfg.Jitter, cfg.Stream, churn, burst, 5, 20,
+		cfg.Space == gir.SpaceSimplex)
 
 	fmt.Fprintf(w, "burst-churn benchmark: n=%d d=%d, %d operations (%d queries, %d writes in bursts of %d) over %d distinct vectors (zipf s=%.2f)\n\n",
 		cfg.N, cfg.D, cfg.Stream, queries, writes, burst, cfg.Distinct, cfg.ZipfS)
@@ -79,7 +81,7 @@ func runBurst(cfg serveConfig, churn float64, burst int, repair bool, jsonPath s
 
 	var rows []batchRow
 	measure := func(name string, drainBatch int) error {
-		ds, err := gir.NewDataset(raw)
+		ds, err := gir.NewDatasetInSpace(raw, cfg.Space)
 		if err != nil {
 			return err
 		}
@@ -168,7 +170,7 @@ func runBurst(cfg serveConfig, churn float64, burst int, repair bool, jsonPath s
 			Config: batchConfig{
 				N: cfg.N, D: cfg.D, Seed: cfg.Seed, Stream: cfg.Stream,
 				Distinct: cfg.Distinct, ZipfS: cfg.ZipfS, Jitter: cfg.Jitter,
-				Churn: churn, Burst: burst, Repair: repair,
+				Churn: churn, Burst: burst, Repair: repair, Space: cfg.Space.String(),
 			},
 			Rows: rows,
 		}

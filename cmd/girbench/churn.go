@@ -57,6 +57,7 @@ type churnConfig struct {
 	Jitter   float64 `json:"jitter"`
 	Churn    float64 `json:"churn"`
 	Repair   bool    `json:"repair"`
+	Space    string  `json:"space"`
 }
 
 func runChurn(cfg serveConfig, churn float64, repair bool, jsonPath string, w io.Writer) error {
@@ -65,17 +66,18 @@ func runChurn(cfg serveConfig, churn float64, repair bool, jsonPath string, w io
 	for i, p := range pts {
 		raw[i] = p
 	}
-	ops, queries, writes := engine.NewChurnWorkload(
-		cfg.Seed+1, cfg.D, cfg.Distinct, cfg.ZipfS, cfg.Jitter, cfg.Stream, churn, 1, 5, 20)
+	ops, queries, writes := engine.NewChurnWorkloadIn(
+		cfg.Seed+1, cfg.D, cfg.Distinct, cfg.ZipfS, cfg.Jitter, cfg.Stream, churn, 1, 5, 20,
+		cfg.Space == gir.SpaceSimplex)
 
-	fmt.Fprintf(w, "churn benchmark: n=%d d=%d, %d operations (%d queries, %d writes = %.1f%%) over %d distinct vectors (zipf s=%.2f)\n\n",
-		cfg.N, cfg.D, cfg.Stream, queries, writes, 100*float64(writes)/float64(max(1, cfg.Stream)), cfg.Distinct, cfg.ZipfS)
+	fmt.Fprintf(w, "churn benchmark: n=%d d=%d space=%v, %d operations (%d queries, %d writes = %.1f%%) over %d distinct vectors (zipf s=%.2f)\n\n",
+		cfg.N, cfg.D, cfg.Space, cfg.Stream, queries, writes, 100*float64(writes)/float64(max(1, cfg.Stream)), cfg.Distinct, cfg.ZipfS)
 	fmt.Fprintf(w, "%-22s %10s %10s %8s %8s %8s %9s %9s %12s %10s %8s\n",
 		"configuration", "elapsed", "queries/s", "hits", "misses", "hitrate", "repaired", "evicted", "fence-vetos", "recomputes", "reads")
 
 	var rows []churnRow
 	measure := func(name string, flushOnWrite, repairMode bool) error {
-		ds, err := gir.NewDataset(raw)
+		ds, err := gir.NewDatasetInSpace(raw, cfg.Space)
 		if err != nil {
 			return err
 		}
@@ -168,7 +170,7 @@ func runChurn(cfg serveConfig, churn float64, repair bool, jsonPath string, w io
 			Config: churnConfig{
 				N: cfg.N, D: cfg.D, Seed: cfg.Seed, Stream: cfg.Stream,
 				Distinct: cfg.Distinct, ZipfS: cfg.ZipfS, Jitter: cfg.Jitter, Churn: churn,
-				Repair: repair,
+				Repair: repair, Space: cfg.Space.String(),
 			},
 			Rows: rows,
 		}

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	gir "github.com/girlib/gir"
 	"github.com/girlib/gir/internal/bench"
 )
 
@@ -36,7 +37,8 @@ func main() {
 	serveChurn := flag.Float64("churn", 0, "-serve: fraction of operations that are Insert/Delete writes (> 0 runs the churn benchmark)")
 	serveRepair := flag.Bool("repair", false, "-serve -churn: also measure RepairMode (repair-instead-of-evict cache maintenance) as a third configuration")
 	serveBurst := flag.Int("burst", 0, "-serve -churn: writes arrive in bursts of this size (> 1 runs the batched-vs-per-mutation drain benchmark)")
-	serveJSON := flag.String("json", "", "-serve -churn: also write the measured rows to this file as JSON (the CI BENCH_serve.json / BENCH_repair.json / BENCH_batch.json artifact)")
+	serveSpace := flag.String("space", "box", "-serve: query-space domain — box ([0,1]^d) or simplex (the paper's Σw=1 convention; queries are sum-normalized)")
+	serveJSON := flag.String("json", "", "-serve -churn: also write the measured rows to this file as JSON (the CI BENCH_serve.json / BENCH_repair.json / BENCH_batch.json / BENCH_simplex.json artifact)")
 	flag.IntVar(&cfg.N, "n", cfg.N, "synthetic dataset cardinality (paper: 1000000)")
 	flag.IntVar(&cfg.Queries, "queries", cfg.Queries, "queries averaged per cell (paper: 100)")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "deterministic seed")
@@ -74,11 +76,16 @@ func main() {
 		if *serveChurn < 0 || *serveChurn >= 1 {
 			fatal("bad -churn: %v (want a write fraction in [0, 1))", *serveChurn)
 		}
+		space, err := gir.ParseSpace(*serveSpace)
+		if err != nil {
+			fatal("bad -space: %v", err)
+		}
 		scfg := serveConfig{
 			N: cfg.N, D: 4, Seed: cfg.Seed,
 			Stream: *serveStream, Distinct: *serveDistinct,
 			ZipfS: *serveZipf, Jitter: *serveJitter,
 			Batch: *serveBatch, Workers: *serveWorkers,
+			Space: space,
 		}
 		if *serveBurst < 0 || *serveBurst == 1 {
 			fatal("bad -burst: %d (want a burst size > 1, or 0 for uniform writes)", *serveBurst)
@@ -86,7 +93,6 @@ func main() {
 		if *serveBurst > 1 && *serveChurn == 0 {
 			fatal("-burst shapes write arrivals and needs a write mix: add -churn (e.g. -churn 0.05)")
 		}
-		var err error
 		switch {
 		case *serveChurn > 0 && *serveBurst > 1:
 			err = runBurst(scfg, *serveChurn, *serveBurst, *serveRepair, *serveJSON, os.Stdout)

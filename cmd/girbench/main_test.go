@@ -5,6 +5,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	gir "github.com/girlib/gir"
 )
 
 func TestParseInts(t *testing.T) {
@@ -27,6 +29,47 @@ func TestJoinInts(t *testing.T) {
 	}
 	if got := joinInts(nil); got != "" {
 		t.Errorf("joinInts(nil) = %q", got)
+	}
+}
+
+// TestRunChurnSimplexSmoke runs the churn benchmark in the Σw=1 simplex
+// query space at toy scale and validates the BENCH_simplex.json artifact:
+// the config records the space, both rows are present with consistent
+// maintenance counters, and the cache genuinely hit (a domain mismatch
+// anywhere in the stack — validation, region membership, fence — would
+// zero the hit counts or error out).
+func TestRunChurnSimplexSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn benchmark smoke is not -short")
+	}
+	dir := t.TempDir()
+	jsonPath := dir + "/BENCH_simplex.json"
+	cfg := serveConfig{N: 1500, D: 3, Seed: 7, Stream: 300, Distinct: 8, ZipfS: 1.3, Jitter: 0.001, Batch: 32, Space: gir.SpaceSimplex}
+	var buf strings.Builder
+	if err := runChurn(cfg, 0.08, false, jsonPath, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report churnReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if report.Config.Space != "simplex" {
+		t.Errorf("config space = %q, want simplex", report.Config.Space)
+	}
+	if len(report.Rows) != 2 || report.Rows[0].Name != "fine-grained" || report.Rows[1].Name != "global flush" {
+		t.Fatalf("unexpected rows: %+v", report.Rows)
+	}
+	for _, row := range report.Rows {
+		if row.Affected != row.Repaired+row.Invalidated {
+			t.Errorf("%s row breaks Affected == Repaired + Invalidated: %+v", row.Name, row)
+		}
+		if row.Hits == 0 {
+			t.Errorf("%s row served no cache hits — the simplex stack never matched a region", row.Name)
+		}
 	}
 }
 

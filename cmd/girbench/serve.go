@@ -19,15 +19,16 @@ import (
 
 // serveConfig parameterizes the serving benchmark.
 type serveConfig struct {
-	N        int     // dataset cardinality
-	D        int     // dimensionality
-	Seed     int64   //
-	Stream   int     // queries served
-	Distinct int     // distinct query vectors in the pool
-	ZipfS    float64 // Zipf skew (>1)
-	Jitter   float64 // gaussian nudge magnitude (in-region near-repeats)
-	Batch    int     // queries per BatchTopK call
-	Workers  int     // engine worker-pool size (0 = GOMAXPROCS)
+	N        int       // dataset cardinality
+	D        int       // dimensionality
+	Seed     int64     //
+	Stream   int       // queries served
+	Distinct int       // distinct query vectors in the pool
+	ZipfS    float64   // Zipf skew (>1)
+	Jitter   float64   // gaussian nudge magnitude (in-region near-repeats)
+	Batch    int       // queries per BatchTopK call
+	Workers  int       // engine worker-pool size (0 = GOMAXPROCS)
+	Space    gir.Space // query-space domain (box or Σw=1 simplex)
 }
 
 func runServe(cfg serveConfig, w io.Writer) error {
@@ -36,19 +37,19 @@ func runServe(cfg serveConfig, w io.Writer) error {
 	for i, p := range pts {
 		raw[i] = p
 	}
-	ds, err := gir.NewDataset(raw)
+	ds, err := gir.NewDatasetInSpace(raw, cfg.Space)
 	if err != nil {
 		return err
 	}
-	st := engine.NewStream(cfg.Seed+1, cfg.D, cfg.Distinct, cfg.ZipfS, 5, 20, cfg.Jitter)
+	st := engine.NewStreamIn(cfg.Seed+1, cfg.D, cfg.Distinct, cfg.ZipfS, 5, 20, cfg.Jitter, cfg.Space == gir.SpaceSimplex)
 	qs, ks := st.Draw(cfg.Stream)
 	queries := make([]gir.Query, cfg.Stream)
 	for i := range queries {
 		queries[i] = gir.Query{Vector: qs[i], K: ks[i]}
 	}
 
-	fmt.Fprintf(w, "serving benchmark: n=%d d=%d, %d queries over %d distinct vectors (zipf s=%.2f, jitter %.3g), GOMAXPROCS=%d\n\n",
-		cfg.N, cfg.D, cfg.Stream, cfg.Distinct, cfg.ZipfS, cfg.Jitter, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "serving benchmark: n=%d d=%d space=%v, %d queries over %d distinct vectors (zipf s=%.2f, jitter %.3g), GOMAXPROCS=%d\n\n",
+		cfg.N, cfg.D, cfg.Space, cfg.Stream, cfg.Distinct, cfg.ZipfS, cfg.Jitter, runtime.GOMAXPROCS(0))
 	fmt.Fprintf(w, "%-22s %12s %12s %10s %10s %10s %12s\n",
 		"configuration", "elapsed", "queries/s", "hits", "partial", "misses", "page reads")
 

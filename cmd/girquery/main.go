@@ -34,8 +34,13 @@ func main() {
 	star := flag.Bool("star", false, "compute the order-insensitive GIR*")
 	seed := flag.Int64("seed", 1, "random seed")
 	volSamples := flag.Int("volsamples", 2000, "Monte-Carlo samples per volume factor")
+	spaceName := flag.String("space", "box", "query space: box ([0,1]^d) or simplex (the paper's Σw=1 convention; the query is sum-normalized)")
 	flag.Parse()
 
+	space, err := gir.ParseSpace(*spaceName)
+	if err != nil {
+		fatal("bad -space: %v", err)
+	}
 	kd, nn, dd := datagen.Resolve(datagen.Kind(strings.ToUpper(*kind)), *n, *d)
 	pts, err := datagen.Generate(kd, nn, dd, *seed)
 	if err != nil {
@@ -45,9 +50,9 @@ func main() {
 	for i, p := range pts {
 		raw[i] = p
 	}
-	fmt.Printf("dataset: %s, n=%d, d=%d\n", kd, nn, dd)
+	fmt.Printf("dataset: %s, n=%d, d=%d, query space: %v\n", kd, nn, dd, space)
 	buildStart := time.Now()
-	ds, err := gir.NewDataset(raw)
+	ds, err := gir.NewDatasetInSpace(raw, space)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -56,6 +61,9 @@ func main() {
 	q, err := parseQuery(*qs, dd, *seed)
 	if err != nil {
 		fatal("%v", err)
+	}
+	if space == gir.SpaceSimplex {
+		q = space.Normalize(q)
 	}
 	sc, err := parseScoring(*scoring)
 	if err != nil {

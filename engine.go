@@ -86,6 +86,9 @@ type Engine struct {
 // EngineOptions tunes a new Engine. The zero value is ready to use:
 // GOMAXPROCS workers, a 1024-entry cache with the default shard count,
 // and FP (the paper's fastest method) for cache-fill GIR computation.
+// The query-space domain is inherited from the Dataset (NewDatasetInSpace
+// / SetSpace): fills, cache membership, invalidation predicates and
+// repairs all run in that space — see Engine.Space.
 type EngineOptions struct {
 	// Workers bounds the goroutines a batch fans out over (≤ 0 =
 	// GOMAXPROCS).
@@ -372,6 +375,11 @@ func (e *Engine) Stats() EngineStats {
 
 // Cache returns the engine's cache (nil when caching is disabled).
 func (e *Engine) Cache() *Cache { return e.cache }
+
+// Space returns the query-space domain the engine serves in, inherited
+// from its Dataset at construction. Every region the engine computes,
+// caches, fences, repairs or persists is clipped to this space.
+func (e *Engine) Space() Space { return e.ds.Space() }
 
 // BatchTopK answers a batch of top-k queries concurrently. The i-th result
 // corresponds to the i-th query; every result is byte-identical to what

@@ -7,7 +7,13 @@
 // This example scores the robustness of top-k results on the HOTEL
 // surrogate across k, flags the most sensitive result, and shows how the
 // order-insensitive GIR* always reports the result as more (or equally)
-// robust — order is the fragile part.
+// robust — order is the fragile part. It also measures every region in
+// BOTH query spaces — the unit box and the paper's Σw=1 simplex — side
+// by side: the simplex ratio is a relative measure one dimension lower
+// (the probability a random SUM-NORMALIZED preference preserves the
+// result), the convention the paper's Figure 14 plots, so the two
+// columns quantify how much of a region's fragility is the extra box
+// dimension versus genuine order sensitivity.
 //
 // Run with: go run ./examples/sensitivity
 package main
@@ -32,21 +38,34 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The same data served under the paper's sum-normalized convention;
+	// the equivalent simplex query is the normalized weight vector
+	// (linear ranking is scale-invariant, so both rank identically).
+	dsSimplex, err := gir.NewDatasetInSpace(raw, gir.SpaceSimplex)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	q := []float64{0.8, 0.6, 0.3, 0.7} // stars, value, rooms, facilities
-	fmt.Printf("HOTEL surrogate (n=%d), query weights %v\n", n, q)
+	qn := gir.SpaceSimplex.Normalize(q)
+	fmt.Printf("HOTEL surrogate (n=%d), query weights %v (simplex: %.3f)\n", n, q, qn)
 	fmt.Println("\nRobustness vs result size (Figure 14(b) shape: larger k ⇒ more")
-	fmt.Println("order conditions ⇒ smaller GIR ⇒ more sensitive result):")
-	fmt.Printf("%6s %22s %22s\n", "k", "log10 vol(GIR)", "log10 vol(GIR*)")
+	fmt.Println("order conditions ⇒ smaller GIR ⇒ more sensitive result), in both")
+	fmt.Println("query spaces — the simplex columns are the paper's convention:")
+	fmt.Println("the chance a random SUM-NORMALIZED preference preserves the result:")
+	fmt.Printf("%6s %16s %16s %18s %18s\n", "k", "log10 box GIR", "log10 box GIR*", "log10 simplex GIR", "log10 simplex GIR*")
 
-	var mostSensitiveK int
-	worst := math.Inf(1)
-	for _, k := range []int{5, 10, 20, 50, 100} {
-		res, err := ds.TopK(q, k)
+	logRatio := func(d *gir.Dataset, w []float64, k int, star bool) float64 {
+		res, err := d.TopK(w, k)
 		if err != nil {
 			log.Fatal(err)
 		}
-		g, err := ds.ComputeGIR(res, gir.FP)
+		var g *gir.GIR
+		if star {
+			g, err = d.ComputeGIRStar(res, gir.FP)
+		} else {
+			g, err = d.ComputeGIR(res, gir.FP)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -54,17 +73,17 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res2, _ := ds.TopK(q, k)
-		gStar, err := ds.ComputeGIRStar(res2, gir.FP)
-		if err != nil {
-			log.Fatal(err)
-		}
-		lgStar, err := gStar.LogVolumeRatio(gir.VolumeOptions{Samples: 2000})
-		if err != nil {
-			log.Fatal(err)
-		}
-		l10, l10s := lg/math.Ln10, lgStar/math.Ln10
-		fmt.Printf("%6d %22.2f %22.2f\n", k, l10, l10s)
+		return lg / math.Ln10
+	}
+
+	var mostSensitiveK int
+	worst := math.Inf(1)
+	for _, k := range []int{5, 10, 20, 50, 100} {
+		l10 := logRatio(ds, q, k, false)
+		l10s := logRatio(ds, q, k, true)
+		s10 := logRatio(dsSimplex, qn, k, false)
+		s10s := logRatio(dsSimplex, qn, k, true)
+		fmt.Printf("%6d %16.2f %16.2f %18.2f %18.2f\n", k, l10, l10s, s10, s10s)
 		if l10 < worst {
 			worst, mostSensitiveK = l10, k
 		}
@@ -73,7 +92,7 @@ func main() {
 		}
 	}
 
-	fmt.Printf("\nThe k=%d result is the most sensitive (volume ratio 1e%.1f).\n", mostSensitiveK, worst)
+	fmt.Printf("\nThe k=%d result is the most sensitive (box volume ratio 1e%.1f).\n", mostSensitiveK, worst)
 	fmt.Println("A UI can use this to trigger deeper deliberation for fragile answers")
 	fmt.Println("and display the LIR bounds from the quickstart example as guidance.")
 

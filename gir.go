@@ -29,11 +29,13 @@ package gir
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	cacheint "github.com/girlib/gir/internal/cache"
+	"github.com/girlib/gir/internal/domain"
 	girint "github.com/girlib/gir/internal/gir"
 	"github.com/girlib/gir/internal/pager"
 	"github.com/girlib/gir/internal/rtree"
@@ -41,6 +43,69 @@ import (
 	"github.com/girlib/gir/internal/topk"
 	"github.com/girlib/gir/internal/vec"
 )
+
+// Space selects the query-space domain GIRs are computed over — the body
+// the region's cone is clipped to, sampled from, and reported against.
+type Space int8
+
+// Query spaces.
+const (
+	// SpaceBox is the unit hyper-cube [0,1]^d: every weight moves
+	// independently. This library's historical default.
+	SpaceBox Space = iota
+	// SpaceSimplex is the sum-normalized space {w : Σ w_i = 1, w ≥ 0} —
+	// the paper's convention. Preferences are relative, regions lose one
+	// dimension, and volume ratios match the paper's sensitivity figures
+	// at higher d. Queries must be normalized (see Space.Normalize);
+	// linear ranking is scale-invariant, so any nonnegative preference
+	// vector has an equivalent simplex query.
+	SpaceSimplex
+)
+
+func (s Space) String() string {
+	switch s {
+	case SpaceBox:
+		return "box"
+	case SpaceSimplex:
+		return "simplex"
+	}
+	return fmt.Sprintf("gir.Space(%d)", int8(s))
+}
+
+// ParseSpace resolves the CLI spelling of a query space ("box",
+// "simplex"; the empty string means box).
+func ParseSpace(name string) (Space, error) {
+	switch name {
+	case "box", "":
+		return SpaceBox, nil
+	case "simplex":
+		return SpaceSimplex, nil
+	}
+	return 0, fmt.Errorf("gir: unknown query space %q (want box or simplex)", name)
+}
+
+// domain resolves the space to its internal Domain for dimension d.
+func (s Space) domain(d int) domain.Domain {
+	if s == SpaceSimplex {
+		return domain.Simplex(d)
+	}
+	return domain.UnitBox(d)
+}
+
+// Normalize maps a nonnegative preference vector into the space: the box
+// clamps weights to [0,1]; the simplex divides by the sum (an all-zero
+// vector maps to uniform weights). The returned vector is a fresh slice.
+func (s Space) Normalize(q []float64) []float64 {
+	return s.domain(len(q)).Normalize(vec.Vector(q))
+}
+
+// spaceOfKind maps a persisted domain kind back to the Space enum.
+func spaceOfKind(k domain.Kind) Space {
+	if k == domain.KindSimplex {
+		return SpaceSimplex
+	}
+	return SpaceBox
+}
 
 // Method selects the Phase-2 GIR algorithm.
 type Method int
@@ -133,6 +198,7 @@ type Dataset struct {
 	cost    pager.CostModel
 	file    *pager.FileStore // non-nil when disk-backed (Close releases it)
 	version atomic.Int64     // bumped by every successful mutation
+	space   Space            // the query-space domain (data space is [0,1]^d regardless)
 
 	subID int64                    // next subscriber handle
 	subs  map[int64]func(mutation) // mutation listeners (Engines), under mu
@@ -185,9 +251,46 @@ func (ds *Dataset) publishLocked(insert bool, id int64, p []float64) {
 	ds.version.Store(m.version)
 }
 
+// NewDatasetInSpace is NewDataset with an explicit query-space domain.
+// The DATA space is [0,1]^d either way — only query vectors, regions and
+// volume measures live in the chosen space.
+func NewDatasetInSpace(points [][]float64, space Space) (*Dataset, error) {
+	ds, err := NewDataset(points)
+	if err != nil {
+		return nil, err
+	}
+	ds.space = space
+	return ds, nil
+}
+
+// Space returns the dataset's active query-space domain.
+func (ds *Dataset) Space() Space {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return ds.space
+}
+
+// SetSpace switches the query-space domain. Call it before serving
+// queries or attaching Engines: regions computed in one space must not be
+// mixed with queries validated in another (cached entries and warm-cache
+// snapshots record their space and would refuse the mismatch anyway).
+// Note that disk snapshots record the space at Save time — to persist a
+// non-default space, set it before Save, or build with
+// NewDatasetOnDiskInSpace.
+func (ds *Dataset) SetSpace(space Space) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	ds.space = space
+}
+
+// spaceLocked reads the space under either lock mode (callers of the
+// read paths hold at least ds.mu.RLock).
+func (ds *Dataset) spaceLocked() Space { return ds.space }
+
 // NewDataset bulk-loads (STR) an R*-tree over the given points; record ids
 // are the point indices. Every point must have the same dimension d ≥ 2
-// and coordinates in [0,1].
+// and coordinates in [0,1]. The query space defaults to the unit box;
+// see NewDatasetInSpace for the paper's Σw=1 simplex.
 func NewDataset(points [][]float64) (*Dataset, error) {
 	if len(points) == 0 {
 		return nil, errors.New("gir: empty dataset")
@@ -325,10 +428,15 @@ func (ds *Dataset) validateLocked(q []float64, k int) error {
 	if len(q) != ds.tree.Dim() {
 		return fmt.Errorf("gir: query has dimension %d, want %d", len(q), ds.tree.Dim())
 	}
+	sum := 0.0
 	for _, w := range q {
 		if w < 0 {
 			return errors.New("gir: query weights must be nonnegative")
 		}
+		sum += w
+	}
+	if ds.spaceLocked() == SpaceSimplex && math.Abs(sum-1) > domain.EqTol {
+		return fmt.Errorf("gir: query weights sum to %v; the simplex query space needs Σw = 1 (normalize with gir.SpaceSimplex.Normalize)", sum)
 	}
 	if k <= 0 || k > ds.tree.Len() {
 		return fmt.Errorf("gir: k = %d out of range (dataset has %d records)", k, ds.tree.Len())

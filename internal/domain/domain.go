@@ -1,0 +1,458 @@
+// Package domain defines the query space a Global Immutable Region lives
+// in. The paper computes GIRs over preference vectors; two conventions are
+// common in the top-k literature and both are supported here behind one
+// interface:
+//
+//   - UnitBox: the hyper-cube [0,1]^d — this library's historical default.
+//     Every weight moves independently.
+//   - Simplex: the sum-normalized space {w : Σ w_i = 1, w ≥ 0} — the
+//     paper's convention. Preferences are relative, the region loses one
+//     dimension, and volume ratios stay comparable to the paper's
+//     sensitivity figures at higher d.
+//
+// A GIR is a polyhedral cone (half-spaces through the origin) clipped to
+// the active domain, so every layer that clips, samples, optimizes over or
+// labels the query space — geometry, GIR computation, cache invalidation,
+// repair, volume estimation, visualization — takes its bounds from a
+// Domain value instead of hard-coding the unit box. The UnitBox
+// implementation reproduces the pre-Domain arithmetic operation for
+// operation, so box-domain results are byte-identical to the historical
+// behavior.
+//
+// # Scale invariance and the simplex equality
+//
+// Linear top-k ranking is invariant under positive scaling of the weight
+// vector: every pairwise comparison is a half-space a·w ≥ 0 through the
+// origin. The simplex membership test therefore treats the Σw = 1 equality
+// with a small absolute tolerance (EqTol): a vector that sums to 1±1e-9
+// ranks records exactly like its normalized image, so serving a cached
+// result to it is sound as long as the cone constraints hold. This is what
+// lets jittered-and-renormalized queries hit cached simplex regions.
+package domain
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/girlib/gir/internal/geom"
+	"github.com/girlib/gir/internal/lp"
+	"github.com/girlib/gir/internal/vec"
+)
+
+// Kind discriminates the built-in domains (persistence stores it as one
+// byte; keep values stable).
+type Kind int8
+
+// Built-in domain kinds.
+const (
+	KindBox     Kind = 0 // [0,1]^d
+	KindSimplex Kind = 1 // Σw = 1, w ≥ 0
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindBox:
+		return "box"
+	case KindSimplex:
+		return "simplex"
+	}
+	return fmt.Sprintf("domain.Kind(%d)", int8(k))
+}
+
+// EqTol is the absolute tolerance on the simplex sum equality. It sits
+// far above float64 normalization error (~1e-16) and far below any
+// deliberate violation; see the package comment for why a loose equality
+// is sound for serving.
+const EqTol = 1e-9
+
+// Domain is one query space. Implementations are immutable values, safe
+// to share between goroutines.
+type Domain interface {
+	// Kind identifies the domain family.
+	Kind() Kind
+	// Name is the CLI/persistence spelling ("box", "simplex").
+	Name() string
+	// Dim is the ambient dimensionality d (simplex regions are (d−1)-
+	// dimensional subsets of it).
+	Dim() int
+
+	// Contains reports whether q lies in the domain within tol. The
+	// simplex sum equality uses max(tol, EqTol).
+	Contains(q vec.Vector, tol float64) bool
+	// Interior returns a strictly interior point of the domain (relative
+	// interior for the simplex): the uniform weight vector.
+	Interior() vec.Vector
+	// Normalize maps a nonnegative, nonzero vector onto the domain: the
+	// box clamps coordinates to [0,1]; the simplex divides by the sum.
+	Normalize(q vec.Vector) vec.Vector
+
+	// Halfspaces is the domain's inequality H-representation in ambient
+	// space, the half-spaces a region's cone is clipped by. The simplex
+	// equality is represented as its two half-spaces.
+	Halfspaces() []geom.Halfspace
+	// LPConstraints is the domain as internal/lp rows over the ambient
+	// variables, with x ≥ 0 left implicit (the solver enforces it):
+	// x_i ≤ 1 for the box, Σx = 1 for the simplex.
+	LPConstraints() []lp.Constraint
+	// MaximizeLinear maximizes c·x over domain ∩ {cons}. It replaces
+	// direct lp.MaximizeOverBox call sites; the domain guarantees the
+	// program is bounded, so a non-Optimal status signals a numerical
+	// failure the caller should treat conservatively.
+	MaximizeLinear(c vec.Vector, cons []lp.Constraint) lp.Solution
+	// UpperBound returns max{c·w : w ∈ domain} in closed form — the
+	// domain-wide bound behind the dominance filters (≤ 0 means no point
+	// of the domain scores c positively).
+	UpperBound(c vec.Vector) float64
+	// MaxOverBox maximizes c·w in closed form over [lo,hi] ∩ domain. ok
+	// is false when the intersection is empty (the filter is then
+	// inconclusive and the caller must fall back to the LP). For a box
+	// [lo,hi] inscribed in a region's cone, the result is a sound
+	// positive filter for the region ∩ domain: the maximizer is a point
+	// of the domain.
+	MaxOverBox(c, lo, hi vec.Vector) (float64, bool)
+
+	// AxisBounds returns the domain's bounding interval per axis — the
+	// range an inscribed axis-parallel box (viz.MAH, the cache's
+	// closed-form filter boxes) must stay within. [0,1] for both
+	// built-ins: the simplex's bounding box is the unit box.
+	AxisBounds() (lo, hi float64)
+
+	// Sample draws a uniform point of the domain (uniform over the
+	// (d−1)-simplex for KindSimplex, via exponential stick lengths).
+	Sample(rng *rand.Rand) vec.Vector
+
+	// ParamDim, ParamBase and ParamHalfspace give the affine
+	// parameterization volume estimation integrates in: an injective
+	// affine map from a ParamDim-dimensional parameter region (described
+	// by ParamBase) onto the domain, with ParamHalfspace carrying an
+	// ambient half-space into parameter space. Relative volumes are
+	// preserved (the Jacobian is constant), which is all a volume RATIO
+	// needs. The box parameterizes as itself; the simplex drops the last
+	// coordinate (w_d = 1 − Σ u_j).
+	ParamDim() int
+	ParamBase() []geom.Halfspace
+	ParamHalfspace(h geom.Halfspace) geom.Halfspace
+
+	// BoundaryLabel describes the domain boundary facet that binds when
+	// weight i reaches its lower (upper=false) or upper (upper=true)
+	// validity bound — the region-report label for bounds the domain,
+	// not a result-perturbation constraint, is responsible for.
+	BoundaryLabel(i int, upper bool) string
+}
+
+// UnitBox returns the [0,1]^d domain. Values for small d are cached, so
+// per-call use on hot paths does not allocate.
+func UnitBox(d int) Domain {
+	if d >= 0 && d < len(boxCache) {
+		return boxCache[d]
+	}
+	return box{d}
+}
+
+// Simplex returns the {Σw = 1, w ≥ 0} domain.
+func Simplex(d int) Domain {
+	if d >= 0 && d < len(simplexCache) {
+		return simplexCache[d]
+	}
+	return simplex{d}
+}
+
+var (
+	boxCache     [17]Domain
+	simplexCache [17]Domain
+)
+
+func init() {
+	for d := range boxCache {
+		boxCache[d] = box{d}
+		simplexCache[d] = simplex{d}
+	}
+}
+
+// --- UnitBox ---------------------------------------------------------------
+
+type box struct{ d int }
+
+func (b box) Kind() Kind   { return KindBox }
+func (b box) Name() string { return "box" }
+func (b box) Dim() int     { return b.d }
+
+// Contains mirrors the historical Region.Contains box test comparison for
+// comparison (NaNs fail no rejection test, exactly as before).
+func (b box) Contains(q vec.Vector, tol float64) bool {
+	if len(q) != b.d {
+		return false
+	}
+	for _, x := range q {
+		if x < -tol || x > 1+tol {
+			return false
+		}
+	}
+	return true
+}
+
+func (b box) Interior() vec.Vector {
+	c := make(vec.Vector, b.d)
+	for i := range c {
+		c[i] = 0.5
+	}
+	return c
+}
+
+func (b box) Normalize(q vec.Vector) vec.Vector {
+	out := make(vec.Vector, len(q))
+	for i, x := range q {
+		out[i] = math.Min(1, math.Max(0, x))
+	}
+	return out
+}
+
+func (b box) Halfspaces() []geom.Halfspace { return geom.BoxHalfspaces(b.d) }
+
+func (b box) LPConstraints() []lp.Constraint {
+	cons := make([]lp.Constraint, 0, b.d)
+	for i := 0; i < b.d; i++ {
+		row := make([]float64, b.d)
+		row[i] = 1
+		cons = append(cons, lp.Constraint{Coef: row, Op: lp.LE, RHS: 1})
+	}
+	return cons
+}
+
+// MaximizeLinear delegates to lp.MaximizeOverBox: identical constraint
+// construction, identical solver path, byte-identical solutions.
+func (b box) MaximizeLinear(c vec.Vector, cons []lp.Constraint) lp.Solution {
+	return lp.MaximizeOverBox(c, cons)
+}
+
+func (b box) UpperBound(c vec.Vector) float64 {
+	ub := 0.0
+	for _, x := range c {
+		if x > 0 {
+			ub += x
+		}
+	}
+	return ub
+}
+
+func (b box) MaxOverBox(c, lo, hi vec.Vector) (float64, bool) {
+	v := 0.0
+	for j, cj := range c {
+		if cj > 0 {
+			v += cj * hi[j]
+		} else {
+			v += cj * lo[j]
+		}
+	}
+	return v, true
+}
+
+func (b box) AxisBounds() (lo, hi float64) { return 0, 1 }
+
+func (b box) Sample(rng *rand.Rand) vec.Vector {
+	q := make(vec.Vector, b.d)
+	for i := range q {
+		q[i] = rng.Float64()
+	}
+	return q
+}
+
+func (b box) ParamDim() int                                  { return b.d }
+func (b box) ParamBase() []geom.Halfspace                    { return geom.BoxHalfspaces(b.d) }
+func (b box) ParamHalfspace(h geom.Halfspace) geom.Halfspace { return h }
+
+func (b box) BoundaryLabel(i int, upper bool) string {
+	if upper {
+		return fmt.Sprintf("query space boundary (w%d = 1)", i+1)
+	}
+	return fmt.Sprintf("query space boundary (w%d = 0)", i+1)
+}
+
+// --- Simplex ---------------------------------------------------------------
+
+type simplex struct{ d int }
+
+func (s simplex) Kind() Kind   { return KindSimplex }
+func (s simplex) Name() string { return "simplex" }
+func (s simplex) Dim() int     { return s.d }
+
+func (s simplex) Contains(q vec.Vector, tol float64) bool {
+	if len(q) != s.d {
+		return false
+	}
+	sum := 0.0
+	for _, x := range q {
+		if x < -tol {
+			return false
+		}
+		sum += x
+	}
+	eq := tol
+	if eq < EqTol {
+		eq = EqTol
+	}
+	return sum >= 1-eq && sum <= 1+eq
+}
+
+func (s simplex) Interior() vec.Vector {
+	c := make(vec.Vector, s.d)
+	for i := range c {
+		c[i] = 1 / float64(s.d)
+	}
+	return c
+}
+
+func (s simplex) Normalize(q vec.Vector) vec.Vector {
+	out := make(vec.Vector, len(q))
+	sum := 0.0
+	for _, x := range q {
+		if x > 0 {
+			sum += x
+		}
+	}
+	if sum <= 0 {
+		copy(out, s.Interior())
+		return out
+	}
+	for i, x := range q {
+		if x > 0 {
+			out[i] = x / sum
+		}
+	}
+	return out
+}
+
+// Halfspaces represents the simplex as inequalities: w_i ≥ 0 plus the two
+// halves of Σw = 1 (Σw ≥ 1 and −Σw ≥ −1).
+func (s simplex) Halfspaces() []geom.Halfspace {
+	out := make([]geom.Halfspace, 0, s.d+2)
+	for i := 0; i < s.d; i++ {
+		out = append(out, geom.Halfspace{A: vec.Basis(s.d, i), B: 0})
+	}
+	ones := make(vec.Vector, s.d)
+	neg := make(vec.Vector, s.d)
+	for i := range ones {
+		ones[i], neg[i] = 1, -1
+	}
+	return append(out, geom.Halfspace{A: ones, B: 1}, geom.Halfspace{A: neg, B: -1})
+}
+
+func (s simplex) LPConstraints() []lp.Constraint {
+	ones := make([]float64, s.d)
+	for i := range ones {
+		ones[i] = 1
+	}
+	return []lp.Constraint{{Coef: ones, Op: lp.EQ, RHS: 1}}
+}
+
+func (s simplex) MaximizeLinear(c vec.Vector, cons []lp.Constraint) lp.Solution {
+	all := make([]lp.Constraint, 0, 1+len(cons))
+	all = append(all, s.LPConstraints()...)
+	all = append(all, cons...)
+	return lp.Maximize(c, all)
+}
+
+// UpperBound over the simplex is attained at a vertex: max_j c_j.
+func (s simplex) UpperBound(c vec.Vector) float64 {
+	ub := math.Inf(-1)
+	for _, x := range c {
+		if x > ub {
+			ub = x
+		}
+	}
+	return ub
+}
+
+// MaxOverBox solves max{c·w : Σw = 1, lo ≤ w ≤ hi} by fractional
+// knapsack: start at lo and spend the remaining mass 1 − Σlo on
+// coordinates in decreasing c_j order. ok is false when the box misses
+// the Σ = 1 plane entirely.
+func (s simplex) MaxOverBox(c, lo, hi vec.Vector) (float64, bool) {
+	sumLo, sumHi := 0.0, 0.0
+	for j := range lo {
+		sumLo += lo[j]
+		sumHi += hi[j]
+	}
+	if sumLo > 1+EqTol || sumHi < 1-EqTol {
+		return 0, false
+	}
+	order := make([]int, len(c))
+	for j := range order {
+		order[j] = j
+	}
+	sort.Slice(order, func(a, b int) bool { return c[order[a]] > c[order[b]] })
+	v := 0.0
+	for j, lj := range lo {
+		v += c[j] * lj
+	}
+	mass := 1 - sumLo
+	for _, j := range order {
+		if mass <= 0 {
+			break
+		}
+		room := hi[j] - lo[j]
+		if room > mass {
+			room = mass
+		}
+		if room > 0 {
+			v += c[j] * room
+			mass -= room
+		}
+	}
+	return v, true
+}
+
+func (s simplex) AxisBounds() (lo, hi float64) { return 0, 1 }
+
+// Sample draws uniformly from the simplex via normalized exponential
+// stick lengths (equivalently a flat Dirichlet).
+func (s simplex) Sample(rng *rand.Rand) vec.Vector {
+	q := make(vec.Vector, s.d)
+	sum := 0.0
+	for i := range q {
+		q[i] = rng.ExpFloat64()
+		sum += q[i]
+	}
+	for i := range q {
+		q[i] /= sum
+	}
+	return q
+}
+
+// ParamDim drops the last coordinate: w = (u_1..u_{d-1}, 1 − Σu).
+func (s simplex) ParamDim() int { return s.d - 1 }
+
+// ParamBase describes the parameter region {u ≥ 0, Σu ≤ 1}.
+func (s simplex) ParamBase() []geom.Halfspace {
+	pd := s.d - 1
+	out := make([]geom.Halfspace, 0, pd+1)
+	for i := 0; i < pd; i++ {
+		out = append(out, geom.Halfspace{A: vec.Basis(pd, i), B: 0})
+	}
+	neg := make(vec.Vector, pd)
+	for i := range neg {
+		neg[i] = -1
+	}
+	return append(out, geom.Halfspace{A: neg, B: -1})
+}
+
+// ParamHalfspace substitutes w_d = 1 − Σu into a·w ≥ b:
+// Σ_j (a_j − a_d)·u_j ≥ b − a_d.
+func (s simplex) ParamHalfspace(h geom.Halfspace) geom.Halfspace {
+	pd := s.d - 1
+	ad := h.A[pd]
+	a := make(vec.Vector, pd)
+	for j := 0; j < pd; j++ {
+		a[j] = h.A[j] - ad
+	}
+	return geom.Halfspace{A: a, B: h.B - ad}
+}
+
+func (s simplex) BoundaryLabel(i int, upper bool) string {
+	if upper {
+		return fmt.Sprintf("simplex vertex (w%d = 1, all other weights 0)", i+1)
+	}
+	return fmt.Sprintf("simplex boundary (w%d = 0)", i+1)
+}

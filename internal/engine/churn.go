@@ -29,7 +29,15 @@ type ChurnOp struct {
 // probability writeMix/B, so the overall write fraction is preserved) —
 // the bursty mixed traffic batched cache maintenance exists for.
 func NewChurnWorkload(seed int64, d, distinct int, zipfS, jitter float64, stream int, writeMix float64, burst, kmin, kmax int) (ops []ChurnOp, queries, writes int) {
-	st := NewStream(seed, d, distinct, zipfS, kmin, kmax, jitter)
+	return NewChurnWorkloadIn(seed, d, distinct, zipfS, jitter, stream, writeMix, burst, kmin, kmax, false)
+}
+
+// NewChurnWorkloadIn is NewChurnWorkload with a query-space switch: with
+// simplex true the query side is sum-normalized (NewStreamIn). Writes are
+// untouched either way — inserted records live in the [0,1]^d DATA space
+// regardless of which query space the serving stack runs in.
+func NewChurnWorkloadIn(seed int64, d, distinct int, zipfS, jitter float64, stream int, writeMix float64, burst, kmin, kmax int, simplex bool) (ops []ChurnOp, queries, writes int) {
+	st := NewStreamIn(seed, d, distinct, zipfS, kmin, kmax, jitter, simplex)
 	r := rand.New(rand.NewSource(seed + 1))
 	ops = make([]ChurnOp, stream)
 	nextID := int64(1 << 40)

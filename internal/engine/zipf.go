@@ -3,6 +3,9 @@ package engine
 import (
 	"fmt"
 	"math/rand"
+
+	"github.com/girlib/gir/internal/domain"
+	"github.com/girlib/gir/internal/vec"
 )
 
 // Stream generates a Zipf-distributed top-k query workload: a pool of
@@ -21,6 +24,7 @@ type Stream struct {
 	pool   [][]float64
 	ks     []int
 	jitter float64
+	dom    domain.Domain // nil = box (raw vectors), else queries are normalized into it
 }
 
 // NewStream builds a stream of d-dimensional queries over `distinct`
@@ -28,6 +32,16 @@ type Stream struct {
 // drawn per vector from [kmin, kmax], and gaussian jitter of the given
 // magnitude (0 = exact repeats only).
 func NewStream(seed int64, d, distinct int, s float64, kmin, kmax int, jitter float64) *Stream {
+	return NewStreamIn(seed, d, distinct, s, kmin, kmax, jitter, false)
+}
+
+// NewStreamIn is NewStream with a query-space switch: with simplex true,
+// every pool vector and every jittered draw is sum-normalized, producing
+// the workload a Σw=1 (paper-convention) serving stack accepts. Jitter
+// still lands near-repeats inside cached regions — normalization is a
+// positive scaling and linear ranking is scale-invariant, so a jittered
+// query stays in a region's cone exactly as often as its raw image.
+func NewStreamIn(seed int64, d, distinct int, s float64, kmin, kmax int, jitter float64, simplex bool) *Stream {
 	if distinct < 1 {
 		panic(fmt.Sprintf("engine: stream needs ≥ 1 distinct queries, got %d", distinct))
 	}
@@ -35,12 +49,19 @@ func NewStream(seed int64, d, distinct int, s float64, kmin, kmax int, jitter fl
 		panic(fmt.Sprintf("engine: Zipf parameter s must be > 1, got %v", s))
 	}
 	rng := rand.New(rand.NewSource(seed))
+	var dom domain.Domain
+	if simplex {
+		dom = domain.Simplex(d)
+	}
 	pool := make([][]float64, distinct)
 	ks := make([]int, distinct)
 	for i := range pool {
 		q := make([]float64, d)
 		for j := range q {
 			q[j] = 0.15 + 0.7*rng.Float64()
+		}
+		if dom != nil {
+			q = dom.Normalize(vec.Vector(q))
 		}
 		pool[i] = q
 		ks[i] = kmin
@@ -54,6 +75,7 @@ func NewStream(seed int64, d, distinct int, s float64, kmin, kmax int, jitter fl
 		pool:   pool,
 		ks:     ks,
 		jitter: jitter,
+		dom:    dom,
 	}
 }
 
@@ -66,6 +88,9 @@ func (st *Stream) Next() ([]float64, int) {
 	if st.jitter > 0 && st.rng.Intn(2) == 0 {
 		for j := range q {
 			q[j] = clamp01(q[j] + st.jitter*st.rng.NormFloat64())
+		}
+		if st.dom != nil {
+			q = st.dom.Normalize(vec.Vector(q))
 		}
 	}
 	return q, st.ks[i]

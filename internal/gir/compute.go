@@ -3,6 +3,7 @@ package gir
 import (
 	"fmt"
 
+	"github.com/girlib/gir/internal/domain"
 	"github.com/girlib/gir/internal/hull"
 	"github.com/girlib/gir/internal/rtree"
 	"github.com/girlib/gir/internal/score"
@@ -64,6 +65,21 @@ type Options struct {
 	// (one small LP per surviving heap entry). It trades CPU for I/O;
 	// see BenchmarkAblationPhase1Tighten.
 	Phase1Tighten bool
+	// Domain is the query space the region is clipped to (nil = the unit
+	// box [0,1]^d, the historical behavior). The cone constraints are
+	// domain-independent — pairwise score comparisons are half-spaces
+	// through the origin either way — but the computed Region carries the
+	// domain so that membership, maintenance, volume and reporting all
+	// clip consistently.
+	Domain domain.Domain
+}
+
+// domainOrBox resolves Options.Domain against the data dimensionality.
+func (o Options) domainOrBox(d int) domain.Domain {
+	if o.Domain == nil {
+		return domain.UnitBox(d)
+	}
+	return o.Domain
 }
 
 // Compute derives the order-sensitive GIR of the given top-k result.
@@ -94,7 +110,7 @@ func Compute(tree *rtree.Tree, res *topk.Result, opt Options) (*Region, *Stats, 
 		} else {
 			var pruner *phase1Pruner
 			if opt.Phase1Tighten {
-				pruner = newPhase1Pruner(cons, sepFunc(res).Transform(res.Kth().Point), d)
+				pruner = newPhase1Pruner(cons, sepFunc(res).Transform(res.Kth().Point), opt.domainOrBox(d))
 			}
 			phase2, err = fpPhase2(tree, res, st, pruner)
 		}
@@ -113,7 +129,7 @@ func Compute(tree *rtree.Tree, res *topk.Result, opt Options) (*Region, *Stats, 
 	}
 	st.Constraints = len(cons)
 
-	reg := &Region{Dim: d, Query: res.Query.Clone(), Constraints: cons, OrderSensitive: true}
+	reg := &Region{Dim: d, Query: res.Query.Clone(), Constraints: cons, OrderSensitive: true, Domain: opt.domainOrBox(d)}
 	return reg, st, nil
 }
 

@@ -3,6 +3,7 @@ package gir
 import (
 	"errors"
 
+	"github.com/girlib/gir/internal/domain"
 	"github.com/girlib/gir/internal/hull"
 	"github.com/girlib/gir/internal/lp"
 	"github.com/girlib/gir/internal/rtree"
@@ -12,25 +13,23 @@ import (
 
 // phase1Pruner implements the footnote-7 optimization: an R-tree node is
 // additionally prunable when, for every query vector inside the Phase-1
-// cone (clipped to [0,1]^d), even the node's MBB top corner cannot
-// overtake p_k. Any constraint such a node could contribute is implied by
-// the Phase-1 half-spaces, so dropping it leaves the region unchanged.
+// cone (clipped to the query-space domain), even the node's MBB top corner
+// cannot overtake p_k. Any constraint such a node could contribute is
+// implied by the Phase-1 half-spaces, so dropping it leaves the region
+// unchanged.
 type phase1Pruner struct {
-	cons []lp.Constraint // Phase-1 normals (≥ 0) plus q_i ≤ 1 rows
+	cons []lp.Constraint // Phase-1 normals (≥ 0) plus the domain's rows
 	pk   vec.Vector      // g(p_k)
 	d    int
 }
 
-func newPhase1Pruner(phase1 []Constraint, pk vec.Vector, d int) *phase1Pruner {
+func newPhase1Pruner(phase1 []Constraint, pk vec.Vector, dom domain.Domain) *phase1Pruner {
+	d := dom.Dim()
 	cons := make([]lp.Constraint, 0, len(phase1)+d)
 	for _, c := range phase1 {
 		cons = append(cons, lp.Constraint{Coef: c.Normal, Op: lp.GE, RHS: 0})
 	}
-	for i := 0; i < d; i++ {
-		row := make([]float64, d)
-		row[i] = 1
-		cons = append(cons, lp.Constraint{Coef: row, Op: lp.LE, RHS: 1})
-	}
+	cons = append(cons, dom.LPConstraints()...)
 	return &phase1Pruner{cons: cons, pk: pk, d: d}
 }
 
@@ -39,9 +38,9 @@ func newPhase1Pruner(phase1 []Constraint, pk vec.Vector, d int) *phase1Pruner {
 func (pp *phase1Pruner) canAffect(hi vec.Vector) bool {
 	obj := vec.Sub(hi, pp.pk)
 	sol := lp.Maximize(obj, pp.cons)
-	// The feasible set always contains q = 0 (objective 0) and is
-	// box-bounded, so Optimal is the only expected status; be conservative
-	// on anything else.
+	// The feasible set contains the original query vector and the domain
+	// keeps it bounded, so Optimal is the only expected status; be
+	// conservative on anything else.
 	if sol.Status != lp.Optimal {
 		return true
 	}

@@ -65,7 +65,7 @@ func ComputeStar(tree *rtree.Tree, res *topk.Result, opt Options) (*Region, *Sta
 		cons = reduce(cons)
 	}
 	st.Constraints = len(cons)
-	return &Region{Dim: d, Query: res.Query.Clone(), Constraints: cons, OrderSensitive: false}, st, nil
+	return &Region{Dim: d, Query: res.Query.Clone(), Constraints: cons, OrderSensitive: false, Domain: opt.domainOrBox(d)}, st, nil
 }
 
 // resultMinus applies the two result-pruning rules of Section 7.1: drop

@@ -9,6 +9,7 @@ package gir
 import (
 	"fmt"
 
+	"github.com/girlib/gir/internal/domain"
 	"github.com/girlib/gir/internal/geom"
 	"github.com/girlib/gir/internal/vec"
 )
@@ -58,24 +59,36 @@ func (c Constraint) Halfspace() geom.Halfspace {
 
 // Region is a computed (order-sensitive or order-insensitive) global
 // immutable region: the polyhedral cone ∩{Normal_i·q' ≥ 0} clipped to the
-// query space [0,1]^d. Constraints hold a minimal (irredundant) set unless
-// the computation was asked to skip reduction.
+// active query-space domain (internal/domain; the unit box [0,1]^d or the
+// Σw=1 simplex). Constraints hold a minimal (irredundant) set unless the
+// computation was asked to skip reduction.
 type Region struct {
 	Dim            int
 	Query          vec.Vector // the original query vector (always inside)
 	Constraints    []Constraint
 	OrderSensitive bool
+	// Domain is the query space the cone is clipped to. nil means the
+	// unit box, so regions constructed before the Domain seam existed —
+	// and zero-value regions in tests — keep their historical behavior.
+	Domain domain.Domain
 }
 
-// Contains reports whether q lies inside the region (within tol).
+// Space returns the region's domain, defaulting nil to the unit box.
+func (r *Region) Space() domain.Domain {
+	if r.Domain == nil {
+		return domain.UnitBox(r.Dim)
+	}
+	return r.Domain
+}
+
+// Contains reports whether q lies inside the region (within tol): in the
+// domain and on the nonnegative side of every cone constraint.
 func (r *Region) Contains(q vec.Vector, tol float64) bool {
 	if len(q) != r.Dim {
 		return false
 	}
-	for _, x := range q {
-		if x < -tol || x > 1+tol {
-			return false
-		}
+	if !r.Space().Contains(q, tol) {
+		return false
 	}
 	for _, c := range r.Constraints {
 		if vec.Dot(c.Normal, q) < -tol {
@@ -94,9 +107,16 @@ func (r *Region) Halfspaces() []geom.Halfspace {
 	return out
 }
 
-// HalfspacesWithBox returns cone constraints plus the [0,1]^d box.
+// HalfspacesWithDomain returns cone constraints plus the half-spaces of
+// the region's query-space domain.
+func (r *Region) HalfspacesWithDomain() []geom.Halfspace {
+	return append(r.Halfspaces(), r.Space().Halfspaces()...)
+}
+
+// HalfspacesWithBox is the historical name of HalfspacesWithDomain, from
+// when the unit box was the only query space.
 func (r *Region) HalfspacesWithBox() []geom.Halfspace {
-	return append(r.Halfspaces(), geom.BoxHalfspaces(r.Dim)...)
+	return r.HalfspacesWithDomain()
 }
 
 // BindingConstraint returns the index of the constraint with the smallest
@@ -145,6 +165,7 @@ func (r *Region) Shrink(added []Constraint) *Region {
 		Query:          r.Query.Clone(),
 		Constraints:    reduce(cons),
 		OrderSensitive: r.OrderSensitive,
+		Domain:         r.Domain,
 	}
 }
 

@@ -20,12 +20,15 @@
 //     max_{w ∈ R} w·(p − p_k)  >  0,
 //
 //     a linear program over the region's constraint cone clipped to the
-//     query box — exactly what internal/lp solves. Two closed-form filters
-//     decide the common cases without an LP: if p is componentwise
-//     dominated by p_k, no nonnegative weight prefers p (keep); if the
-//     objective is already positive at the region's own query vector or
-//     anywhere in a precomputed inscribed box (the MAH), some weight in R
-//     prefers p (evict).
+//     region's query-space domain (internal/domain: the unit box or the
+//     Σw=1 simplex) — exactly what Domain.MaximizeLinear solves. Two
+//     closed-form filters decide the common cases without an LP: if the
+//     objective's domain-wide upper bound is nonpositive (for the box,
+//     p componentwise dominated by p_k; for the simplex, max_j (p−p_k)_j
+//     ≤ 0), no weight of the domain prefers p (keep); if the objective is
+//     already positive at the region's own query vector or anywhere in
+//     the entry's precomputed inscribed box intersected with the domain
+//     (the MAH fast path), some weight in R prefers p (evict).
 //
 // Decisions are conservative: any numerical doubt (LP non-optimal status,
 // margins inside tolerance of zero) resolves toward "affected", so a kept
@@ -88,17 +91,14 @@ func InsertAffects(reg *gir.Region, recs []topk.Record, p vec.Vector, innerLo, i
 	if len(p) != len(pk) || len(p) != reg.Dim {
 		return true // malformed input: evict rather than risk staleness
 	}
-	diff := make(vec.Vector, len(p))
-	boxMax := 0.0 // max of w·diff over the full [0,1]^d box ⊇ reg
-	for j := range p {
-		diff[j] = p[j] - pk[j]
-		if diff[j] > 0 {
-			boxMax += diff[j]
-		}
-	}
-	// Dominance filter: p ≤ p_k componentwise means w·p ≤ w·p_k for every
-	// nonnegative weight, inside or outside the region. Keep.
-	if boxMax <= Tol {
+	dom := reg.Space()
+	diff := vec.Sub(p, pk)
+	// Dominance filter: the domain-wide upper bound of w·diff caps the
+	// margin everywhere in the region (R ⊆ domain). For the box this is
+	// the classical componentwise-dominance test (Σ of positive diffs);
+	// for the simplex it is max_j diff_j — exact over the whole domain.
+	// Keep when even that cannot go positive.
+	if dom.UpperBound(diff) <= Tol {
 		return false
 	}
 	// Query filter: the region's own query is inside it; a positive margin
@@ -106,30 +106,24 @@ func InsertAffects(reg *gir.Region, recs []topk.Record, p vec.Vector, innerLo, i
 	if vec.Dot(reg.Query, diff) > Tol {
 		return true
 	}
-	// Inscribed-box filter: maximize w·diff over [innerLo, innerHi] ⊆ reg
-	// in closed form; a positive margin anywhere in the box is a positive
-	// margin in the region. Evict.
+	// Inscribed-box filter: maximize w·diff in closed form over
+	// [innerLo, innerHi] ∩ domain. The box is inscribed in the region's
+	// cone, so a positive margin there is a positive margin at a point of
+	// region ∩ domain. Evict.
 	if len(innerLo) == len(diff) && len(innerHi) == len(diff) {
-		inner := 0.0
-		for j, dj := range diff {
-			if dj > 0 {
-				inner += dj * innerHi[j]
-			} else {
-				inner += dj * innerLo[j]
-			}
-		}
-		if inner > Tol {
+		if inner, ok := dom.MaxOverBox(diff, innerLo, innerHi); ok && inner > Tol {
 			return true
 		}
 	}
 	// Exact decision: max w·(p − p_k) over the region's cone constraints
-	// clipped to the unit box. Note w = 0 is always feasible, so the
-	// maximum is ≥ 0; only a margin beyond Tol signals a genuine overtake.
+	// clipped to the domain. The region's query vector is feasible, so a
+	// non-Optimal status is a numerical failure, resolved conservatively;
+	// only a margin beyond Tol signals a genuine overtake.
 	cons := make([]lp.Constraint, 0, len(reg.Constraints))
 	for _, c := range reg.Constraints {
 		cons = append(cons, lp.Constraint{Coef: c.Normal, Op: lp.GE, RHS: 0})
 	}
-	sol := lp.MaximizeOverBox(diff, cons)
+	sol := dom.MaximizeLinear(diff, cons)
 	if sol.Status != lp.Optimal {
 		return true // numerical failure: evict conservatively
 	}

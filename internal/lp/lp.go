@@ -54,6 +54,13 @@ const (
 	Infeasible
 	Unbounded
 	IterationLimit
+	// NumericalFailure means the simplex terminated claiming optimality
+	// but its solution does not actually satisfy the constraints within
+	// tolerance — pivot breakdown on ill-conditioned rows (e.g. a 1e-10
+	// coefficient next to 1e-1 ones). Callers in this library treat any
+	// non-Optimal status conservatively, so surfacing the breakdown is
+	// always safe; trusting the phantom solution is not.
+	NumericalFailure
 )
 
 func (s Status) String() string {
@@ -66,6 +73,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case IterationLimit:
 		return "iteration-limit"
+	case NumericalFailure:
+		return "numerical-failure"
 	}
 	return fmt.Sprintf("lp.Status(%d)", int8(s))
 }
@@ -328,6 +337,16 @@ func Solve(p *Problem) Solution {
 			x[b] = tb.rhs(i)
 		}
 	}
+	// Verify the certificate: a tableau can terminate "optimal" with a
+	// solution that violates a constraint when pivots degrade on
+	// ill-conditioned rows. Found by FuzzRepairInsert (corpus entry
+	// 229d1b270705bacf): a row [3e-10, -0.19, -0.19] ≥ 0 was silently
+	// violated and the phantom optimum overstated a cache-repair margin
+	// by 0.69. Every caller treats non-Optimal conservatively, so the
+	// check converts silent wrong answers into safe refusals.
+	if !feasibleAt(p.Constraints, x) {
+		return Solution{Status: NumericalFailure}
+	}
 	var obj float64
 	if p.Objective != nil {
 		for j, cj := range p.Objective {
@@ -335,6 +354,46 @@ func Solve(p *Problem) Solution {
 		}
 	}
 	return Solution{Status: Optimal, X: x, Objective: obj}
+}
+
+// verifyTol is the relative feasibility tolerance of the post-solve
+// certificate check: far above honest simplex roundoff (≤ ~1e-12 per
+// pivot at these sizes), far below any violation a breakdown produces.
+const verifyTol = 1e-6
+
+// feasibleAt reports whether x satisfies every constraint — including
+// the implicit x ≥ 0 bounds, which are as much a part of the problem as
+// the rows — within a scale-aware tolerance.
+func feasibleAt(cons []Constraint, x []float64) bool {
+	for _, xj := range x {
+		if xj < -verifyTol {
+			return false
+		}
+	}
+	for _, con := range cons {
+		ax, scale := 0.0, 1.0+math.Abs(con.RHS)
+		for j, a := range con.Coef {
+			t := a * x[j]
+			ax += t
+			scale += math.Abs(t)
+		}
+		tol := verifyTol * scale
+		switch con.Op {
+		case LE:
+			if ax > con.RHS+tol {
+				return false
+			}
+		case GE:
+			if ax < con.RHS-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(ax-con.RHS) > tol {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Feasible reports whether the constraint system (with x ≥ 0) has any

@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"github.com/girlib/gir/internal/domain"
 	gir "github.com/girlib/gir/internal/gir"
 	"github.com/girlib/gir/internal/lp"
 	"github.com/girlib/gir/internal/pager"
@@ -15,23 +16,34 @@ import (
 )
 
 // FuzzRepairInsert fuzzes the insert-repair classifier over small random
-// datasets and checks every entry it claims to repair against the LP
-// oracle: inside the shrunk region, every adjacent pair of the repaired
-// result must keep its order and every record of the mutated dataset that
-// is NOT in the repaired result must stay below its k-th record — the
-// definition of a sound (region, result) pair, decided exactly by
-// maximizing each pairwise margin over the region's constraint system.
+// datasets — in both query-space domains — and checks every entry it
+// claims to repair against the LP oracle: inside the shrunk region, every
+// adjacent pair of the repaired result must keep its order and every
+// record of the mutated dataset that is NOT in the repaired result must
+// stay below its k-th record — the definition of a sound (region, result)
+// pair, decided exactly by maximizing each pairwise margin over the
+// region's constraint system clipped to its domain.
 // Refusals are not checked (the classifier is allowed to be conservative;
 // the property tests pin non-vacuousness). Run as a smoke job with:
 //
 //	go test -run=^$ -fuzz=FuzzRepairInsert -fuzztime=15s ./internal/repair
 func FuzzRepairInsert(f *testing.F) {
-	f.Add(fuzzSeed(2, 2, []float64{
+	f.Add(fuzzSeed(2, 2, false, []float64{
 		0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, // 4 points
 		0.5, 0.5, // query
 		0.65, 0.55, // inserted record
 	}))
-	f.Add(fuzzSeed(3, 3, []float64{
+	f.Add(fuzzSeed(3, 3, false, []float64{
+		0.9, 0.1, 0.5, 0.2, 0.8, 0.4, 0.7, 0.7, 0.1, 0.3, 0.3, 0.9, 0.6, 0.2, 0.2, 0.15, 0.45, 0.85,
+		0.4, 0.3, 0.3,
+		0.55, 0.5, 0.45,
+	}))
+	f.Add(fuzzSeed(2, 2, true, []float64{
+		0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2,
+		0.5, 0.5,
+		0.65, 0.55,
+	}))
+	f.Add(fuzzSeed(3, 2, true, []float64{
 		0.9, 0.1, 0.5, 0.2, 0.8, 0.4, 0.7, 0.7, 0.1, 0.3, 0.3, 0.9, 0.6, 0.2, 0.2, 0.15, 0.45, 0.85,
 		0.4, 0.3, 0.3,
 		0.55, 0.5, 0.45,
@@ -42,7 +54,8 @@ func FuzzRepairInsert(f *testing.F) {
 			return
 		}
 		d := 2 + int(data[0])%3        // 2..4
-		k := 1 + int(data[1])%4        // 1..4
+		k := 1 + int(data[1]>>1)%4     // 1..4
+		simplex := data[1]&1 == 1      // rotate the query-space domain
 		floats := fuzzFloats(data[2:]) // clamped to [0,1]
 		need := d * (k + 3)            // at least k+2 points + query + insert
 		if len(floats) < need {
@@ -57,6 +70,11 @@ func FuzzRepairInsert(f *testing.F) {
 		if sum < 0.1 {
 			return // near-zero query vectors make every score a tie
 		}
+		var dom domain.Domain
+		if simplex {
+			dom = domain.Simplex(d)
+			q = dom.Normalize(q)
+		}
 		var pts []vec.Vector
 		for off := 0; off+d <= len(floats)-2*d; off += d {
 			pts = append(pts, vec.Vector(floats[off:off+d]))
@@ -69,7 +87,7 @@ func FuzzRepairInsert(f *testing.F) {
 		for _, it := range *res.Heap {
 			bounds = append(bounds, it.Rect.Hi.Clone())
 		}
-		reg, _, err := gir.Compute(tree, res, gir.Options{Method: gir.FP})
+		reg, _, err := gir.Compute(tree, res, gir.Options{Method: gir.FP, Domain: dom})
 		if err != nil {
 			return // degenerate fuzz geometry; region computation declined
 		}
@@ -88,7 +106,7 @@ func FuzzRepairInsert(f *testing.F) {
 		// case, where the record entered nowhere at the query.
 		if k >= 2 && containsID(rp.Records, id) {
 			pkm1 := entry.Records[k-2]
-			if m := maxOverRegion(reg, vec.Sub(insertP, pkm1.Point)); m > 10*Tol {
+			if m := maxOverRegion(reg, vec.Sub(insertP, pkm1.Point)); m > 10*Tol && !math.IsInf(m, 1) {
 				t.Fatalf("swap repair although the insert overtakes the (k−1)-th somewhere (LP margin %g)", m)
 			}
 		}
@@ -104,15 +122,37 @@ func FuzzRepairInsert(f *testing.F) {
 		if !rp.Region.Contains(q, 1e-9) {
 			t.Fatal("repaired region lost its own query point")
 		}
+		// oracleNoise is the LP's own resolution on near-degenerate
+		// cones, NOT a repair tolerance: duplicated or nearly-parallel
+		// constraints (a repair re-adds a pairwise normal the region
+		// already carries a close copy of) make the final pivots
+		// degenerate, and the claimed maximum can sit ~1e-8..5e-8 above
+		// the true one while every constraint verifies (corpus entry
+		// ae1b0bf88bdf6ae6: objective exactly the negation of a present
+		// constraint — true max 0 — reported as 1.79e-8). Genuine repair
+		// bugs surface at data scale (entry 229d1b270705bacf overstated
+		// by 0.69 before lp.Solve learned to refuse broken certificates).
+		const oracleNoise = 1e-7
 		oracle := func(what string, aID, bID int64, obj vec.Vector) {
 			m := maxOverRegion(rp.Region, obj)
-			if m <= 10*Tol {
+			if m <= oracleNoise {
 				return
 			}
-			if orig := maxOverRegion(reg, obj); m <= orig+Tol {
-				return // inherited from the fresh region's own numerics
+			if math.IsInf(m, 1) {
+				// The hardened solver refused the certificate (pivot
+				// breakdown on an ill-conditioned cone). Production
+				// resolves the same refusal conservatively — the
+				// invalidation predicate treats non-Optimal as affected
+				// and evicts — so there is nothing to adjudicate here.
+				return
 			}
-			t.Fatalf("%s (a=%d b=%d): repaired-region LP margin %g exceeds both tie tolerance and the original region's", what, aID, bID, m)
+			// Inherited-numerics exemption: the repaired region is a
+			// subset of the original, so for the same objective m can
+			// only exceed orig by solver noise.
+			if orig := maxOverRegion(reg, obj); m <= orig+oracleNoise {
+				return
+			}
+			t.Fatalf("%s (a=%d b=%d): repaired-region LP margin %g exceeds both the LP noise floor and the original region's margin", what, aID, bID, m)
 		}
 		for i := 0; i+1 < len(rp.Records); i++ {
 			a, b := rp.Records[i], rp.Records[i+1]
@@ -145,15 +185,17 @@ func FuzzRepairInsert(f *testing.F) {
 }
 
 // maxOverRegion maximizes obj·w over the region's constraint cone clipped
-// to the unit box — the LP oracle shared with the invalidation layer. A
-// non-optimal status is reported as +Inf (the caller treats it as a
-// violation; the fuzzer should surface solver breakdowns, not hide them).
+// to its query-space domain — the LP oracle shared with the invalidation
+// layer. A non-optimal status is reported as +Inf: the solver refused to
+// certify a maximum (lp.Solve self-verifies its certificate since the
+// 229d1b270705bacf corpus entry), and the callers above decide whether
+// that refusal is conservative in context.
 func maxOverRegion(reg *gir.Region, obj vec.Vector) float64 {
 	cons := make([]lp.Constraint, 0, len(reg.Constraints))
 	for _, c := range reg.Constraints {
 		cons = append(cons, lp.Constraint{Coef: c.Normal, Op: lp.GE, RHS: 0})
 	}
-	sol := lp.MaximizeOverBox(obj, cons)
+	sol := reg.Space().MaximizeLinear(obj, cons)
 	if sol.Status != lp.Optimal {
 		return math.Inf(1)
 	}
@@ -177,8 +219,12 @@ func fuzzFloats(data []byte) []float64 {
 	return out
 }
 
-func fuzzSeed(d, k int, floats []float64) []byte {
-	out := []byte{byte(d - 2), byte(k - 1)}
+func fuzzSeed(d, k int, simplex bool, floats []float64) []byte {
+	kb := byte((k - 1) << 1)
+	if simplex {
+		kb |= 1
+	}
+	out := []byte{byte(d - 2), kb}
 	for _, x := range floats {
 		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(x))
 	}

@@ -1,0 +1,104 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/girlib/gir/internal/domain"
+	"github.com/girlib/gir/internal/geom"
+	"github.com/girlib/gir/internal/gir"
+	"github.com/girlib/gir/internal/vec"
+)
+
+// Render2D draws a two-dimensional region as a small standalone SVG — the
+// Figure 1 style picture of where the query vector may move. The drawing
+// is domain-aware:
+//
+//   - Unit box: the query space is the unit square and the region is the
+//     exact clipped polygon (Sutherland–Hodgman, the same machinery the
+//     exact 2-d volume uses).
+//   - Simplex: the query space is the segment w1 + w2 = 1, so the region
+//     is a sub-segment of the anti-diagonal — NOT a polygon of the unit
+//     square, which is what a box-only renderer would silently draw. The
+//     whole domain segment is drawn thin, the region's part thick.
+//
+// The query vector is marked with a dot in both cases. Output is
+// deterministic (fixed precision, no maps), so goldens can pin it.
+func Render2D(reg *gir.Region) (string, error) {
+	if reg.Dim != 2 {
+		return "", fmt.Errorf("viz: Render2D needs a 2-d region, got d=%d", reg.Dim)
+	}
+	var b strings.Builder
+	b.WriteString(`<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 100 100">` + "\n")
+	// Query-space frame: the unit square in both domains (the simplex
+	// segment lives on its anti-diagonal).
+	b.WriteString(`  <rect x="0" y="0" width="100" height="100" fill="none" stroke="#ccc"/>` + "\n")
+	switch reg.Space().Kind() {
+	case domain.KindSimplex:
+		renderSimplexSegment(&b, reg)
+	default:
+		renderBoxPolygon(&b, reg)
+	}
+	qx, qy := toSVG(reg.Query[0], reg.Query[1])
+	fmt.Fprintf(&b, `  <circle cx="%s" cy="%s" r="1.5" fill="#d33"/>`+"\n", fmtCoord(qx), fmtCoord(qy))
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// renderBoxPolygon draws the exact region polygon in the unit square.
+func renderBoxPolygon(b *strings.Builder, reg *gir.Region) {
+	poly := geom.ClipToPolygon(reg.Halfspaces())
+	if len(poly) == 0 {
+		return
+	}
+	// Exact clipping can emit coincident vertices where a constraint
+	// passes through a corner; collapse them at display precision.
+	pts := make([]string, 0, len(poly))
+	for _, p := range poly {
+		x, y := toSVG(p[0], p[1])
+		s := fmtCoord(x) + "," + fmtCoord(y)
+		if len(pts) > 0 && (s == pts[len(pts)-1] || s == pts[0]) {
+			continue
+		}
+		pts = append(pts, s)
+	}
+	fmt.Fprintf(b, `  <polygon points="%s" fill="#9bd" fill-opacity="0.5" stroke="#369"/>`+"\n",
+		strings.Join(pts, " "))
+}
+
+// renderSimplexSegment draws the domain segment w1 + w2 = 1 and the
+// region's sub-segment: the segment is parameterized as (1−t, t) for
+// t ∈ [0,1] and clipped by the cone constraints with the shared
+// line–polytope machinery.
+func renderSimplexSegment(b *strings.Builder, reg *gir.Region) {
+	x1, y1 := toSVG(1, 0)
+	x0, y0 := toSVG(0, 1)
+	fmt.Fprintf(b, `  <line x1="%s" y1="%s" x2="%s" y2="%s" stroke="#ccc"/>`+"\n",
+		fmtCoord(x1), fmtCoord(y1), fmtCoord(x0), fmtCoord(y0))
+	tmin, tmax := geom.LineClip(reg.Halfspaces(), vec.Vector{1, 0}, vec.Vector{-1, 1})
+	if tmin < 0 {
+		tmin = 0
+	}
+	if tmax > 1 {
+		tmax = 1
+	}
+	if tmin > tmax {
+		return // the cone misses the segment entirely
+	}
+	ax, ay := toSVG(1-tmin, tmin)
+	bx, by := toSVG(1-tmax, tmax)
+	fmt.Fprintf(b, `  <line x1="%s" y1="%s" x2="%s" y2="%s" stroke="#369" stroke-width="2.5"/>`+"\n",
+		fmtCoord(ax), fmtCoord(ay), fmtCoord(bx), fmtCoord(by))
+}
+
+// toSVG maps query-space coordinates to the 100×100 viewBox (y grows
+// downward in SVG).
+func toSVG(w0, w1 float64) (x, y float64) { return 100 * w0, 100 * (1 - w1) }
+
+func fmtCoord(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	if s == "-0.00" {
+		s = "0.00"
+	}
+	return s
+}

@@ -1,0 +1,114 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/girlib/gir/internal/domain"
+	"github.com/girlib/gir/internal/gir"
+	"github.com/girlib/gir/internal/vec"
+)
+
+// Golden test: a box-domain region renders as the exact clipped polygon
+// of the unit square. The single constraint w1 ≥ w2 keeps the lower
+// triangle.
+func TestRender2DBoxGolden(t *testing.T) {
+	reg := &gir.Region{
+		Dim:   2,
+		Query: vec.Vector{0.6, 0.2},
+		Constraints: []gir.Constraint{
+			{Normal: vec.Vector{1, -1}, Kind: gir.Replace, A: 1, B: 2},
+		},
+		OrderSensitive: true,
+	}
+	got, err := Render2D(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 100 100">
+  <rect x="0" y="0" width="100" height="100" fill="none" stroke="#ccc"/>
+  <polygon points="0.00,100.00 100.00,100.00 100.00,0.00" fill="#9bd" fill-opacity="0.5" stroke="#369"/>
+  <circle cx="60.00" cy="80.00" r="1.5" fill="#d33"/>
+</svg>
+`
+	if got != want {
+		t.Errorf("box golden mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// Golden test: a simplex-domain region renders as a sub-segment of the
+// anti-diagonal w1 + w2 = 1, not as a polygon of the unit square. The
+// same w1 ≥ w2 constraint keeps the half of the segment below the
+// midpoint (t ≤ 0.5 along (1−t, t)).
+func TestRender2DSimplexGolden(t *testing.T) {
+	reg := &gir.Region{
+		Dim:   2,
+		Query: vec.Vector{0.75, 0.25},
+		Constraints: []gir.Constraint{
+			{Normal: vec.Vector{1, -1}, Kind: gir.Replace, A: 1, B: 2},
+		},
+		OrderSensitive: true,
+		Domain:         domain.Simplex(2),
+	}
+	got, err := Render2D(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 100 100">
+  <rect x="0" y="0" width="100" height="100" fill="none" stroke="#ccc"/>
+  <line x1="100.00" y1="100.00" x2="0.00" y2="0.00" stroke="#ccc"/>
+  <line x1="100.00" y1="100.00" x2="50.00" y2="50.00" stroke="#369" stroke-width="2.5"/>
+  <circle cx="75.00" cy="75.00" r="1.5" fill="#d33"/>
+</svg>
+`
+	if got != want {
+		t.Errorf("simplex golden mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// An unconstrained simplex region covers the whole domain segment.
+func TestRender2DSimplexFullSegment(t *testing.T) {
+	reg := &gir.Region{Dim: 2, Query: vec.Vector{0.5, 0.5}, OrderSensitive: true, Domain: domain.Simplex(2)}
+	got, err := Render2D(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, `<line x1="100.00" y1="100.00" x2="0.00" y2="0.00" stroke="#369" stroke-width="2.5"/>`) {
+		t.Errorf("unconstrained simplex region should span the whole segment:\n%s", got)
+	}
+}
+
+func TestRender2DRejectsHigherDims(t *testing.T) {
+	reg := &gir.Region{Dim: 3, Query: vec.Vector{0.3, 0.3, 0.4}, OrderSensitive: true}
+	if _, err := Render2D(reg); err == nil {
+		t.Error("Render2D accepted a 3-d region")
+	}
+}
+
+// The simplex sub-segment must agree with region membership: points
+// strictly inside the drawn segment are in the region, points of the
+// domain segment outside it are not.
+func TestRenderSimplexSegmentMatchesContains(t *testing.T) {
+	reg := &gir.Region{
+		Dim:   2,
+		Query: vec.Vector{0.7, 0.3},
+		Constraints: []gir.Constraint{
+			{Normal: vec.Vector{1, -2}, Kind: gir.Replace, A: 1, B: 2}, // w1 ≥ 2w2 → t ≤ 1/3
+			{Normal: vec.Vector{-1, 4}, Kind: gir.Replace, A: 3, B: 4}, // 4w2 ≥ w1 → t ≥ 1/5
+		},
+		OrderSensitive: true,
+		Domain:         domain.Simplex(2),
+	}
+	inside := []float64{0.21, 0.3, 0.32}
+	outside := []float64{0.1, 0.19, 0.35, 0.9}
+	for _, tpar := range inside {
+		if !reg.Contains(vec.Vector{1 - tpar, tpar}, 1e-12) {
+			t.Errorf("t=%v should be inside the region", tpar)
+		}
+	}
+	for _, tpar := range outside {
+		if reg.Contains(vec.Vector{1 - tpar, tpar}, 1e-12) {
+			t.Errorf("t=%v should be outside the region", tpar)
+		}
+	}
+}

@@ -12,6 +12,7 @@ package viz
 import (
 	"math"
 
+	"github.com/girlib/gir/internal/domain"
 	"github.com/girlib/gir/internal/gir"
 	"github.com/girlib/gir/internal/vec"
 )
@@ -19,22 +20,59 @@ import (
 // Interval is a validity range for one query weight. LoConstraint and
 // HiConstraint are indices into the region's constraint list identifying
 // the result perturbation at each end (−1 when the query-space boundary
-// [0,1] is what binds), so the UI can tell the user what the result
-// becomes at each tipping point.
+// is what binds; LoBoundary/HiBoundary then name the binding domain
+// facet), so the UI can tell the user what the result becomes at each
+// tipping point.
 type Interval struct {
 	Lo, Hi                     float64
 	LoConstraint, HiConstraint int
+	// LoBoundary and HiBoundary describe the domain facet binding at each
+	// end; set only when the matching constraint index is −1.
+	LoBoundary, HiBoundary string
 }
 
-// LIRs computes the interactive-projection interval of every weight at the
-// query vector q (which must lie inside the region). For dimension i it
-// solves, in closed form, how far q + t·e_i can move before some bounding
-// half-space (or the box) is violated.
+// LIRs computes the interactive-projection interval of every weight at
+// the query vector q (which must lie inside the region), in the region's
+// query-space domain.
+//
+// In the unit box, dimension i solves in closed form how far q + t·e_i
+// can move — the other weights fixed — before some bounding half-space
+// (or the box) is violated.
+//
+// In the Σw=1 simplex an axis move leaves the domain immediately, so the
+// slide is reinterpreted the way a sum-normalized UI rebalances: weight i
+// moves along w(t) = (1−t)·q + t·e_i, shifting preference mass toward
+// (t > 0) or away from (t < 0) attribute i while the other weights keep
+// their relative proportions. Cone constraints stay linear in t, so the
+// interval is still closed-form; the domain binds at w_i = 0 (all mass
+// withdrawn) and w_i = 1 (the simplex vertex).
 func LIRs(reg *gir.Region, q vec.Vector) []Interval {
+	dom := reg.Space()
+	if dom.Kind() == domain.KindSimplex {
+		return simplexLIRs(reg, dom, q)
+	}
+	ivs := axisLIRs(reg, q)
+	for i := range ivs {
+		if ivs[i].LoConstraint < 0 {
+			ivs[i].LoBoundary = dom.BoundaryLabel(i, false)
+		}
+		if ivs[i].HiConstraint < 0 {
+			ivs[i].HiBoundary = dom.BoundaryLabel(i, true)
+		}
+	}
+	return ivs
+}
+
+// axisLIRs is the historical box-domain computation. It is also what
+// seeds MAH in every domain: the axis intervals describe the cone
+// clipped to [0,1]^d, which is exactly the body an inscribed axis box
+// must stay within.
+func axisLIRs(reg *gir.Region, q vec.Vector) []Interval {
 	d := reg.Dim
+	axLo, axHi := reg.Space().AxisBounds()
 	out := make([]Interval, d)
 	for i := 0; i < d; i++ {
-		lo, hi := -q[i], 1-q[i] // box bounds on t
+		lo, hi := axLo-q[i], axHi-q[i] // axis bounds on t
 		loC, hiC := -1, -1
 		for ci, c := range reg.Constraints {
 			ai := c.Normal[i]
@@ -57,6 +95,54 @@ func LIRs(reg *gir.Region, q vec.Vector) []Interval {
 	return out
 }
 
+// simplexLIRs computes the rebalancing intervals described in LIRs: for
+// weight i, w(t) = (1−t)·q + t·e_i with t ∈ [−q_i/(1−q_i), 1] from the
+// domain (w_i = 0 and w_i = 1 respectively), tightened by the cone
+// constraints a·w(t) = (1−t)·(a·q) + t·a_i ≥ 0. The reported interval is
+// the induced range of w_i(t) = q_i + t·(1−q_i).
+func simplexLIRs(reg *gir.Region, dom domain.Domain, q vec.Vector) []Interval {
+	d := reg.Dim
+	out := make([]Interval, d)
+	for i := 0; i < d; i++ {
+		if 1-q[i] < 1e-15 {
+			// The query already sits at the vertex: no room either way.
+			out[i] = Interval{Lo: q[i], Hi: q[i], LoConstraint: -1, HiConstraint: -1,
+				LoBoundary: dom.BoundaryLabel(i, false), HiBoundary: dom.BoundaryLabel(i, true)}
+			continue
+		}
+		tLo, tHi := -q[i]/(1-q[i]), 1.0
+		loC, hiC := -1, -1
+		for ci, c := range reg.Constraints {
+			s := vec.Dot(c.Normal, q)
+			deriv := c.Normal[i] - s // d/dt of (1−t)s + t·a_i
+			switch {
+			case math.Abs(deriv) < 1e-15:
+				// The constraint's slack does not change along this slide.
+			case deriv > 0:
+				if t := -s / deriv; t > tLo {
+					tLo, loC = t, ci
+				}
+			default:
+				if t := s / (-deriv); t < tHi {
+					tHi, hiC = t, ci
+				}
+			}
+		}
+		iv := Interval{
+			Lo: q[i] + tLo*(1-q[i]), Hi: q[i] + tHi*(1-q[i]),
+			LoConstraint: loC, HiConstraint: hiC,
+		}
+		if loC < 0 {
+			iv.LoBoundary = dom.BoundaryLabel(i, false)
+		}
+		if hiC < 0 {
+			iv.HiBoundary = dom.BoundaryLabel(i, true)
+		}
+		out[i] = iv
+	}
+	return out
+}
+
 // MAH computes a maximal axis-parallel hyper-rectangle [lo, hi] that
 // contains q and lies inside the region (an instance of the bichromatic
 // rectangle problem; the paper cites exact algorithms [2,16]). This
@@ -69,6 +155,13 @@ func LIRs(reg *gir.Region, q vec.Vector) []Interval {
 // The key fact making the constraint evaluation exact: a half-space
 // a·x ≥ 0 contains the whole box [l,u] iff it contains the box's worst
 // corner, which picks l_i where a_i > 0 and u_i where a_i < 0.
+//
+// The box is inscribed in the region's CONE clipped to [0,1]^d in every
+// domain. For a simplex-domain region that is exactly what the cache's
+// closed-form MAH filter needs: every point of [lo,hi] ∩ {Σw=1} then
+// lies in cone ∩ simplex = region, so Domain.MaxOverBox over the entry's
+// box is a sound positive filter (and, for the user, the box bounds are
+// the envelope of rebalanced weight settings that keep the result).
 func MAH(reg *gir.Region, q vec.Vector) (lo, hi vec.Vector) {
 	d := reg.Dim
 	// Phase 1 — balanced seed. Starting coordinate ascent from the
@@ -77,7 +170,7 @@ func MAH(reg *gir.Region, q vec.Vector) (lo, hi vec.Vector) {
 	// optimum). Instead, binary-search the largest uniform scaling s of
 	// the LIR box around q that keeps every worst corner feasible; that
 	// box has positive volume whenever the region has interior around q.
-	ivs := LIRs(reg, q)
+	ivs := axisLIRs(reg, q)
 	feasibleAt := func(s float64) (vec.Vector, vec.Vector, bool) {
 		l, u := make(vec.Vector, d), make(vec.Vector, d)
 		for i := 0; i < d; i++ {
@@ -116,11 +209,12 @@ func MAH(reg *gir.Region, q vec.Vector) (lo, hi vec.Vector) {
 	// Phase 2 — coordinate ascent. From a feasible box, maximizing one
 	// dimension's extent given the others only ever expands (the current
 	// bounds are feasible, so the new closed-form bounds contain them).
+	axLo, axHi := reg.Space().AxisBounds()
 	for sweep := 0; sweep < 40; sweep++ {
 		changed := false
 		for i := 0; i < d; i++ {
 			// Feasible bounds for l_i and u_i given the other coordinates.
-			newLo, newHi := 0.0, 1.0
+			newLo, newHi := axLo, axHi
 			for _, c := range reg.Constraints {
 				ai := c.Normal[i]
 				if ai == 0 {

@@ -1,19 +1,29 @@
 // Package volume estimates the ratio of a GIR's volume to the volume of
-// the query space [0,1]^d — the sensitivity measure of the paper's
-// Figure 14 (equivalently, the LIK probability of [30]: the chance that a
-// uniformly random query vector preserves the result).
+// its query space — the sensitivity measure of the paper's Figure 14
+// (equivalently, the LIK probability of [30]: the chance that a uniformly
+// random query vector preserves the result). Both query-space domains are
+// supported (RatioIn): the unit box [0,1]^d and the paper's Σw=1 simplex,
+// where the ratio is taken in the simplex's relative (d−1)-dimensional
+// measure — a uniformly random SUM-NORMALIZED preference vector.
 //
-// In two dimensions the ratio is computed exactly by polygon clipping. In
-// higher dimensions GIR volumes reach 10⁻¹⁵ (Figure 14 spans fifteen
-// orders of magnitude), far below what naive uniform Monte-Carlo can
-// resolve, so the estimator telescopes: with half-spaces h_1..h_m,
+// In low dimensions the ratio is computed exactly by polygon/segment
+// clipping (box d=2; simplex d=2 and d=3 via the affine parameterization
+// below). In higher dimensions GIR volumes reach 10⁻¹⁵ (Figure 14 spans
+// fifteen orders of magnitude), far below what naive uniform Monte-Carlo
+// can resolve, so the estimator telescopes: with half-spaces h_1..h_m,
 //
-//	vol = vol(box) · Π_j P(x ∈ h_j | x ∈ box ∩ h_1..h_{j-1}),
+//	vol = vol(domain) · Π_j P(x ∈ h_j | x ∈ domain ∩ h_1..h_{j-1}),
 //
 // estimating each conditional acceptance probability with hit-and-run
 // samples drawn from the previous region. Each factor is bounded away from
 // zero far better than the product, which is what makes the tiny volumes
 // estimable.
+//
+// The simplex integrates in the domain's parameter space (Domain.Param*:
+// drop the last coordinate, w_d = 1 − Σu): the affine map has constant
+// Jacobian, so relative volumes — all a ratio needs — carry over exactly,
+// and the hit-and-run walk runs full-dimensionally instead of on a
+// measure-zero slice of ambient space.
 package volume
 
 import (
@@ -21,6 +31,7 @@ import (
 	"math"
 	"math/rand"
 
+	"github.com/girlib/gir/internal/domain"
 	"github.com/girlib/gir/internal/geom"
 	"github.com/girlib/gir/internal/vec"
 )
@@ -81,6 +92,94 @@ func Ratio(hs []geom.Halfspace, d int, opt Options) (float64, error) {
 	return telescope(hs, d, opt.withDefaults())
 }
 
+// RatioIn returns vol(∩h_i ∩ domain) / vol(domain) in the domain's own
+// measure (relative (d−1)-dimensional measure for the simplex). The
+// half-spaces should NOT include the domain; it is added internally. Box
+// domains take the historical code path bit for bit; the simplex
+// integrates in parameter space — exactly for d ≤ 3 (segment/triangle
+// clipping), telescoping Monte-Carlo above.
+func RatioIn(dom domain.Domain, hs []geom.Halfspace, opt Options) (float64, error) {
+	if dom.Kind() == domain.KindBox {
+		return Ratio(hs, dom.Dim(), opt)
+	}
+	base, ph := paramProblem(dom, hs)
+	switch dom.ParamDim() {
+	case 1:
+		return exactInterval(base, ph), nil
+	case 2:
+		return exactParam2D(base, ph), nil
+	}
+	return telescopeIn(base, ph, dom.ParamDim(), opt.withDefaults())
+}
+
+// LogRatioIn is ln(RatioIn), usable when the ratio underflows float64.
+// Only the telescoped path needs its own branch (summing the log factors
+// avoids the underflow); the exact low-dimension cases delegate to
+// RatioIn so the two entry points can never disagree on dispatch.
+func LogRatioIn(dom domain.Domain, hs []geom.Halfspace, opt Options) (float64, error) {
+	if dom.Kind() == domain.KindBox {
+		return LogRatio(hs, dom.Dim(), opt)
+	}
+	if dom.ParamDim() > 2 {
+		base, ph := paramProblem(dom, hs)
+		logs, err := telescopeFactorsIn(base, ph, dom.ParamDim(), opt.withDefaults())
+		if err != nil {
+			return 0, err
+		}
+		var sum float64
+		for _, l := range logs {
+			sum += l
+		}
+		return sum, nil
+	}
+	ratio, err := RatioIn(dom, hs, opt)
+	if err != nil {
+		return 0, err
+	}
+	if ratio == 0 {
+		return math.Inf(-1), nil
+	}
+	return math.Log(ratio), nil
+}
+
+// paramProblem maps the region into the domain's parameter space.
+func paramProblem(dom domain.Domain, hs []geom.Halfspace) (base, ph []geom.Halfspace) {
+	base = dom.ParamBase()
+	ph = make([]geom.Halfspace, len(hs))
+	for i, h := range hs {
+		ph[i] = dom.ParamHalfspace(h)
+	}
+	return base, ph
+}
+
+// exactInterval computes the 1-d ratio: both the base and the clipped
+// region are intervals of the parameter line, resolved by line clipping.
+func exactInterval(base, ph []geom.Halfspace) float64 {
+	x := vec.Vector{0}
+	u := vec.Vector{1}
+	b0, b1 := geom.LineClip(base, x, u)
+	if b0 >= b1 {
+		return 0
+	}
+	r0, r1 := geom.LineClip(append(append([]geom.Halfspace{}, base...), ph...), x, u)
+	if r0 >= r1 {
+		return 0
+	}
+	return (r1 - r0) / (b1 - b0)
+}
+
+// exactParam2D computes the 2-d parameter-space ratio by exact polygon
+// clipping: area(base ∩ region) / area(base). The base region of every
+// supported domain lies in the unit square, which seeds the clip.
+func exactParam2D(base, ph []geom.Halfspace) float64 {
+	baseArea := geom.PolygonArea(geom.ClipToPolygon(base))
+	if baseArea == 0 {
+		return 0
+	}
+	clipped := geom.PolygonArea(geom.ClipToPolygon(append(append([]geom.Halfspace{}, base...), ph...)))
+	return clipped / baseArea
+}
+
 // Exact2D computes the exact area of the clipped region in the unit
 // square via Sutherland–Hodgman clipping.
 func Exact2D(hs []geom.Halfspace) float64 {
@@ -111,7 +210,11 @@ func LogRatio(hs []geom.Halfspace, d int, opt Options) (float64, error) {
 }
 
 func telescope(hs []geom.Halfspace, d int, opt Options) (float64, error) {
-	logs, err := telescopeFactors(hs, d, opt)
+	return telescopeIn(domain.UnitBox(d).ParamBase(), hs, d, opt)
+}
+
+func telescopeIn(base, hs []geom.Halfspace, d int, opt Options) (float64, error) {
+	logs, err := telescopeFactorsIn(base, hs, d, opt)
 	if err != nil {
 		return 0, err
 	}
@@ -122,18 +225,26 @@ func telescope(hs []geom.Halfspace, d int, opt Options) (float64, error) {
 	return math.Exp(sum), nil
 }
 
-// telescopeFactors returns the log of each conditional acceptance factor.
+// telescopeFactors returns the log of each conditional acceptance factor
+// over the unit box.
 func telescopeFactors(hs []geom.Halfspace, d int, opt Options) ([]float64, error) {
+	return telescopeFactorsIn(domain.UnitBox(d).ParamBase(), hs, d, opt)
+}
+
+// telescopeFactorsIn telescopes over an arbitrary bounded base region (a
+// domain's parameter base): each factor is the conditional acceptance of
+// one more half-space given the previous prefix.
+func telescopeFactorsIn(base, hs []geom.Halfspace, d int, opt Options) ([]float64, error) {
 	// An interior point of the FULL region is interior to every prefix
 	// region, so one Chebyshev centre warm-starts every walk.
-	all := append(append([]geom.Halfspace{}, hs...), geom.BoxHalfspaces(d)...)
+	all := append(append([]geom.Halfspace{}, hs...), base...)
 	center, radius, ok := geom.ChebyshevCenter(all, d)
 	if !ok || radius <= 0 {
 		return nil, ErrEmpty
 	}
 	rng := opt.rng()
 	logs := make([]float64, 0, len(hs))
-	region := geom.BoxHalfspaces(d) // grows one half-space at a time
+	region := append([]geom.Halfspace{}, base...) // grows one half-space at a time
 	for _, h := range hs {
 		samples := opt.Samples
 		// A first pass sizes the factor; very small factors get more
@@ -202,6 +313,20 @@ func BoxRatio(hs []geom.Halfspace, d int, samples int, seed int64) float64 {
 			x[j] = rng.Float64()
 		}
 		if geom.ContainsAll(hs, x, 0) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(samples)
+}
+
+// DomainRatio is BoxRatio generalized to any domain: uniform samples of
+// the domain (Dirichlet sticks for the simplex) against the half-spaces.
+// Cross-check only; it cannot resolve the tiny ratios RatioIn telescopes.
+func DomainRatio(dom domain.Domain, hs []geom.Halfspace, samples int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	hit := 0
+	for s := 0; s < samples; s++ {
+		if geom.ContainsAll(hs, dom.Sample(rng), 0) {
 			hit++
 		}
 	}

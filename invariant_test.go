@@ -15,20 +15,34 @@ import (
 // sound only because of this property, so it is pinned directly here for
 // every Method variant over random datasets and random queries.
 
-// sampleInside draws count query vectors strictly inside g: points of the
-// MAH box (inscribed in the region by construction) and jittered copies of
-// the original query accepted by Contains.
+// sampleInside draws count query vectors strictly inside g, domain-aware:
+// in the box, points of the MAH box (inscribed in the region by
+// construction) and jittered copies of the original query; in the
+// simplex, rebalancing interpolations toward random vertices and
+// jittered-then-renormalized queries — both stay on Σw=1 by construction.
+// Every candidate still passes through Contains before use.
 func sampleInside(r *rand.Rand, g *gir.GIR, count int) [][]float64 {
 	lo, hi := g.MAH()
 	q0 := g.Query()
+	simplex := g.Space() == gir.SpaceSimplex
 	out := [][]float64{q0}
 	for attempts := 0; len(out) < count && attempts < count*200; attempts++ {
 		q := make([]float64, g.Dim())
-		if attempts%2 == 0 {
+		switch {
+		case simplex && attempts%2 == 0:
+			// Shift a little preference mass toward one attribute,
+			// rebalancing the rest proportionally (stays sum-normalized).
+			t := 0.15 * r.Float64()
+			i := r.Intn(len(q))
+			for j := range q {
+				q[j] = (1 - t) * q0[j]
+			}
+			q[i] += t
+		case !simplex && attempts%2 == 0:
 			for j := range q {
 				q[j] = lo[j] + (hi[j]-lo[j])*r.Float64()
 			}
-		} else {
+		default:
 			for j := range q {
 				q[j] = q0[j] * (1 + 0.03*r.NormFloat64())
 				if q[j] < 0 {
@@ -37,6 +51,9 @@ func sampleInside(r *rand.Rand, g *gir.GIR, count int) [][]float64 {
 				if q[j] > 1 {
 					q[j] = 1
 				}
+			}
+			if simplex {
+				q = gir.SpaceSimplex.Normalize(q)
 			}
 		}
 		if g.Contains(q) {
@@ -83,21 +100,32 @@ func sameSet(a, b []int64) bool {
 	return true
 }
 
-// TestGIRInvariant checks, for every Method and for both GIR and GIR*,
-// that queries sampled inside the region reproduce the cached result.
+// TestGIRInvariant checks, for every Method, for both GIR and GIR*, and
+// in BOTH query-space domains, that queries sampled inside the region
+// reproduce the cached result.
 func TestGIRInvariant(t *testing.T) {
+	for _, space := range []gir.Space{gir.SpaceBox, gir.SpaceSimplex} {
+		space := space
+		t.Run(space.String(), func(t *testing.T) { runGIRInvariant(t, space) })
+	}
+}
+
+func runGIRInvariant(t *testing.T, space gir.Space) {
 	methods := []gir.Method{gir.SP, gir.CP, gir.FP, gir.Exhaustive}
 	r := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 4; trial++ {
 		d := 2 + trial%2
 		k := 3 + trial*2
-		ds, err := gir.NewDataset(randomPoints(r, 350, d))
+		ds, err := gir.NewDatasetInSpace(randomPoints(r, 350, d), space)
 		if err != nil {
 			t.Fatal(err)
 		}
 		q := make([]float64, d)
 		for j := range q {
 			q[j] = 0.2 + 0.6*r.Float64()
+		}
+		if space == gir.SpaceSimplex {
+			q = space.Normalize(q)
 		}
 		base, err := ds.TopK(q, k)
 		if err != nil {
@@ -119,6 +147,9 @@ func TestGIRInvariant(t *testing.T) {
 				}
 				if err != nil {
 					t.Fatalf("trial %d method %v star %v: %v", trial, m, star, err)
+				}
+				if g.Space() != space {
+					t.Fatalf("trial %d method %v: region carries space %v, dataset is %v", trial, m, g.Space(), space)
 				}
 				if !g.Contains(q) {
 					t.Fatalf("trial %d method %v star %v: query outside its own region", trial, m, star)
@@ -144,18 +175,29 @@ func TestGIRInvariant(t *testing.T) {
 	}
 }
 
-// TestGIRInvariantThroughCache closes the loop on the serving stack: a
-// result served from the Cache for an in-region query must be byte-
-// identical (ids, attrs, recomputed scores) to a fresh sequential TopK.
+// TestGIRInvariantThroughCache closes the loop on the serving stack in
+// both domains: a result served from the Cache for an in-region query
+// must be byte-identical (ids, attrs, recomputed scores) to a fresh
+// sequential TopK.
 func TestGIRInvariantThroughCache(t *testing.T) {
+	for _, space := range []gir.Space{gir.SpaceBox, gir.SpaceSimplex} {
+		space := space
+		t.Run(space.String(), func(t *testing.T) { runGIRInvariantThroughCache(t, space) })
+	}
+}
+
+func runGIRInvariantThroughCache(t *testing.T, space gir.Space) {
 	r := rand.New(rand.NewSource(43))
-	ds, err := gir.NewDataset(randomPoints(r, 500, 3))
+	ds, err := gir.NewDatasetInSpace(randomPoints(r, 500, 3), space)
 	if err != nil {
 		t.Fatal(err)
 	}
 	e := gir.NewEngine(ds, gir.EngineOptions{CacheCapacity: 16})
 	defer e.Close()
 	q := []float64{0.55, 0.4, 0.6}
+	if space == gir.SpaceSimplex {
+		q = space.Normalize(q)
+	}
 	const k = 6
 	first := e.TopK(q, k)
 	if first.Err != nil {

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	cacheint "github.com/girlib/gir/internal/cache"
+	"github.com/girlib/gir/internal/domain"
 	"github.com/girlib/gir/internal/engine"
 	girint "github.com/girlib/gir/internal/gir"
 	"github.com/girlib/gir/internal/pager"
@@ -19,35 +20,63 @@ import (
 	"github.com/girlib/gir/internal/vec"
 )
 
-// Save persists the dataset's index — all pages plus tree metadata — to a
-// single snapshot file that Open can load later. Building a large R*-tree
-// once and reusing it across runs is how the experiment harness is meant
-// to be used at paper scale.
+// Save persists the dataset's index — all pages plus tree metadata,
+// including the active query space — to a single snapshot file that Open
+// can load later. Building a large R*-tree once and reusing it across
+// runs is how the experiment harness is meant to be used at paper scale.
 func (ds *Dataset) Save(path string) error {
 	root, height, size := ds.tree.Meta()
-	meta := make([]byte, 20)
+	meta := make([]byte, 21)
 	binary.LittleEndian.PutUint32(meta[0:], uint32(ds.tree.Dim()))
 	binary.LittleEndian.PutUint32(meta[4:], uint32(root))
 	binary.LittleEndian.PutUint32(meta[8:], uint32(height))
 	binary.LittleEndian.PutUint64(meta[12:], uint64(size))
+	meta[20] = byte(ds.Space())
 	return pager.Snapshot(ds.store, meta, path)
 }
 
-// Open loads a dataset snapshot written by Save.
+// datasetMeta decodes the snapshot metadata block. 20-byte snapshots
+// predate the query-space byte and load as box-space datasets.
+type datasetMeta struct {
+	dim, height, size int
+	root              pager.PageID
+	space             Space
+}
+
+func parseDatasetMeta(meta []byte, path string) (datasetMeta, error) {
+	if len(meta) != 20 && len(meta) != 21 {
+		return datasetMeta{}, fmt.Errorf("gir: %s has malformed dataset metadata", path)
+	}
+	m := datasetMeta{
+		dim:    int(binary.LittleEndian.Uint32(meta[0:])),
+		root:   pager.PageID(binary.LittleEndian.Uint32(meta[4:])),
+		height: int(binary.LittleEndian.Uint32(meta[8:])),
+		size:   int(binary.LittleEndian.Uint64(meta[12:])),
+	}
+	if len(meta) == 21 {
+		switch Space(meta[20]) {
+		case SpaceBox, SpaceSimplex:
+			m.space = Space(meta[20])
+		default:
+			return datasetMeta{}, fmt.Errorf("gir: %s records unknown query space %d", path, meta[20])
+		}
+	}
+	return m, nil
+}
+
+// Open loads a dataset snapshot written by Save, restoring its query
+// space along with the index.
 func Open(path string) (*Dataset, error) {
 	store, meta, err := pager.LoadSnapshot(path)
 	if err != nil {
 		return nil, err
 	}
-	if len(meta) != 20 {
-		return nil, fmt.Errorf("gir: %s has malformed dataset metadata", path)
+	m, err := parseDatasetMeta(meta, path)
+	if err != nil {
+		return nil, err
 	}
-	dim := int(binary.LittleEndian.Uint32(meta[0:]))
-	root := pager.PageID(binary.LittleEndian.Uint32(meta[4:]))
-	height := int(binary.LittleEndian.Uint32(meta[8:]))
-	size := int(binary.LittleEndian.Uint64(meta[12:]))
-	tree := rtree.Attach(store, dim, root, height, size)
-	return &Dataset{tree: tree, store: store, cost: pager.DefaultCostModel}, nil
+	tree := rtree.Attach(store, m.dim, m.root, m.height, m.size)
+	return &Dataset{tree: tree, store: store, cost: pager.DefaultCostModel, space: m.space}, nil
 }
 
 // NewDatasetOnDisk bulk-loads the index directly into a real page file at
@@ -55,7 +84,15 @@ func Open(path string) (*Dataset, error) {
 // setting is disk-resident data and index). Page 1 is a superblock with
 // the tree metadata; call Close when done.
 func NewDatasetOnDisk(points [][]float64, path string) (*Dataset, error) {
-	ds, err := NewDataset(points) // validates input, builds in memory first
+	return NewDatasetOnDiskInSpace(points, path, SpaceBox)
+}
+
+// NewDatasetOnDiskInSpace is NewDatasetOnDisk with an explicit query
+// space. The space must be chosen at build time: the snapshot written to
+// path records it, so a SetSpace after the fact would be lost on the
+// next OpenOnDisk.
+func NewDatasetOnDiskInSpace(points [][]float64, path string, space Space) (*Dataset, error) {
+	ds, err := NewDatasetInSpace(points, space) // validates input, builds in memory first
 	if err != nil {
 		return nil, err
 	}
@@ -70,10 +107,10 @@ func NewDatasetOnDisk(points [][]float64, path string) (*Dataset, error) {
 // header+metadata followed by page-aligned data, so reads go through a
 // FileStore positioned past the header.
 func OpenOnDisk(path string) (*Dataset, error) {
-	// Snapshots carry a 16-byte header plus 20 bytes of metadata before
-	// the pages; FileStore needs page alignment. Rather than complicating
-	// the store with offsets, rewrite the snapshot into a page-aligned
-	// sidecar on first open.
+	// Snapshots carry a 16-byte header plus the dataset meta block (21
+	// bytes; 20 in pre-space snapshots) before the pages; FileStore needs
+	// page alignment. Rather than complicating the store with offsets,
+	// rewrite the snapshot into a page-aligned sidecar on first open.
 	store, meta, err := pager.LoadSnapshot(path)
 	if err != nil {
 		return nil, err
@@ -92,16 +129,13 @@ func OpenOnDisk(path string) (*Dataset, error) {
 		return nil, err
 	}
 	fs.ResetStats()
-	if len(meta) != 20 {
+	m, err := parseDatasetMeta(meta, path)
+	if err != nil {
 		fs.Close()
-		return nil, fmt.Errorf("gir: %s has malformed dataset metadata", path)
+		return nil, err
 	}
-	dim := int(binary.LittleEndian.Uint32(meta[0:]))
-	root := pager.PageID(binary.LittleEndian.Uint32(meta[4:]))
-	height := int(binary.LittleEndian.Uint32(meta[8:]))
-	size := int(binary.LittleEndian.Uint64(meta[12:]))
-	tree := rtree.Attach(fs, dim, root, height, size)
-	return &Dataset{tree: tree, store: fs, cost: pager.DefaultCostModel, file: fs}, nil
+	tree := rtree.Attach(fs, m.dim, m.root, m.height, m.size)
+	return &Dataset{tree: tree, store: fs, cost: pager.DefaultCostModel, file: fs, space: m.space}, nil
 }
 
 // Close releases the file handle of a disk-backed dataset; it is a no-op
@@ -153,8 +187,12 @@ func (ds *Dataset) ComputeGIRBatch(items []BatchItem, m Method, parallelism int)
 }
 
 // warmCacheMagic heads a warm-cache snapshot file (the trailing byte is a
-// format version).
-var warmCacheMagic = [8]byte{'G', 'I', 'R', 'W', 'A', 'R', 'M', '1'}
+// format version). Version 2 added the query-space byte after the
+// dimension; version-1 snapshots load as box-space caches.
+var (
+	warmCacheMagic   = [8]byte{'G', 'I', 'R', 'W', 'A', 'R', 'M', '2'}
+	warmCacheMagicV1 = [8]byte{'G', 'I', 'R', 'W', 'A', 'R', 'M', '1'}
+)
 
 // SaveCache persists the engine's warm GIR cache — every entry's region,
 // result records, inscribed box, retained repair state (candidate set +
@@ -179,6 +217,7 @@ func (e *Engine) SaveCache(path string) error {
 	enc := cacheEncoder{w: w}
 	enc.bytes(warmCacheMagic[:])
 	enc.u32(uint32(e.ds.Dim()))
+	enc.bytes([]byte{byte(e.ds.Space())})
 	enc.u32(uint32(len(snaps)))
 	for _, s := range snaps {
 		enc.entry(s)
@@ -222,7 +261,10 @@ func (e *Engine) snapshotCacheQuiesced() []cacheint.Snapshot {
 // cache, stamping every entry at the current dataset version. The caller
 // certifies the dataset contents are the ones the cache was saved against
 // (load the matching Dataset snapshot first); a dimension mismatch is
-// rejected, anything subtler is the caller's contract — exactly as for a
+// rejected, and so is a query-space mismatch — a region clipped to one
+// domain is not a certificate over another, so cross-domain loads refuse
+// rather than silently serve box regions to simplex queries (or vice
+// versa). Anything subtler is the caller's contract — exactly as for a
 // hand-managed Cache. Restored entries serve immediately: the first
 // lookups of the restarted engine are warm hits.
 func (e *Engine) LoadCache(path string) error {
@@ -237,17 +279,34 @@ func (e *Engine) LoadCache(path string) error {
 	dec := cacheDecoder{r: bufio.NewReader(f)}
 	var magic [8]byte
 	dec.bytes(magic[:])
-	if dec.err == nil && magic != warmCacheMagic {
+	if dec.err == nil && magic != warmCacheMagic && magic != warmCacheMagicV1 {
 		return fmt.Errorf("gir: %s is not a warm-cache snapshot", path)
 	}
 	dim := int(dec.u32())
 	if dec.err == nil && dim != e.ds.Dim() {
 		return fmt.Errorf("gir: cache snapshot has dimension %d, dataset has %d", dim, e.ds.Dim())
 	}
+	space := SpaceBox // version-1 snapshots predate the simplex domain
+	if magic == warmCacheMagic {
+		var sb [1]byte
+		dec.bytes(sb[:])
+		switch Space(sb[0]) {
+		case SpaceBox, SpaceSimplex:
+			space = Space(sb[0])
+		default:
+			if dec.err == nil {
+				return fmt.Errorf("gir: %s records unknown query space %d", path, sb[0])
+			}
+		}
+	}
+	if dsSpace := e.ds.Space(); dec.err == nil && space != dsSpace {
+		return fmt.Errorf("gir: cache snapshot was saved in the %v query space, dataset serves %v — cross-domain loads are refused", space, dsSpace)
+	}
 	count := int(dec.u32())
 	version := e.ds.version.Load()
+	dom := space.domain(dim)
 	for i := 0; i < count; i++ {
-		snap := dec.entry(dim)
+		snap := dec.entry(dim, dom)
 		if dec.err != nil {
 			break
 		}
@@ -414,9 +473,9 @@ func (d *cacheDecoder) dimRec(dim int, what string) topk.Record {
 	return r
 }
 
-func (d *cacheDecoder) entry(dim int) cacheint.Snapshot {
+func (d *cacheDecoder) entry(dim int, dom domain.Domain) cacheint.Snapshot {
 	var s cacheint.Snapshot
-	reg := &girint.Region{Dim: dim}
+	reg := &girint.Region{Dim: dim, Domain: dom}
 	reg.Query = d.dimVec(dim, "entry query")
 	reg.OrderSensitive = d.bool()
 	nc := d.count("constraint")

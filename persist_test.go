@@ -65,6 +65,65 @@ func TestSaveOpenRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSaveOpenKeepsSpace pins that a dataset snapshot records its query
+// space: a simplex dataset reopens as a simplex dataset — validation and
+// freshly computed regions included.
+func TestSaveOpenKeepsSpace(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	ds, err := gir.NewDatasetInSpace(randomPoints(r, 500, 3), gir.SpaceSimplex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "index.gir")
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := gir.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Space() != gir.SpaceSimplex {
+		t.Fatalf("reopened space = %v, want simplex", reopened.Space())
+	}
+	if _, err := reopened.TopK([]float64{0.5, 0.7, 0.4}, 5); err == nil {
+		t.Error("reopened simplex dataset accepted a non-normalized query")
+	}
+	q := gir.SpaceSimplex.Normalize([]float64{0.5, 0.7, 0.4})
+	res, err := reopened.TopK(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := reopened.ComputeGIR(res, gir.FP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Space() != gir.SpaceSimplex {
+		t.Fatalf("region space = %v, want simplex", g.Space())
+	}
+}
+
+// TestOnDiskDatasetKeepsSpace pins the disk-backed constructor: the
+// space chosen at build time survives the Save + OpenOnDisk round trip
+// inside NewDatasetOnDiskInSpace.
+func TestOnDiskDatasetKeepsSpace(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	path := filepath.Join(t.TempDir(), "disk.gir")
+	ds, err := gir.NewDatasetOnDiskInSpace(randomPoints(r, 300, 3), path, gir.SpaceSimplex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if ds.Space() != gir.SpaceSimplex {
+		t.Fatalf("disk dataset space = %v, want simplex", ds.Space())
+	}
+	if _, err := ds.TopK([]float64{0.5, 0.7, 0.4}, 3); err == nil {
+		t.Error("disk-backed simplex dataset accepted a non-normalized query")
+	}
+	if _, err := ds.TopK(gir.SpaceSimplex.Normalize([]float64{0.5, 0.7, 0.4}), 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestOpenRejectsGarbage(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "garbage")
 	if err := os.WriteFile(path, []byte("not a snapshot at all, definitely"), 0o644); err != nil {

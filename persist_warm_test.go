@@ -248,15 +248,89 @@ func TestLoadCacheRejectsGarbage(t *testing.T) {
 
 	// A corrupt vector-length prefix must fail the load, not restore an
 	// entry whose first lookup panics on a mismatched dot product. The
-	// first entry's query-vector length lives right after the 16-byte
-	// header (magic + dim + count).
+	// first entry's query-vector length lives right after the 17-byte
+	// header (magic + dim + space + count).
 	corrupt := append([]byte(nil), data...)
-	corrupt[16] = 200
+	corrupt[17] = 200
 	bad := filepath.Join(dir, "bad.gircache")
 	if err := os.WriteFile(bad, corrupt, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if err := e.LoadCache(bad); err == nil {
 		t.Error("snapshot with corrupted vector dimension accepted")
+	}
+
+	// An unknown query-space byte must be rejected up front.
+	badSpace := append([]byte(nil), data...)
+	badSpace[12] = 9 // the space byte follows magic (8) + dim (4)
+	badPath := filepath.Join(dir, "badspace.gircache")
+	if err := os.WriteFile(badPath, badSpace, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadCache(badPath); err == nil {
+		t.Error("snapshot with unknown query space accepted")
+	}
+}
+
+// TestWarmCacheRefusesCrossDomainLoad pins the query-space compatibility
+// rule: a warm cache saved by a simplex-space engine must refuse to load
+// into a box-space engine over the same data (and vice versa) — a region
+// clipped to one domain is not a validity certificate over the other.
+// The matching-space round trip must keep working, including the region's
+// domain itself (a restored simplex entry must reject non-normalized
+// lookups exactly like the original).
+func TestWarmCacheRefusesCrossDomainLoad(t *testing.T) {
+	r := rand.New(rand.NewSource(92))
+	const n, k = 1000, 5
+	points := make([][]float64, n)
+	for i := range points {
+		points[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+	}
+	ds, err := NewDatasetInSpace(points, SpaceSimplex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(ds, EngineOptions{})
+	q := SpaceSimplex.Normalize([]float64{0.5, 0.6, 0.7})
+	if res := e.TopK(q, k); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	path := filepath.Join(t.TempDir(), "simplex.gircache")
+	if err := e.SaveCache(path); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+
+	boxDS, err := NewDataset(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxEngine := NewEngine(boxDS, EngineOptions{})
+	defer boxEngine.Close()
+	if err := boxEngine.LoadCache(path); err == nil {
+		t.Fatal("box-space engine accepted a simplex-space warm cache")
+	}
+
+	simplexDS, err := NewDatasetInSpace(points, SpaceSimplex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simplexEngine := NewEngine(simplexDS, EngineOptions{})
+	defer simplexEngine.Close()
+	if err := simplexEngine.LoadCache(path); err != nil {
+		t.Fatalf("matching-space load failed: %v", err)
+	}
+	res := simplexEngine.TopK(q, k)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !res.CacheHit {
+		t.Error("restored simplex entry did not serve a warm hit")
+	}
+	// The restored region carries the simplex domain: the unnormalized
+	// image of the same preference vector is not a member (the engine
+	// would reject it at validation anyway; this pins the region itself).
+	if hit, ok := simplexEngine.Cache().Lookup([]float64{0.5, 0.6, 0.7}, k); ok {
+		t.Errorf("restored simplex region accepted a non-normalized vector: %+v", hit)
 	}
 }

@@ -74,13 +74,14 @@ func (ds *Dataset) computeGIR(res *TopKResult, m Method, star bool) (*GIR, error
 func (ds *Dataset) computeGIRLocked(inner *topk.Result, m Method, star bool) (*GIR, error) {
 	readsBefore := ds.store.Stats().Reads
 	start := time.Now()
+	opts := girint.Options{Method: m.internal(), Domain: ds.spaceLocked().domain(ds.tree.Dim())}
 	var region *girint.Region
 	var st *girint.Stats
 	var err error
 	if star {
-		region, st, err = girint.ComputeStar(ds.tree, inner, girint.Options{Method: m.internal()})
+		region, st, err = girint.ComputeStar(ds.tree, inner, opts)
 	} else {
-		region, st, err = girint.Compute(ds.tree, inner, girint.Options{Method: m.internal()})
+		region, st, err = girint.Compute(ds.tree, inner, opts)
 	}
 	if err != nil {
 		return nil, err
@@ -139,6 +140,9 @@ func (ds *Dataset) topKAndGIR(q []float64, k int, m Method) (*topKFill, error) {
 
 // Dim returns the query-space dimensionality.
 func (g *GIR) Dim() int { return g.region.Dim }
+
+// Space returns the query-space domain the region was computed over.
+func (g *GIR) Space() Space { return spaceOfKind(g.region.Space().Kind()) }
 
 // Query returns the original query vector (always inside the region).
 func (g *GIR) Query() []float64 { return append([]float64(nil), g.region.Query...) }
@@ -203,11 +207,14 @@ type VolumeOptions struct {
 }
 
 // VolumeRatio returns vol(GIR)/vol(query space): the probability that a
-// uniformly random query vector preserves the result — the robustness
-// measure of the paper's Figure 14 (the LIK measure of [30]). Exact in two
-// dimensions, Monte-Carlo estimated above (see internal/volume).
+// uniformly random query vector OF THE ACTIVE SPACE preserves the result
+// — the robustness measure of the paper's Figure 14 (the LIK measure of
+// [30]). In the simplex space both volumes are taken in the simplex's
+// relative (d−1)-dimensional measure, which is what keeps the ratio
+// comparable to the paper's plots at higher d. Exact in low dimensions
+// (box d=2; simplex d≤3), Monte-Carlo estimated above (internal/volume).
 func (g *GIR) VolumeRatio(opt VolumeOptions) (float64, error) {
-	return volume.Ratio(g.region.Halfspaces(), g.region.Dim,
+	return volume.RatioIn(g.region.Space(), g.region.Halfspaces(),
 		volume.Options{Samples: opt.Samples, Seed: opt.Seed})
 }
 
@@ -215,7 +222,7 @@ func (g *GIR) VolumeRatio(opt VolumeOptions) (float64, error) {
 // (high dimensions shrink GIRs exponentially — Figure 14 spans 15 orders
 // of magnitude).
 func (g *GIR) LogVolumeRatio(opt VolumeOptions) (float64, error) {
-	return volume.LogRatio(g.region.Halfspaces(), g.region.Dim,
+	return volume.LogRatioIn(g.region.Space(), g.region.Halfspaces(),
 		volume.Options{Samples: opt.Samples, Seed: opt.Seed})
 }
 
@@ -223,39 +230,49 @@ func (g *GIR) LogVolumeRatio(opt VolumeOptions) (float64, error) {
 type Interval struct {
 	Lo, Hi float64
 	// LoPerturbation / HiPerturbation describe the result change when the
-	// weight reaches each bound ("query space boundary" when the [0,1]
-	// box is what binds).
+	// weight reaches each bound. When the query-space domain rather than
+	// a result-perturbation constraint is what binds, the text names the
+	// active domain's boundary facet (e.g. "query space boundary
+	// (w1 = 0)" in the box, "simplex boundary (w1 = 0)" / "simplex
+	// vertex (w1 = 1, ...)" in the Σw=1 space).
 	LoPerturbation, HiPerturbation string
 }
 
 // LIRs returns, for each dimension, the interval within which that weight
-// can move — all others fixed at the query's values — without changing the
-// result: the slide-bar bounds of the paper's Figure 1, equal to the local
-// immutable regions of [24], derived here by interactive projection
-// (Section 7.3).
+// can move without changing the result: the slide-bar bounds of the
+// paper's Figure 1, equal to the local immutable regions of [24], derived
+// by interactive projection (Section 7.3). In the box space the other
+// weights stay fixed; in the simplex space the slide rebalances — the
+// other weights keep their relative proportions so the vector stays
+// sum-normalized (see internal/viz).
 func (g *GIR) LIRs() []Interval {
 	ivs := viz.LIRs(g.region, g.region.Query)
 	out := make([]Interval, len(ivs))
 	for i, iv := range ivs {
 		out[i] = Interval{
 			Lo: iv.Lo, Hi: iv.Hi,
-			LoPerturbation: g.describeBound(iv.LoConstraint),
-			HiPerturbation: g.describeBound(iv.HiConstraint),
+			LoPerturbation: g.describeBound(iv.LoConstraint, iv.LoBoundary),
+			HiPerturbation: g.describeBound(iv.HiConstraint, iv.HiBoundary),
 		}
 	}
 	return out
 }
 
-func (g *GIR) describeBound(ci int) string {
+func (g *GIR) describeBound(ci int, boundary string) string {
 	if ci < 0 {
-		return "query space boundary"
+		return boundary
 	}
 	return g.region.Constraints[ci].Describe()
 }
 
 // MAH returns a maximal axis-parallel hyper-rectangle [lo, hi] containing
-// the query and inscribed in the region (Section 7.3): bounds that stay
-// valid under simultaneous readjustment of all weights.
+// the query and inscribed in the region's CONE clipped to [0,1]^d
+// (Section 7.3). In the box space that is the region itself: bounds that
+// stay valid under simultaneous independent readjustment of all weights.
+// In the simplex space the region is the cone's Σw=1 slice, so the box
+// is the envelope of valid rebalanced settings: a point of [lo, hi] is a
+// preserved query iff it is also sum-normalized (box ∩ {Σw=1} ⊆ region);
+// sample with Space.Normalize or use LIRs for per-weight bounds.
 func (g *GIR) MAH() (lo, hi []float64) {
 	l, h := viz.MAH(g.region, g.region.Query)
 	return l, h

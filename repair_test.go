@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	cacheint "github.com/girlib/gir/internal/cache"
+	"github.com/girlib/gir/internal/domain"
 	"github.com/girlib/gir/internal/vec"
 )
 
@@ -77,9 +78,13 @@ func bruteTopKStrict(state map[int64][]float64, q []float64, k int, tieTol float
 }
 
 // sampleEntryRegion draws weight vectors inside the entry's region: its
-// query, points of its inscribed box, and accepted jittered queries.
+// query, points of its inscribed box, and accepted jittered queries. For
+// simplex-domain entries every candidate is renormalized onto Σw=1 first
+// (inscribed-box corners and raw jitters are off the simplex, and the
+// region would reject them).
 func sampleEntryRegion(r *rand.Rand, e *cacheint.Entry, count int) [][]float64 {
 	q := e.Region.Query
+	simplex := e.Region.Space().Kind() == domain.KindSimplex
 	out := [][]float64{append([]float64(nil), q...)}
 	for tries := 0; len(out) < count && tries < 30*count; tries++ {
 		w := make([]float64, e.Region.Dim)
@@ -91,6 +96,9 @@ func sampleEntryRegion(r *rand.Rand, e *cacheint.Entry, count int) [][]float64 {
 			for j := range w {
 				w[j] = q[j] + 0.04*r.NormFloat64()
 			}
+		}
+		if simplex {
+			w = e.Region.Space().Normalize(vec.Vector(w))
 		}
 		if e.Region.Contains(vec.Vector(w), 0) {
 			out = append(out, w)
@@ -253,6 +261,18 @@ func TestInvalidateThenRepairDeleteStaysSound(t *testing.T) {
 }
 
 func TestRepairDifferential(t *testing.T) {
+	runRepairDifferential(t, SpaceBox)
+}
+
+// TestRepairDifferentialSimplex runs the same 10k-step churn differential
+// over the Σw=1 query space: repaired simplex entries must byte-match
+// fresh recomputes and their regions must stay inside the fresh simplex
+// GIR/GIR* for every sampled sum-normalized weight vector.
+func TestRepairDifferentialSimplex(t *testing.T) {
+	runRepairDifferential(t, SpaceSimplex)
+}
+
+func runRepairDifferential(t *testing.T, space Space) {
 	steps := 10000
 	if testing.Short() {
 		steps = 1500
@@ -266,7 +286,7 @@ func TestRepairDifferential(t *testing.T) {
 		points[i] = p
 		mirror[int64(i)] = p
 	}
-	ds, err := NewDataset(points)
+	ds, err := NewDatasetInSpace(points, space)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,6 +298,9 @@ func TestRepairDifferential(t *testing.T) {
 	ks := make([]int, len(pool))
 	for i := range pool {
 		pool[i] = []float64{0.15 + 0.7*r.Float64(), 0.15 + 0.7*r.Float64(), 0.15 + 0.7*r.Float64()}
+		if space == SpaceSimplex {
+			pool[i] = space.Normalize(pool[i])
+		}
 		ks[i] = 2 + r.Intn(6)
 	}
 	methods := []Method{SP, CP, FP, Exhaustive}
