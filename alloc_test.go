@@ -1,0 +1,221 @@
+// Allocation gates for the hot path. These are regression tests, not
+// benchmarks: the warm cache hit must stay at zero heap allocations, a
+// cold BRS must stay within a small fixed budget (the owned-result slabs),
+// and results returned to callers must never alias pooled scratch memory
+// that a later query recycles.
+package gir
+
+import (
+	"testing"
+
+	"github.com/girlib/gir/internal/datagen"
+	"github.com/girlib/gir/internal/pager"
+	"github.com/girlib/gir/internal/rtree"
+	"github.com/girlib/gir/internal/score"
+	"github.com/girlib/gir/internal/topk"
+	"github.com/girlib/gir/internal/vec"
+)
+
+func allocDataset(t *testing.T, n, d int) *Dataset {
+	t.Helper()
+	pts, err := datagen.Generate(datagen.IND, n, d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([][]float64, len(pts))
+	for i, p := range pts {
+		raw[i] = p
+	}
+	ds, err := NewDataset(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestWarmCacheHitZeroAllocs pins the steady-state serving cost: once a
+// query's result and region are cached, TopKBuf into a caller-owned
+// buffer performs no heap allocations at all.
+func TestWarmCacheHitZeroAllocs(t *testing.T) {
+	ds := allocDataset(t, 2000, 3)
+	e := NewEngine(ds, EngineOptions{Workers: 1, CacheCapacity: 8})
+	defer e.Close()
+
+	q := []float64{0.6, 0.3, 0.1}
+	const k = 10
+	if res := e.TopK(q, k); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res := e.TopK(q, k); res.Err != nil || !res.CacheHit {
+		t.Fatalf("warm lookup not a cache hit (err=%v, hit=%v): GIR build must have failed", res.Err, res.CacheHit)
+	}
+
+	dst := make([]Record, k)
+	var errSeen, missSeen bool
+	allocs := testing.AllocsPerRun(200, func() {
+		res := e.TopKBuf(dst, q, k)
+		if res.Err != nil {
+			errSeen = true
+		}
+		if !res.CacheHit {
+			missSeen = true
+		}
+	})
+	if errSeen || missSeen {
+		t.Fatalf("warm TopKBuf degraded mid-run (err=%v, miss=%v)", errSeen, missSeen)
+	}
+	if allocs != 0 {
+		t.Fatalf("warm cache hit allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestColdBRSAllocBudget bounds the cold query: with the pooled scratch
+// doing the candidate flow, a full BRS should allocate only the owned
+// result (points slab, rects slab, three slice headers' backing arrays and
+// the Result itself) — a small constant, not O(nodes visited).
+func TestColdBRSAllocBudget(t *testing.T) {
+	pts, err := datagen.Generate(datagen.IND, 20000, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := rtree.BulkLoad(pager.NewMemStore(), 4, pts, nil)
+	q := datagen.Query(4, 7)
+	const budget = 32
+	allocs := testing.AllocsPerRun(50, func() {
+		topk.BRS(tree, score.Linear{}, q, 20)
+	})
+	if allocs > budget {
+		t.Fatalf("cold BRS allocated %.1f allocs/op, budget %d", allocs, budget)
+	}
+}
+
+func vecEqual(a, b vec.Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// snapshotResult deep-copies everything a topk.Result exposes, so later
+// mutations of recycled scratch memory would be detectable.
+type resultSnapshot struct {
+	query   vec.Vector
+	ids     []int64
+	scores  []float64
+	points  []vec.Vector
+	tIDs    []int64
+	tScores []float64
+	heapKey []float64
+	heapLo  []vec.Vector
+	heapHi  []vec.Vector
+}
+
+func snapshotResult(res *topk.Result) *resultSnapshot {
+	s := &resultSnapshot{query: res.Query.Clone()}
+	for _, r := range res.Records {
+		s.ids = append(s.ids, r.ID)
+		s.scores = append(s.scores, r.Score)
+		s.points = append(s.points, r.Point.Clone())
+	}
+	for _, r := range res.T {
+		s.tIDs = append(s.tIDs, r.ID)
+		s.tScores = append(s.tScores, r.Score)
+	}
+	for _, it := range *res.Heap {
+		s.heapKey = append(s.heapKey, it.Key)
+		s.heapLo = append(s.heapLo, it.Rect.Lo.Clone())
+		s.heapHi = append(s.heapHi, it.Rect.Hi.Clone())
+	}
+	return s
+}
+
+func (s *resultSnapshot) verify(t *testing.T, res *topk.Result) {
+	t.Helper()
+	if !vecEqual(s.query, res.Query) {
+		t.Fatal("result Query mutated by a later pooled BRS run")
+	}
+	for i, r := range res.Records {
+		if r.ID != s.ids[i] || r.Score != s.scores[i] || !vecEqual(r.Point, s.points[i]) {
+			t.Fatalf("result record %d mutated by a later pooled BRS run", i)
+		}
+	}
+	for i, r := range res.T {
+		if r.ID != s.tIDs[i] || r.Score != s.tScores[i] {
+			t.Fatalf("non-result record %d mutated by a later pooled BRS run", i)
+		}
+	}
+	for i, it := range *res.Heap {
+		if it.Key != s.heapKey[i] || !vecEqual(it.Rect.Lo, s.heapLo[i]) || !vecEqual(it.Rect.Hi, s.heapHi[i]) {
+			t.Fatalf("resumable heap item %d mutated by a later pooled BRS run", i)
+		}
+	}
+}
+
+// TestScratchPoolNoAliasing proves the ownership rule the scratch pool
+// depends on: a returned Result (records, T, resumable heap, query) is
+// fully owned — churning enough queries through the pool to recycle every
+// scratch many times over must leave an earlier result bit-identical.
+func TestScratchPoolNoAliasing(t *testing.T) {
+	pts, err := datagen.Generate(datagen.IND, 20000, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := rtree.BulkLoad(pager.NewMemStore(), 4, pts, nil)
+
+	q0 := datagen.Query(4, 7)
+	res := topk.BRS(tree, score.Linear{}, q0, 20)
+	snap := snapshotResult(res)
+
+	for seed := int64(100); seed < 150; seed++ {
+		topk.BRS(tree, score.Linear{}, datagen.Query(4, seed), 20)
+	}
+	snap.verify(t, res)
+}
+
+// TestTopKBufDoesNotAliasCache checks the engine-level half of the rule:
+// rescoring a hit into a caller buffer, then reusing that buffer for other
+// queries, must not disturb the cached entry other callers are served from.
+func TestTopKBufDoesNotAliasCache(t *testing.T) {
+	ds := allocDataset(t, 2000, 3)
+	e := NewEngine(ds, EngineOptions{Workers: 1, CacheCapacity: 8})
+	defer e.Close()
+
+	q := []float64{0.6, 0.3, 0.1}
+	const k = 10
+	if res := e.TopK(q, k); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	dst := make([]Record, k)
+	first := e.TopKBuf(dst, q, k)
+	if first.Err != nil || !first.CacheHit {
+		t.Fatalf("expected warm hit (err=%v, hit=%v)", first.Err, first.CacheHit)
+	}
+	ids := make([]int64, k)
+	scores := make([]float64, k)
+	for i, r := range first.Records {
+		ids[i] = r.ID
+		scores[i] = r.Score
+	}
+	// Scribble over the caller buffer and serve other queries through it.
+	for i := range dst {
+		dst[i] = Record{ID: -1, Score: -1}
+	}
+	e.TopKBuf(dst, []float64{0.1, 0.2, 0.7}, k)
+	e.TopKBuf(dst, []float64{0.3, 0.3, 0.4}, k)
+
+	again := e.TopKBuf(make([]Record, k), q, k)
+	if again.Err != nil || !again.CacheHit {
+		t.Fatalf("expected warm hit (err=%v, hit=%v)", again.Err, again.CacheHit)
+	}
+	for i, r := range again.Records {
+		if r.ID != ids[i] || r.Score != scores[i] {
+			t.Fatalf("rank %d: cached entry perturbed through the caller buffer (got id=%d score=%v, want id=%d score=%v)",
+				i, r.ID, r.Score, ids[i], scores[i])
+		}
+	}
+}

@@ -228,6 +228,7 @@ func BenchmarkFig19NonLinear(b *testing.B) {
 // BenchmarkBRS isolates the top-k substrate all experiments share.
 func BenchmarkBRS(b *testing.B) {
 	env := setupBench(b, datagen.IND, 100000, 4)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		topk.BRS(env.tree, score.Linear{}, env.q, benchK)

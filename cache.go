@@ -106,7 +106,7 @@ func (c *Cache) Lookup(q []float64, k int) (*CachedResult, bool) {
 // lookupVeto is Lookup with the Engine's generation-fence veto: vetoed
 // entries are invisible and never counted as hits.
 func (c *Cache) lookupVeto(q []float64, k int, veto func(*cache.Entry) bool) (*CachedResult, bool) {
-	e, ok := c.inner.LookupVeto(vec.Vector(q), k, veto)
+	e, complete, ok := c.lookupEntry(q, k, veto)
 	if !ok {
 		return nil, false
 	}
@@ -114,11 +114,25 @@ func (c *Cache) lookupVeto(q []float64, k int, veto func(*cache.Entry) bool) (*C
 	if limit > e.K {
 		limit = e.K
 	}
-	out := &CachedResult{Complete: k <= e.K}
+	out := &CachedResult{Complete: complete}
 	for _, r := range e.Records[:limit] {
 		out.Records = append(out.Records, Record{ID: r.ID, Attrs: r.Point, Score: r.Score})
 	}
 	return out, true
+}
+
+// lookupEntry is the engine's allocation-free hit path: it hands back the
+// raw cache entry instead of materializing a CachedResult, so a complete
+// hit can be rescored straight into a caller-owned buffer. The entry's
+// Records are shared and read-only — the PutWithBox copy discipline means
+// they alias neither pooled scratch nor any caller slice. complete is
+// true when the entry covers the requested k.
+func (c *Cache) lookupEntry(q []float64, k int, veto func(*cache.Entry) bool) (e *cache.Entry, complete, ok bool) {
+	e, ok = c.inner.LookupVeto(vec.Vector(q), k, veto)
+	if !ok {
+		return nil, false, false
+	}
+	return e, k <= e.K, true
 }
 
 // Stats returns (exact hits, partial hits, misses).

@@ -42,6 +42,8 @@ type batchRow struct {
 	Predicates  int64   `json:"predicate_evals"`
 	FenceOpenMS float64 `json:"fence_open_ms"`
 	Recomputes  int64   `json:"recomputes"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
 type batchReport struct {
@@ -100,19 +102,25 @@ func runBurst(cfg serveConfig, churn float64, burst int, repair bool, jsonPath s
 		warm := e.Stats()
 		ds.ResetIOStats()
 		start := time.Now()
-		for _, op := range ops {
-			switch {
-			case op.Write && op.Insert:
-				if err := ds.Insert(op.ID, op.Point); err != nil {
-					return err
-				}
-			case op.Write:
-				ds.Delete(op.ID, op.Point)
-			default:
-				if res := e.TopK(op.Query, op.K); res.Err != nil {
-					return res.Err
+		allocs, bytes, err := measureAllocs(func() error {
+			for _, op := range ops {
+				switch {
+				case op.Write && op.Insert:
+					if err := ds.Insert(op.ID, op.Point); err != nil {
+						return err
+					}
+				case op.Write:
+					ds.Delete(op.ID, op.Point)
+				default:
+					if res := e.TopK(op.Query, op.K); res.Err != nil {
+						return res.Err
+					}
 				}
 			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 		elapsed := time.Since(start)
 		e.Quiesce()
@@ -135,6 +143,8 @@ func runBurst(cfg serveConfig, churn float64, burst int, repair bool, jsonPath s
 			Predicates:  st.PredicateEvals - warm.PredicateEvals,
 			FenceOpenMS: float64((st.FenceOpen - warm.FenceOpen).Microseconds()) / 1000,
 			Recomputes:  st.Computed - warm.Computed,
+			AllocsPerOp: float64(allocs) / float64(max(1, cfg.Stream)),
+			BytesPerOp:  float64(bytes) / float64(max(1, cfg.Stream)),
 		}
 		if lookups := row.Hits + row.Partial + row.Misses; lookups > 0 {
 			row.HitRate = float64(row.Hits) / float64(lookups)

@@ -38,6 +38,8 @@ type churnRow struct {
 	Fenced      int64   `json:"fenced"`
 	Recomputes  int64   `json:"recomputes"`
 	PageReads   int64   `json:"page_reads"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
 // churnReport is the -json artifact.
@@ -98,19 +100,25 @@ func runChurn(cfg serveConfig, churn float64, repair bool, jsonPath string, w io
 		warm := e.Stats()
 		ds.ResetIOStats()
 		start := time.Now()
-		for _, op := range ops {
-			switch {
-			case op.Write && op.Insert:
-				if err := ds.Insert(op.ID, op.Point); err != nil {
-					return err
-				}
-			case op.Write:
-				ds.Delete(op.ID, op.Point)
-			default:
-				if res := e.TopK(op.Query, op.K); res.Err != nil {
-					return res.Err
+		allocs, bytes, err := measureAllocs(func() error {
+			for _, op := range ops {
+				switch {
+				case op.Write && op.Insert:
+					if err := ds.Insert(op.ID, op.Point); err != nil {
+						return err
+					}
+				case op.Write:
+					ds.Delete(op.ID, op.Point)
+				default:
+					if res := e.TopK(op.Query, op.K); res.Err != nil {
+						return res.Err
+					}
 				}
 			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 		elapsed := time.Since(start)
 		e.Quiesce() // settle the drainer so Invalidated/Fenced are deterministic
@@ -130,6 +138,8 @@ func runChurn(cfg serveConfig, churn float64, repair bool, jsonPath string, w io
 			Fenced:      st.Fenced - warm.Fenced,
 			Recomputes:  st.Computed - warm.Computed,
 			PageReads:   ds.IOStats().PageReads,
+			AllocsPerOp: float64(allocs) / float64(max(1, cfg.Stream)),
+			BytesPerOp:  float64(bytes) / float64(max(1, cfg.Stream)),
 		}
 		if lookups := row.Hits + row.Partial + row.Misses; lookups > 0 {
 			row.HitRate = float64(row.Hits) / float64(lookups)

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -38,7 +40,7 @@ func main() {
 	serveRepair := flag.Bool("repair", false, "-serve -churn: also measure RepairMode (repair-instead-of-evict cache maintenance) as a third configuration")
 	serveBurst := flag.Int("burst", 0, "-serve -churn: writes arrive in bursts of this size (> 1 runs the batched-vs-per-mutation drain benchmark)")
 	serveSpace := flag.String("space", "box", "-serve: query-space domain — box ([0,1]^d) or simplex (the paper's Σw=1 convention; queries are sum-normalized)")
-	serveJSON := flag.String("json", "", "-serve -churn: also write the measured rows to this file as JSON (the CI BENCH_serve.json / BENCH_repair.json / BENCH_batch.json / BENCH_simplex.json artifact)")
+	serveJSON := flag.String("json", "", "-serve: also write the measured rows to this file as JSON (the CI BENCH_hotpath.json / BENCH_serve.json / BENCH_repair.json / BENCH_batch.json / BENCH_simplex.json artifact)")
 	flag.IntVar(&cfg.N, "n", cfg.N, "synthetic dataset cardinality (paper: 1000000)")
 	flag.IntVar(&cfg.Queries, "queries", cfg.Queries, "queries averaged per cell (paper: 100)")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "deterministic seed")
@@ -49,7 +51,34 @@ func main() {
 	ks := flag.String("ks", joinInts(cfg.Ks), "comma-separated k sweep")
 	nsweep := flag.String("nsweep", joinInts(cfg.NSweep), "comma-separated cardinality sweep (figs 16/18)")
 	latency := flag.Duration("iolat", 100*time.Microsecond, "simulated latency per 4KiB page read")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit (go tool pprof)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal("bad -cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("-cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal("bad -memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC() // flush recent frees so the profile shows live + cumulative allocs accurately
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal("-memprofile: %v", err)
+			}
+		}()
+	}
 
 	var err error
 	if cfg.Dims, err = parseInts(*dims); err != nil {
@@ -99,7 +128,7 @@ func main() {
 		case *serveChurn > 0:
 			err = runChurn(scfg, *serveChurn, *serveRepair, *serveJSON, os.Stdout)
 		default:
-			err = runServe(scfg, os.Stdout)
+			err = runServe(scfg, *serveJSON, os.Stdout)
 		}
 		if err != nil {
 			fatal("%v", err)

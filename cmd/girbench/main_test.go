@@ -73,6 +73,55 @@ func TestRunChurnSimplexSmoke(t *testing.T) {
 	}
 }
 
+// TestRunServeSmoke runs the serving benchmark end to end at toy scale
+// and validates the BENCH_hotpath.json artifact: all four serving rows
+// are present, every row carries the allocation columns, and the warm
+// cached pass allocates less per query than the uncached one (the hot
+// path's whole point).
+func TestRunServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving benchmark smoke is not -short")
+	}
+	dir := t.TempDir()
+	jsonPath := dir + "/BENCH_hotpath.json"
+	cfg := serveConfig{N: 1500, D: 3, Seed: 7, Stream: 300, Distinct: 8, ZipfS: 1.3, Jitter: 0.001, Batch: 32}
+	var buf strings.Builder
+	if err := runServe(cfg, jsonPath, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report serveReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	want := []string{"sequential no-cache", "engine no-cache", "engine cache (cold)", "engine cache (warm)"}
+	if len(report.Rows) != len(want) {
+		t.Fatalf("got %d rows, want %d: %+v", len(report.Rows), len(want), report.Rows)
+	}
+	for i, row := range report.Rows {
+		if row.Name != want[i] {
+			t.Errorf("row %d is %q, want %q", i, row.Name, want[i])
+		}
+		if row.Queries != cfg.Stream || row.QPS <= 0 {
+			t.Errorf("%s row has bad volume/throughput: %+v", row.Name, row)
+		}
+		if row.AllocsPerQuery < 0 || row.BytesPerQuery < 0 {
+			t.Errorf("%s row has negative allocation columns: %+v", row.Name, row)
+		}
+	}
+	warm := report.Rows[3]
+	if warm.Hits == 0 {
+		t.Error("warm pass served no cache hits")
+	}
+	if seq := report.Rows[0]; warm.Hits > 0 && warm.AllocsPerQuery >= seq.AllocsPerQuery+400 {
+		t.Errorf("warm cached pass allocates heavily (%.1f/query vs sequential %.1f): hot path regressed",
+			warm.AllocsPerQuery, seq.AllocsPerQuery)
+	}
+}
+
 // TestRunBurstSmoke runs the burst benchmark end to end at toy scale and
 // checks the JSON artifact has both drain rows with consistent counters.
 func TestRunBurstSmoke(t *testing.T) {

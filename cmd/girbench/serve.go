@@ -2,13 +2,18 @@
 // Zipf-distributed top-k stream (the access pattern GIR caching targets)
 // is served three ways — sequentially without a cache, through the engine
 // without a cache (pure fan-out), and through the engine with the sharded
-// GIR cache — and the throughput, hit-rate and simulated I/O numbers are
-// printed side by side.
+// GIR cache — and the throughput, hit-rate, allocation and simulated I/O
+// numbers are printed side by side. With -json the measured rows are also
+// written as a machine-readable artifact (BENCH_hotpath.json in CI), so
+// the hot-path perf trajectory — time AND allocs per query — accumulates
+// across commits.
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"time"
 
@@ -31,7 +36,51 @@ type serveConfig struct {
 	Space    gir.Space // query-space domain (box or Σw=1 simplex)
 }
 
-func runServe(cfg serveConfig, w io.Writer) error {
+// serveRow is one measured configuration, printed and serialized.
+type serveRow struct {
+	Name           string  `json:"name"`
+	ElapsedMS      float64 `json:"elapsed_ms"`
+	QPS            float64 `json:"qps"`
+	Queries        int     `json:"queries"`
+	Hits           int64   `json:"hits"`
+	Partial        int64   `json:"partial"`
+	Misses         int64   `json:"misses"`
+	PageReads      int64   `json:"page_reads"`
+	AllocsPerQuery float64 `json:"allocs_per_query"`
+	BytesPerQuery  float64 `json:"bytes_per_query"`
+}
+
+// serveReport is the -json artifact (BENCH_hotpath.json in CI).
+type serveReport struct {
+	Benchmark string       `json:"benchmark"`
+	Config    serveJConfig `json:"config"`
+	Rows      []serveRow   `json:"rows"`
+}
+
+type serveJConfig struct {
+	N        int     `json:"n"`
+	D        int     `json:"d"`
+	Seed     int64   `json:"seed"`
+	Stream   int     `json:"stream"`
+	Distinct int     `json:"distinct"`
+	ZipfS    float64 `json:"zipf_s"`
+	Jitter   float64 `json:"jitter"`
+	Space    string  `json:"space"`
+}
+
+// measureAllocs runs fn between two runtime.MemStats snapshots and
+// returns the heap allocations (count, bytes) it performed. Mallocs and
+// TotalAlloc are cumulative monotone counters, so the delta is exact
+// regardless of GC activity during the run.
+func measureAllocs(fn func() error) (allocs, bytes uint64, err error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	err = fn()
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, err
+}
+
+func runServe(cfg serveConfig, jsonPath string, w io.Writer) error {
 	pts := datagen.Independent(cfg.N, cfg.D, cfg.Seed)
 	raw := make([][]float64, len(pts))
 	for i, p := range pts {
@@ -50,21 +99,39 @@ func runServe(cfg serveConfig, w io.Writer) error {
 
 	fmt.Fprintf(w, "serving benchmark: n=%d d=%d space=%v, %d queries over %d distinct vectors (zipf s=%.2f, jitter %.3g), GOMAXPROCS=%d\n\n",
 		cfg.N, cfg.D, cfg.Space, cfg.Stream, cfg.Distinct, cfg.ZipfS, cfg.Jitter, runtime.GOMAXPROCS(0))
-	fmt.Fprintf(w, "%-22s %12s %12s %10s %10s %10s %12s\n",
-		"configuration", "elapsed", "queries/s", "hits", "partial", "misses", "page reads")
+	fmt.Fprintf(w, "%-22s %12s %12s %10s %10s %10s %12s %12s %12s\n",
+		"configuration", "elapsed", "queries/s", "hits", "partial", "misses", "page reads", "allocs/query", "B/query")
 
+	var rows []serveRow
 	row := func(name string, run func() (gir.EngineStats, error)) error {
 		ds.ResetIOStats()
+		var stats gir.EngineStats
 		start := time.Now()
-		stats, err := run()
+		allocs, bytes, err := measureAllocs(func() error {
+			var err error
+			stats, err = run()
+			return err
+		})
 		if err != nil {
 			return err
 		}
 		elapsed := time.Since(start)
-		qps := float64(cfg.Stream) / elapsed.Seconds()
-		fmt.Fprintf(w, "%-22s %12v %12.0f %10d %10d %10d %12d\n",
-			name, elapsed.Round(time.Millisecond), qps,
-			stats.CacheHits, stats.PartialHits, stats.Misses, ds.IOStats().PageReads)
+		r := serveRow{
+			Name:           name,
+			ElapsedMS:      float64(elapsed.Microseconds()) / 1000,
+			QPS:            float64(cfg.Stream) / elapsed.Seconds(),
+			Queries:        cfg.Stream,
+			Hits:           stats.CacheHits,
+			Partial:        stats.PartialHits,
+			Misses:         stats.Misses,
+			PageReads:      ds.IOStats().PageReads,
+			AllocsPerQuery: float64(allocs) / float64(max(1, cfg.Stream)),
+			BytesPerQuery:  float64(bytes) / float64(max(1, cfg.Stream)),
+		}
+		rows = append(rows, r)
+		fmt.Fprintf(w, "%-22s %12v %12.0f %10d %10d %10d %12d %12.1f %12.0f\n",
+			name, elapsed.Round(time.Millisecond), r.QPS,
+			r.Hits, r.Partial, r.Misses, r.PageReads, r.AllocsPerQuery, r.BytesPerQuery)
 		return nil
 	}
 
@@ -129,6 +196,26 @@ func runServe(cfg serveConfig, w io.Writer) error {
 	}
 	fmt.Fprintln(w, "every served result is exact: a cache hit is only taken when the query")
 	fmt.Fprintln(w, "vector lies inside the cached result's immutable region.")
+
+	if jsonPath != "" {
+		report := serveReport{
+			Benchmark: "girbench-serve",
+			Config: serveJConfig{
+				N: cfg.N, D: cfg.D, Seed: cfg.Seed, Stream: cfg.Stream,
+				Distinct: cfg.Distinct, ZipfS: cfg.ZipfS, Jitter: cfg.Jitter,
+				Space: cfg.Space.String(),
+			},
+			Rows: rows,
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
 	return nil
 }
 

@@ -43,6 +43,7 @@ func BenchmarkDrainBurst(b *testing.B) {
 
 	for _, burst := range []int{1, 8, 64} {
 		b.Run(fmt.Sprintf("B=%d", burst), func(b *testing.B) {
+			b.ReportAllocs()
 			version := int64(1)
 			nextID := int64(1 << 50)
 			for i := 0; i < b.N; i++ {

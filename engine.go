@@ -11,6 +11,7 @@ import (
 	engineint "github.com/girlib/gir/internal/engine"
 	"github.com/girlib/gir/internal/maintain"
 	"github.com/girlib/gir/internal/score"
+	"github.com/girlib/gir/internal/topk"
 	"github.com/girlib/gir/internal/vec"
 )
 
@@ -398,15 +399,34 @@ func (e *Engine) TopK(q []float64, k int) EngineResult {
 	return e.serveTopK(Query{Vector: q, K: k})
 }
 
+// TopKBuf is TopK with a caller-provided result buffer: a complete cache
+// hit is rescored into dst (grown only when cap(dst) < k), making the
+// warm path free of heap allocations; Records then aliases dst, which the
+// caller owns and may reuse on the next call. A miss or partial hit falls
+// through to the compute path and returns freshly allocated records, as
+// TopK does.
+func (e *Engine) TopKBuf(dst []Record, q []float64, k int) EngineResult {
+	return e.serveTopKBuf(dst, Query{Vector: q, K: k})
+}
+
 func (e *Engine) serveTopK(q Query) EngineResult {
+	return e.serveTopKBuf(nil, q)
+}
+
+func (e *Engine) serveTopKBuf(dst []Record, q Query) EngineResult {
 	if err := e.ds.validateQuery(q.Vector, q.K); err != nil {
 		return EngineResult{Err: err}
 	}
 	var partial bool
 	if e.cache != nil {
-		if hit, ok := e.cache.lookupVeto(q.Vector, q.K, e.fenceVeto()); ok {
-			if hit.Complete {
-				return EngineResult{Records: e.rescore(hit.Records, q.Vector), CacheHit: true}
+		if entry, complete, ok := e.cache.lookupEntry(q.Vector, q.K, e.fenceVeto()); ok {
+			if complete {
+				if cap(dst) < q.K {
+					dst = make([]Record, q.K)
+				}
+				dst = dst[:q.K]
+				rescoreInto(dst, entry.Records[:q.K], q.Vector)
+				return EngineResult{Records: dst, CacheHit: true}
 			}
 			partial = true // exact prefix exists; compute the full k fresh
 		}
@@ -525,17 +545,16 @@ func (e *Engine) serveGIR(q Query, m Method) EngineResult {
 	return EngineResult{Records: a.records, GIR: a.gir, Shared: shared}
 }
 
-// rescore rebuilds cache-hit records with scores for the incoming vector,
-// using the same linear dot product BRS scores with — so a served result
-// is bit-for-bit what a fresh TopK would have produced.
-func (e *Engine) rescore(recs []Record, q []float64) []Record {
-	out := make([]Record, len(recs))
+// rescoreInto rebuilds cache-hit records into dst with scores for the
+// incoming vector, using the same linear dot product BRS scores with — so
+// a served result is bit-for-bit what a fresh TopK would have produced.
+// It allocates nothing; dst must have len(recs).
+func rescoreInto(dst []Record, recs []topk.Record, q []float64) {
 	for i, r := range recs {
-		out[i] = Record{
+		dst[i] = Record{
 			ID:    r.ID,
-			Attrs: r.Attrs,
-			Score: score.Linear{}.Score(vec.Vector(r.Attrs), vec.Vector(q)),
+			Attrs: r.Point,
+			Score: score.Linear{}.Score(r.Point, vec.Vector(q)),
 		}
 	}
-	return out
 }

@@ -387,6 +387,7 @@ func BenchmarkEngineServing(b *testing.B) {
 			// Warm: first pass pays every GIR build outside the timer.
 			e.BatchTopK(queries)
 			var next atomic.Int64
+			b.ReportAllocs()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				for pb.Next() {
@@ -410,6 +411,7 @@ func BenchmarkBatchTopK(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			e := gir.NewEngine(ds, gir.EngineOptions{Workers: workers, CacheCapacity: -1})
 			defer e.Close()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				e.BatchTopK(queries)

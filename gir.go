@@ -396,6 +396,20 @@ func (ds *Dataset) TopKFunc(q []float64, k int, s Scoring) (*TopKResult, error) 
 	ds.mu.RLock()
 	res, err := ds.topKLocked(q, k, s)
 	ds.mu.RUnlock()
+	return wrapTopK(res, err, k)
+}
+
+// topKWith is TopK running on an explicitly threaded scratch workspace
+// (batch workers reuse one per worker instead of borrowing per query).
+func (ds *Dataset) topKWith(sc *topk.Scratch, q []float64, k int) (*TopKResult, error) {
+	ds.mu.RLock()
+	res, err := ds.topKLockedWith(sc, q, k, Linear)
+	ds.mu.RUnlock()
+	return wrapTopK(res, err, k)
+}
+
+// wrapTopK builds the public result from a BRS answer.
+func wrapTopK(res *topk.Result, err error, k int) (*TopKResult, error) {
 	if err != nil {
 		return nil, err
 	}
@@ -407,12 +421,32 @@ func (ds *Dataset) TopKFunc(q []float64, k int, s Scoring) (*TopKResult, error) 
 }
 
 // topKLocked validates and answers a query; the caller holds ds.mu, so
-// validation and traversal see one consistent tree state.
+// validation and traversal see one consistent tree state. The BRS runs on
+// a scratch borrowed from the package pool for just this call.
 func (ds *Dataset) topKLocked(q []float64, k int, s Scoring) (*topk.Result, error) {
 	if err := ds.validateLocked(q, k); err != nil {
 		return nil, err
 	}
 	return topk.BRS(ds.tree, s.function(ds.tree.Dim()), vec.Vector(q), k), nil
+}
+
+// topKLockedWith is topKLocked on an explicitly threaded scratch, for
+// callers that reuse one workspace across many queries (the engine's fill
+// path, batch workers).
+func (ds *Dataset) topKLockedWith(sc *topk.Scratch, q []float64, k int, s Scoring) (*topk.Result, error) {
+	if err := ds.validateLocked(q, k); err != nil {
+		return nil, err
+	}
+	return topk.BRSWith(sc, ds.tree, s.function(ds.tree.Dim()), vec.Vector(q), k), nil
+}
+
+// acquireScratch borrows a pooled BRS workspace sized for the current
+// tree, taking the read lock for the sizing reads (tree height changes
+// under mutation).
+func (ds *Dataset) acquireScratch() *topk.Scratch {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return topk.AcquireScratch(ds.tree)
 }
 
 // validateQuery checks a query vector and k against the dataset, with the

@@ -86,6 +86,7 @@ func BenchmarkLookupParallel(b *testing.B) {
 			for i := range fixtures {
 				c.Put(fixtures[i].reg, fixtures[i].recs)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				r := rand.New(rand.NewSource(1))
@@ -125,6 +126,7 @@ func BenchmarkPutParallel(b *testing.B) {
 	fixtures := buildFixtures(b, 16, 14)
 	b.Run("sharded", func(b *testing.B) {
 		c := New(8)
+		b.ReportAllocs()
 		b.ResetTimer()
 		b.RunParallel(func(pb *testing.PB) {
 			r := rand.New(rand.NewSource(1))

@@ -100,7 +100,7 @@ func fpPhase2(tree *rtree.Tree, res *topk.Result, st *Stats, pruner *phase1Prune
 					continue
 				}
 				key := res.Func.MaxScore(e.Rect.Lo, e.Rect.Hi, res.Query)
-				h.PushItem(topk.NodeItem{Key: key, Child: e.Child, Rect: e.Rect.Clone()})
+				h.PushItem(topk.NodeItem{Key: key, Child: e.Child, Rect: e.Rect})
 			}
 		}
 	}
@@ -144,7 +144,7 @@ func buildStar(tree *rtree.Tree, res *topk.Result, pk topk.Record, st *Stats) (*
 				res.T = append(res.T, rec)
 			} else {
 				key := res.Func.MaxScore(e.Rect.Lo, e.Rect.Hi, res.Query)
-				res.Heap.PushItem(topk.NodeItem{Key: key, Child: e.Child, Rect: e.Rect.Clone()})
+				res.Heap.PushItem(topk.NodeItem{Key: key, Child: e.Child, Rect: e.Rect})
 			}
 		}
 		star, err = hull.NewStar(pk.Point, seeds, ids)

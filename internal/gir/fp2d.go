@@ -115,7 +115,7 @@ func fp2dPhase2(tree *rtree.Tree, res *topk.Result, st *Stats) ([]Constraint, er
 				}
 			} else {
 				key := res.Func.MaxScore(e.Rect.Lo, e.Rect.Hi, res.Query)
-				h.PushItem(topk.NodeItem{Key: key, Child: e.Child, Rect: e.Rect.Clone()})
+				h.PushItem(topk.NodeItem{Key: key, Child: e.Child, Rect: e.Rect})
 			}
 		}
 	}

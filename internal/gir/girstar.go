@@ -225,7 +225,7 @@ func fpStarPhase(tree *rtree.Tree, res *topk.Result, anchors []topk.Record, st *
 					continue
 				}
 				key := res.Func.MaxScore(e.Rect.Lo, e.Rect.Hi, res.Query)
-				h.PushItem(topk.NodeItem{Key: key, Child: e.Child, Rect: e.Rect.Clone()})
+				h.PushItem(topk.NodeItem{Key: key, Child: e.Child, Rect: e.Rect})
 			}
 		}
 	}

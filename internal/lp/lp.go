@@ -210,7 +210,17 @@ func Solve(p *Problem) Solution {
 	}
 
 	// Count auxiliary columns. Rows are normalized so RHS ≥ 0 first, which
-	// may flip operators.
+	// may flip operators, then presolved: each row is equilibrated by an
+	// exact power of two so its largest coefficient magnitude lands in
+	// [0.5, 1) — multiplying by 2^−e introduces no rounding, and a
+	// well-scaled tableau keeps pivots away from the breakdown regime the
+	// NumericalFailure certificate guards against — and coefficients that
+	// are sub-epsilon at that scale (pure noise next to the row's real
+	// entries, e.g. the 3e-10 beside 0.19s in corpus entry
+	// 229d1b270705bacf) are dropped before they can be picked as pivots.
+	// Dropping is safe: if a discarded coefficient ever mattered, the
+	// post-solve feasibility certificate against the ORIGINAL constraints
+	// rejects the solution.
 	type rowSpec struct {
 		coef []float64
 		op   Op
@@ -219,18 +229,38 @@ func Solve(p *Problem) Solution {
 	rows := make([]rowSpec, m)
 	nSlack, nArt := 0, 0
 	for i, con := range p.Constraints {
-		coef, op, rhs := con.Coef, con.Op, con.RHS
+		op, rhs := con.Op, con.RHS
+		coef := append([]float64(nil), con.Coef...)
 		if rhs < 0 {
-			nc := make([]float64, n)
-			for j, v := range coef {
-				nc[j] = -v
+			for j := range coef {
+				coef[j] = -coef[j]
 			}
-			coef, rhs = nc, -rhs
+			rhs = -rhs
 			switch op {
 			case LE:
 				op = GE
 			case GE:
 				op = LE
+			}
+		}
+		maxab := 0.0
+		for _, v := range coef {
+			if a := math.Abs(v); a > maxab {
+				maxab = a
+			}
+		}
+		if maxab > 0 {
+			if _, exp := math.Frexp(maxab); exp != 0 {
+				s := math.Ldexp(1, -exp)
+				for j := range coef {
+					coef[j] *= s
+				}
+				rhs *= s
+			}
+			for j, v := range coef {
+				if v != 0 && math.Abs(v) < eps {
+					coef[j] = 0
+				}
 			}
 		}
 		rows[i] = rowSpec{coef, op, rhs}

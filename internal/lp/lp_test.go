@@ -225,3 +225,55 @@ func TestStatusString(t *testing.T) {
 		}
 	}
 }
+
+func TestPresolveDropsSubEpsilonCoefficients(t *testing.T) {
+	// The ill-conditioned shape of corpus entry 229d1b270705bacf: a row
+	// whose tiny leading coefficient is pure noise next to its real
+	// entries. Presolve equilibrates the row and zeroes the noise term, so
+	// the solver never pivots on it; the solve must either answer
+	// correctly or refuse — never report a phantom optimum.
+	cons := []Constraint{
+		{Coef: []float64{3e-10, -0.19, -0.19}, Op: GE, RHS: 0},
+		{Coef: []float64{1, 0, 0}, Op: LE, RHS: 1},
+		{Coef: []float64{0, 1, 0}, Op: LE, RHS: 1},
+		{Coef: []float64{0, 0, 1}, Op: LE, RHS: 1},
+	}
+	sol := Maximize([]float64{0, 1, 1}, cons)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	// With the noise term dropped the first row reads −0.19(y+z) ≥ 0,
+	// i.e. y + z ≤ 0; with y, z ≥ 0 the maximum of y+z is 0.
+	if math.Abs(sol.Objective) > 1e-7 {
+		t.Errorf("objective = %v, want 0 (noise floor)", sol.Objective)
+	}
+}
+
+func TestPresolveDoesNotMutateCallerRows(t *testing.T) {
+	coef := []float64{1e-12, 2, -4}
+	orig := append([]float64(nil), coef...)
+	Solve(&Problem{NumVars: 3, Constraints: []Constraint{
+		{Coef: coef, Op: LE, RHS: 8},
+	}})
+	for j := range coef {
+		if coef[j] != orig[j] {
+			t.Fatalf("Solve mutated caller coefficients: %v != %v", coef, orig)
+		}
+	}
+}
+
+func TestPresolveScalingPreservesSolution(t *testing.T) {
+	// A badly scaled system (rows spanning ten orders of magnitude) must
+	// solve to the same optimum as its well-scaled equivalent.
+	sol := Maximize([]float64{3, 5}, []Constraint{
+		{Coef: []float64{1e8, 0}, Op: LE, RHS: 4e8},
+		{Coef: []float64{0, 2e-6}, Op: LE, RHS: 12e-6},
+		{Coef: []float64{3e4, 2e4}, Op: LE, RHS: 18e4},
+	})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-36) > 1e-6 {
+		t.Errorf("objective = %v, want 36", sol.Objective)
+	}
+}

@@ -171,6 +171,10 @@ const nodeHeader = 4 // leaf flag (1) + entry count (2) + pad (1)
 // Capacities derive from the 4 KiB page size:
 // leaf entry    = recID (8) + d·8 bytes,
 // internal entry = child (4) + 2d·8 bytes.
+// Leaf pages store their entries column-major (all recIDs, then all
+// coordinates of dimension 0, then dimension 1, …) so a scoring kernel can
+// run over each dimension's contiguous float64 block; the per-entry byte
+// budget — and hence the fan-out — is unchanged.
 func capacities(d int) (maxLeaf, maxInt int) {
 	maxLeaf = (pager.PageSize - nodeHeader) / (8 + 8*d)
 	maxInt = (pager.PageSize - nodeHeader) / (4 + 16*d)
@@ -263,13 +267,17 @@ func (t *Tree) writeNode(n *Node) {
 	buf = append(buf, flag)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(n.Entries)))
 	buf = append(buf, 0)
-	for _, e := range n.Entries {
-		if n.Leaf {
+	if n.Leaf {
+		for _, e := range n.Entries {
 			buf = binary.LittleEndian.AppendUint64(buf, uint64(e.RecID))
-			for i := 0; i < t.dim; i++ {
-				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Rect.Lo[i]))
+		}
+		for j := 0; j < t.dim; j++ {
+			for _, e := range n.Entries {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Rect.Lo[j]))
 			}
-		} else {
+		}
+	} else {
+		for _, e := range n.Entries {
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Child))
 			for i := 0; i < t.dim; i++ {
 				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Rect.Lo[i]))
@@ -287,33 +295,139 @@ func (t *Tree) decode(id pager.PageID, buf []byte) *Node {
 	count := int(binary.LittleEndian.Uint16(buf[1:3]))
 	off := nodeHeader
 	n.Entries = make([]Entry, count)
-	for i := 0; i < count; i++ {
-		if n.Leaf {
+	if n.Leaf {
+		for i := 0; i < count; i++ {
 			recID := int64(binary.LittleEndian.Uint64(buf[off:]))
 			off += 8
-			p := make(vec.Vector, t.dim)
-			for j := 0; j < t.dim; j++ {
-				p[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
-				off += 8
-			}
-			n.Entries[i] = Entry{Rect: PointRect(p), RecID: recID}
-		} else {
-			child := pager.PageID(binary.LittleEndian.Uint32(buf[off:]))
-			off += 4
-			lo := make(vec.Vector, t.dim)
-			hi := make(vec.Vector, t.dim)
-			for j := 0; j < t.dim; j++ {
-				lo[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
-				off += 8
-			}
-			for j := 0; j < t.dim; j++ {
-				hi[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
-				off += 8
-			}
-			n.Entries[i] = Entry{Rect: Rect{Lo: lo, Hi: hi}, Child: child}
+			n.Entries[i] = Entry{Rect: PointRect(make(vec.Vector, t.dim)), RecID: recID}
 		}
+		for j := 0; j < t.dim; j++ {
+			for i := 0; i < count; i++ {
+				n.Entries[i].Rect.Lo[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+				off += 8
+			}
+		}
+		return n
+	}
+	for i := 0; i < count; i++ {
+		child := pager.PageID(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		lo := make(vec.Vector, t.dim)
+		hi := make(vec.Vector, t.dim)
+		for j := 0; j < t.dim; j++ {
+			lo[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		for j := 0; j < t.dim; j++ {
+			hi[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		n.Entries[i] = Entry{Rect: Rect{Lo: lo, Hi: hi}, Child: child}
 	}
 	return n
+}
+
+// NodeBlock is a reusable decoded view of one node page, the zero-copy
+// counterpart of Node for hot traversal loops. A leaf block exposes its
+// records column-major — Cols[j][i] is coordinate j of record i, each
+// Cols[j] a contiguous float64 slice — which is what lets a linear scorer
+// process a whole leaf with branch-free dot-product accumulation. An
+// internal block exposes children plus flattened MBBs (entry i's box is
+// Lo[i*d:(i+1)*d], Hi[i*d:(i+1)*d]).
+//
+// All slices alias buffers owned by the block and are overwritten by the
+// next ReadBlock into it; callers that retain coordinates must copy them.
+type NodeBlock struct {
+	ID    pager.PageID
+	Leaf  bool
+	Count int
+
+	// Leaf view.
+	RecIDs []int64
+	Cols   [][]float64
+
+	// Internal view.
+	Children []pager.PageID
+	Lo, Hi   []float64 // Count×d, row-major per entry
+
+	idbuf  []int64
+	colbuf []float64 // backing for Cols (d contiguous columns)
+	chbuf  []pager.PageID
+	lobuf  []float64
+	hibuf  []float64
+}
+
+// ReadBlock fetches a node page (a counted disk read) and decodes it into
+// blk, reusing blk's buffers across calls. It returns blk.
+func (t *Tree) ReadBlock(id pager.PageID, blk *NodeBlock) *NodeBlock {
+	buf := t.store.Read(id)
+	d := t.dim
+	blk.ID = id
+	blk.Leaf = buf[0] == 1
+	count := int(binary.LittleEndian.Uint16(buf[1:3]))
+	blk.Count = count
+	off := nodeHeader
+	if blk.Leaf {
+		blk.Children, blk.Lo, blk.Hi = nil, nil, nil
+		if cap(blk.idbuf) < count {
+			blk.idbuf = make([]int64, count)
+		}
+		if cap(blk.colbuf) < count*d {
+			blk.colbuf = make([]float64, count*d)
+		}
+		if cap(blk.Cols) < d {
+			blk.Cols = make([][]float64, d)
+		}
+		blk.RecIDs = blk.idbuf[:count]
+		blk.Cols = blk.Cols[:d]
+		for i := 0; i < count; i++ {
+			blk.RecIDs[i] = int64(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		for j := 0; j < d; j++ {
+			col := blk.colbuf[j*count : (j+1)*count]
+			for i := 0; i < count; i++ {
+				col[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+				off += 8
+			}
+			blk.Cols[j] = col
+		}
+		return blk
+	}
+	blk.RecIDs, blk.Cols = nil, nil
+	if cap(blk.chbuf) < count {
+		blk.chbuf = make([]pager.PageID, count)
+	}
+	if cap(blk.lobuf) < count*d {
+		blk.lobuf = make([]float64, count*d)
+		blk.hibuf = make([]float64, count*d)
+	}
+	blk.Children = blk.chbuf[:count]
+	blk.Lo = blk.lobuf[:count*d]
+	blk.Hi = blk.hibuf[:count*d]
+	for i := 0; i < count; i++ {
+		blk.Children[i] = pager.PageID(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		for j := 0; j < d; j++ {
+			blk.Lo[i*d+j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		for j := 0; j < d; j++ {
+			blk.Hi[i*d+j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+	}
+	return blk
+}
+
+// Point gathers record i of a leaf block into dst (len ≥ d) and returns
+// dst[:d].
+func (b *NodeBlock) Point(i int, dst []float64) []float64 {
+	dst = dst[:len(b.Cols)]
+	for j, col := range b.Cols {
+		dst[j] = col[i]
+	}
+	return dst
 }
 
 // RangeSearch returns the record ids of all points inside query

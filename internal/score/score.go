@@ -45,6 +45,17 @@ type Function interface {
 	Transform(p vec.Vector) vec.Vector
 }
 
+// LeafScorer is an optional bulk fast path a General may implement: score
+// every record of a column-major leaf block (cols[j][i] = coordinate j of
+// record i) into dst in one pass. Implementations must produce exactly the
+// values the per-record Score loop would — callers treat the two paths as
+// interchangeable, and result byte-identity depends on it. Functions
+// without a profitable bulk form (Polynomial, Mixed, Leontief) simply
+// don't implement it and are scored record by record.
+type LeafScorer interface {
+	ScoreLeaf(dst []float64, cols [][]float64, q vec.Vector)
+}
+
 // Leontief is a weighted-minimum scoring function S(p,q) = min_i(w_i·p_i)
 // — monotone but NOT separable, so its immutable region is a general
 // convex-ish set rather than a half-space intersection. It exists to
@@ -79,6 +90,13 @@ func (Linear) Score(p, q vec.Vector) float64 { return vec.Dot(q, p) }
 
 // MaxScore implements Function.
 func (Linear) MaxScore(_, hi, q vec.Vector) float64 { return vec.Dot(q, hi) }
+
+// ScoreLeaf implements LeafScorer: dst[i] = q·p_i over the whole leaf,
+// bit-identical to the per-record Score loop (vec.DotColumns accumulates
+// dimensions in Dot's order).
+func (Linear) ScoreLeaf(dst []float64, cols [][]float64, q vec.Vector) {
+	vec.DotColumns(dst, q, cols)
+}
 
 // Name implements Function.
 func (Linear) Name() string { return "Linear" }

@@ -79,23 +79,32 @@ func InMemory(recs []topk.Record) *Set {
 // search heap, consuming the heap. Nodes whose MBB top corner is dominated
 // by a current member are pruned without a disk read — nothing beneath
 // them can join the skyline or evict a member.
+//
+// Pages stream through one reusable NodeBlock; entries that survive the
+// dominance check are copied out of it (inserted points and pushed MBBs
+// must outlive the next page read), while pruned entries cost nothing.
 func BBS(tree *rtree.Tree, f score.General, q vec.Vector, h *topk.NodeHeap, s *Set) {
+	var blk rtree.NodeBlock
 	for h.Len() > 0 {
 		it := h.PopItem()
 		if s.DominatedBy(it.Rect.Hi) {
 			continue
 		}
-		n := tree.ReadNode(it.Child)
-		for _, e := range n.Entries {
-			if n.Leaf {
-				p := e.Point()
-				s.Insert(topk.Record{ID: e.RecID, Point: p, Score: f.Score(p, q)})
+		tree.ReadBlock(it.Child, &blk)
+		d := tree.Dim()
+		for i := 0; i < blk.Count; i++ {
+			if blk.Leaf {
+				p := make(vec.Vector, d)
+				blk.Point(i, p)
+				s.Insert(topk.Record{ID: blk.RecIDs[i], Point: p, Score: f.Score(p, q)})
 			} else {
-				if s.DominatedBy(e.Rect.Hi) {
+				lo := vec.Vector(blk.Lo[i*d : (i+1)*d])
+				hi := vec.Vector(blk.Hi[i*d : (i+1)*d])
+				if s.DominatedBy(hi) {
 					continue
 				}
-				key := f.MaxScore(e.Rect.Lo, e.Rect.Hi, q)
-				h.PushItem(topk.NodeItem{Key: key, Child: e.Child, Rect: e.Rect.Clone()})
+				key := f.MaxScore(lo, hi, q)
+				h.PushItem(topk.NodeItem{Key: key, Child: blk.Children[i], Rect: rtree.Rect{Lo: lo.Clone(), Hi: hi.Clone()}})
 			}
 		}
 	}
@@ -121,22 +130,29 @@ func OfNonResultLimited(tree *rtree.Tree, res *topk.Result, limit int) (*Set, bo
 		return s, false
 	}
 	h := res.Heap
+	var blk rtree.NodeBlock
+	d := tree.Dim()
 	for h.Len() > 0 {
 		it := h.PopItem()
 		if s.DominatedBy(it.Rect.Hi) {
 			continue
 		}
-		n := tree.ReadNode(it.Child)
-		for _, e := range n.Entries {
-			if n.Leaf {
-				p := e.Point()
-				s.Insert(topk.Record{ID: e.RecID, Point: p, Score: res.Func.Score(p, res.Query)})
+		tree.ReadBlock(it.Child, &blk)
+		for i := 0; i < blk.Count; i++ {
+			if blk.Leaf {
+				p := make(vec.Vector, d)
+				blk.Point(i, p)
+				s.Insert(topk.Record{ID: blk.RecIDs[i], Point: p, Score: res.Func.Score(p, res.Query)})
 				if len(s.Records) > limit {
 					return s, false
 				}
-			} else if !s.DominatedBy(e.Rect.Hi) {
-				key := res.Func.MaxScore(e.Rect.Lo, e.Rect.Hi, res.Query)
-				h.PushItem(topk.NodeItem{Key: key, Child: e.Child, Rect: e.Rect.Clone()})
+			} else {
+				lo := vec.Vector(blk.Lo[i*d : (i+1)*d])
+				hi := vec.Vector(blk.Hi[i*d : (i+1)*d])
+				if !s.DominatedBy(hi) {
+					key := res.Func.MaxScore(lo, hi, res.Query)
+					h.PushItem(topk.NodeItem{Key: key, Child: blk.Children[i], Rect: rtree.Rect{Lo: lo.Clone(), Hi: hi.Clone()}})
+				}
 			}
 		}
 	}

@@ -1,0 +1,152 @@
+package topk
+
+import (
+	"github.com/girlib/gir/internal/pager"
+	"github.com/girlib/gir/internal/rtree"
+)
+
+// This file holds the two typed max-heaps of the hot path. Both inline the
+// classic sift-up/sift-down on concrete element types instead of going
+// through container/heap's interface{} API: no boxing allocation per push,
+// no dynamic dispatch per comparison. The sift algorithms mirror
+// container/heap operation for operation — same parent/child selection,
+// same tie behaviour — so an identical push/pop sequence leaves the
+// backing array in the identical order. Downstream determinism (the order
+// of T, the layout of the resumable heap) depends on that equivalence.
+
+// NodeItem is a pending R-tree node in a search heap, keyed by the node's
+// maxscore (the upper bound of any record's score beneath it).
+type NodeItem struct {
+	Key   float64
+	Child pager.PageID
+	Rect  rtree.Rect
+}
+
+// NodeHeap is a max-heap of NodeItems keyed by maxscore. It is exported
+// because the GIR algorithms (BBS skyline and FP refinement) continue
+// popping the heap BRS leaves behind.
+type NodeHeap []NodeItem
+
+// Len returns the number of pending items.
+func (h NodeHeap) Len() int { return len(h) }
+
+func (h NodeHeap) less(i, j int) bool { return h[i].Key > h[j].Key }
+
+func (h NodeHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h NodeHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2 // right child
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+// PushItem pushes with heap maintenance.
+func (h *NodeHeap) PushItem(it NodeItem) {
+	*h = append(*h, it)
+	h.up(len(*h) - 1)
+}
+
+// PopItem pops the max-key item.
+func (h *NodeHeap) PopItem() NodeItem {
+	old := *h
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	old.down(0, n)
+	it := old[n]
+	*h = old[:n]
+	return it
+}
+
+// Init establishes the heap invariant (after bulk construction).
+func (h *NodeHeap) Init() {
+	n := len(*h)
+	for i := n/2 - 1; i >= 0; i-- {
+		(*h).down(i, n)
+	}
+}
+
+// brsItem is the mixed record/node entry of the BRS search heap. Instead
+// of owning vectors it holds an offset into the Scratch arena: a record's
+// point occupies d floats at ref, a node's MBB occupies 2d floats (lo
+// then hi). Offsets stay valid as the arena grows by append, which
+// pointers into it would not.
+type brsItem struct {
+	key   float64
+	id    int64        // record id (record items)
+	child pager.PageID // child page (node items)
+	ref   int32        // arena offset of the point / lo+hi pair
+	node  bool
+}
+
+// brsHeap is a max-heap of brsItems on key, same sift discipline as
+// NodeHeap.
+type brsHeap []brsItem
+
+func (h brsHeap) less(i, j int) bool { return h[i].key > h[j].key }
+
+func (h brsHeap) up(j int) {
+	for {
+		i := (j - 1) / 2
+		if i == j || !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h brsHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+func (h *brsHeap) push(it brsItem) {
+	*h = append(*h, it)
+	h.up(len(*h) - 1)
+}
+
+func (h *brsHeap) pop() brsItem {
+	old := *h
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	old.down(0, n)
+	it := old[n]
+	*h = old[:n]
+	return it
+}

@@ -1,0 +1,86 @@
+package topk
+
+import (
+	"sync"
+
+	"github.com/girlib/gir/internal/rtree"
+)
+
+// Scratch is the pooled per-query workspace of the BRS hot path: the
+// search heap, the float64 arena behind its items, the reusable decoded
+// page block, and the per-leaf scoring buffers. One BRS run touches no
+// other transient memory, so a recycled Scratch makes the cold path
+// O(1) amortized allocations.
+//
+// Ownership rule: everything inside a Scratch is private to the BRS call
+// using it. BRSWith deep-copies whatever outlives the call (Records, T,
+// the resumable heap, the query) into freshly allocated slabs before
+// returning, so a Result — and any cache entry built from it — never
+// aliases pooled memory. Release only after the call that used the
+// scratch has returned.
+type Scratch struct {
+	heap   brsHeap
+	arena  []float64 // backing store for heap item points / rects
+	top    []brsItem // the popped top-k, in pop order
+	blk    rtree.NodeBlock
+	point  []float64 // gather buffer for per-record scoring
+	scores []float64 // per-leaf bulk scoring buffer
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(Scratch) }}
+
+// AcquireScratch returns a workspace sized for queries over tree. Reused
+// scratches keep their grown capacity; fresh ones are pre-sized from the
+// tree's fan-out and height so the first query does not grow them either.
+func AcquireScratch(tree *rtree.Tree) *Scratch {
+	s := scratchPool.Get().(*Scratch)
+	d := tree.Dim()
+	// A BRS frontier holds at most one expanded node's entries per level
+	// plus the not-yet-popped remainder; fan-out × (height+1) is a
+	// comfortable over-estimate for the common k ≪ n case.
+	est := (tree.MaxLeafEntries() + tree.MaxInternalEntries()) * (tree.Height() + 1)
+	if cap(s.heap) < est {
+		s.heap = make(brsHeap, 0, est)
+	}
+	if cap(s.arena) < est*2*d {
+		s.arena = make([]float64, 0, est*2*d)
+	}
+	if cap(s.point) < d {
+		s.point = make([]float64, d)
+	}
+	if cap(s.scores) < tree.MaxLeafEntries() {
+		s.scores = make([]float64, tree.MaxLeafEntries())
+	}
+	return s
+}
+
+// Release returns the scratch to the pool. The caller must not touch it —
+// or anything still aliasing its buffers — afterwards.
+func (s *Scratch) Release() {
+	scratchPool.Put(s)
+}
+
+func (s *Scratch) reset() {
+	s.heap = s.heap[:0]
+	s.arena = s.arena[:0]
+	s.top = s.top[:0]
+}
+
+// putPoint copies record i of a leaf block into the arena, returning its
+// offset.
+func (s *Scratch) putPoint(blk *rtree.NodeBlock, i int) int32 {
+	ref := int32(len(s.arena))
+	for _, col := range blk.Cols {
+		s.arena = append(s.arena, col[i])
+	}
+	return ref
+}
+
+// putRect copies a node's lo and hi corners into the arena, returning the
+// offset of lo (hi follows at ref+d).
+func (s *Scratch) putRect(lo, hi []float64) int32 {
+	ref := int32(len(s.arena))
+	s.arena = append(s.arena, lo...)
+	s.arena = append(s.arena, hi...)
+	return ref
+}

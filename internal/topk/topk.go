@@ -8,10 +8,14 @@
 // entries not yet expanded. Phase 2 (SP/CP via BBS, or FP's refinement
 // step) resumes the traversal from that heap, so no page is ever read
 // twice.
+//
+// The search runs entirely on a pooled Scratch workspace (typed heaps, a
+// float64 arena, reusable page blocks); the Result handed back is
+// materialized into freshly allocated slabs at the end, so it owns all of
+// its memory and the scratch can be recycled immediately.
 package topk
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -28,40 +32,6 @@ type Record struct {
 	Score float64
 }
 
-// NodeItem is a pending R-tree node in a search heap, keyed by the node's
-// maxscore (the upper bound of any record's score beneath it).
-type NodeItem struct {
-	Key   float64
-	Child pager.PageID
-	Rect  rtree.Rect
-}
-
-// NodeHeap is a max-heap of NodeItems keyed by maxscore. It is exported
-// because the GIR algorithms (BBS skyline and FP refinement) continue
-// popping the heap BRS leaves behind.
-type NodeHeap []NodeItem
-
-func (h NodeHeap) Len() int            { return len(h) }
-func (h NodeHeap) Less(i, j int) bool  { return h[i].Key > h[j].Key }
-func (h NodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *NodeHeap) Push(x interface{}) { *h = append(*h, x.(NodeItem)) }
-func (h *NodeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
-
-// PushItem pushes with heap maintenance.
-func (h *NodeHeap) PushItem(it NodeItem) { heap.Push(h, it) }
-
-// PopItem pops the max-key item.
-func (h *NodeHeap) PopItem() NodeItem { return heap.Pop(h).(NodeItem) }
-
-// Init establishes the heap invariant (after bulk construction).
-func (h *NodeHeap) Init() { heap.Init(h) }
-
 // Result carries the top-k answer plus the retained traversal state.
 type Result struct {
 	Query   vec.Vector
@@ -75,79 +45,122 @@ type Result struct {
 // Kth returns the k-th (last) result record.
 func (r *Result) Kth() Record { return r.Records[len(r.Records)-1] }
 
-// item is the mixed record/node heap entry used inside BRS.
-type item struct {
-	key    float64
-	isNode bool
-	node   NodeItem
-	rec    Record
-}
-
-type brsHeap []item
-
-func (h brsHeap) Len() int            { return len(h) }
-func (h brsHeap) Less(i, j int) bool  { return h[i].key > h[j].key }
-func (h brsHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *brsHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
-func (h *brsHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
-
 // BRS answers the top-k query over the tree with scoring function f and
-// query vector q. It panics if k exceeds the dataset size or is not
-// positive.
+// query vector q, using a pooled scratch workspace. It panics if k exceeds
+// the dataset size or is not positive.
 func BRS(tree *rtree.Tree, f score.General, q vec.Vector, k int) *Result {
+	s := AcquireScratch(tree)
+	defer s.Release()
+	return BRSWith(s, tree, f, q, k)
+}
+
+// BRSWith is BRS running on an explicitly provided scratch, for callers
+// that thread one workspace through many queries (the engine's serving
+// loop, batch workers). The returned Result owns all of its memory; s can
+// be reused for the next query as soon as BRSWith returns.
+func BRSWith(s *Scratch, tree *rtree.Tree, f score.General, q vec.Vector, k int) *Result {
 	if k <= 0 || k > tree.Len() {
 		panic(fmt.Sprintf("topk: k=%d out of range for %d records", k, tree.Len()))
 	}
 	if len(q) != tree.Dim() {
 		panic("topk: query dimensionality mismatch")
 	}
-	res := &Result{Query: q.Clone(), K: k, Func: f, Heap: &NodeHeap{}}
+	d := tree.Dim()
+	s.reset()
+	ls, bulk := f.(score.LeafScorer)
 
-	h := &brsHeap{}
-	root := tree.ReadNode(tree.Root())
-	pushNode := func(n *rtree.Node) {
-		for _, e := range n.Entries {
-			if n.Leaf {
-				rec := Record{ID: e.RecID, Point: e.Point(), Score: f.Score(e.Point(), q)}
-				heap.Push(h, item{key: rec.Score, rec: rec})
+	pushBlock := func(blk *rtree.NodeBlock) {
+		n := blk.Count
+		if blk.Leaf {
+			sc := s.scores[:n]
+			if bulk {
+				ls.ScoreLeaf(sc, blk.Cols, q)
 			} else {
-				key := f.MaxScore(e.Rect.Lo, e.Rect.Hi, q)
-				heap.Push(h, item{key: key, isNode: true, node: NodeItem{Key: key, Child: e.Child, Rect: e.Rect.Clone()}})
+				for i := 0; i < n; i++ {
+					sc[i] = f.Score(blk.Point(i, s.point), q)
+				}
 			}
+			for i := 0; i < n; i++ {
+				s.heap.push(brsItem{key: sc[i], id: blk.RecIDs[i], ref: s.putPoint(blk, i)})
+			}
+			return
+		}
+		for i := 0; i < n; i++ {
+			lo := vec.Vector(blk.Lo[i*d : (i+1)*d])
+			hi := vec.Vector(blk.Hi[i*d : (i+1)*d])
+			key := f.MaxScore(lo, hi, q)
+			s.heap.push(brsItem{key: key, child: blk.Children[i], node: true, ref: s.putRect(lo, hi)})
 		}
 	}
-	pushNode(root)
+	pushBlock(tree.ReadBlock(tree.Root(), &s.blk))
 
-	for h.Len() > 0 && len(res.Records) < k {
-		it := heap.Pop(h).(item)
-		if it.isNode {
-			pushNode(tree.ReadNode(it.node.Child))
+	for len(s.heap) > 0 && len(s.top) < k {
+		it := s.heap.pop()
+		if it.node {
+			pushBlock(tree.ReadBlock(it.child, &s.blk))
 			continue
 		}
 		// A record popped from a max-heap on maxscore is the best
 		// unreported record overall (I/O optimality of BRS).
-		res.Records = append(res.Records, it.rec)
+		s.top = append(s.top, it)
 	}
-	if len(res.Records) < k {
+	if len(s.top) < k {
 		panic("topk: heap exhausted before k records (corrupt index)")
 	}
+	return s.materialize(f, q, d, k)
+}
 
-	// Retain state for Phase 2: leftover records form T, leftover node
-	// entries form the resumable search heap.
-	for _, it := range *h {
-		if it.isNode {
-			*res.Heap = append(*res.Heap, it.node)
+// materialize deep-copies the search state into a freshly allocated
+// Result: two slabs (one for every retained point including the query,
+// one for the resumable heap's rectangles) plus the slices over them.
+// Leftover heap items are visited in array order — record items form T
+// (sorted by score afterwards), node items form the resumable heap
+// (re-heapified with Init) — exactly the retention the per-item
+// allocating implementation performed, so results are byte-identical.
+func (s *Scratch) materialize(f score.General, q vec.Vector, d, k int) *Result {
+	nT, nH := 0, 0
+	for _, it := range s.heap {
+		if it.node {
+			nH++
 		} else {
-			res.T = append(res.T, it.rec)
+			nT++
 		}
 	}
-	res.Heap.Init()
+	pts := make([]float64, (1+k+nT)*d)
+	next := func() vec.Vector {
+		v := vec.Vector(pts[:d])
+		pts = pts[d:]
+		return v
+	}
+
+	res := &Result{K: k, Func: f, Query: next()}
+	copy(res.Query, q)
+	res.Records = make([]Record, k)
+	for i, it := range s.top {
+		p := next()
+		copy(p, s.arena[it.ref:int(it.ref)+d])
+		res.Records[i] = Record{ID: it.id, Point: p, Score: it.key}
+	}
+	if nT > 0 {
+		res.T = make([]Record, 0, nT)
+	}
+	hp := make(NodeHeap, 0, nH)
+	rects := make([]float64, nH*2*d)
+	for _, it := range s.heap {
+		if it.node {
+			lo, hi := vec.Vector(rects[:d]), vec.Vector(rects[d:2*d])
+			rects = rects[2*d:]
+			copy(lo, s.arena[it.ref:int(it.ref)+d])
+			copy(hi, s.arena[int(it.ref)+d:int(it.ref)+2*d])
+			hp = append(hp, NodeItem{Key: it.key, Child: it.child, Rect: rtree.Rect{Lo: lo, Hi: hi}})
+		} else {
+			p := next()
+			copy(p, s.arena[it.ref:int(it.ref)+d])
+			res.T = append(res.T, Record{ID: it.id, Point: p, Score: it.key})
+		}
+	}
+	hp.Init()
+	res.Heap = &hp
 	// T in decreasing score order (deterministic downstream behaviour).
 	sort.Slice(res.T, func(i, j int) bool { return res.T[i].Score > res.T[j].Score })
 	return res
@@ -157,16 +170,38 @@ func BRS(tree *rtree.Tree, f score.General, q vec.Vector, k int) *Result {
 // all leaf pages. Used by tests and as the paper's "scan the dataset"
 // strawman baseline.
 func Scan(tree *rtree.Tree, f score.General, q vec.Vector, k int) []Record {
+	d := tree.Dim()
+	ls, bulk := f.(score.LeafScorer)
 	var all []Record
+	var scores []float64
 	var walk func(id pager.PageID)
 	walk = func(id pager.PageID) {
-		n := tree.ReadNode(id)
-		for _, e := range n.Entries {
-			if n.Leaf {
-				all = append(all, Record{ID: e.RecID, Point: e.Point(), Score: f.Score(e.Point(), q)})
-			} else {
-				walk(e.Child)
+		var blk rtree.NodeBlock
+		tree.ReadBlock(id, &blk)
+		if !blk.Leaf {
+			for _, child := range blk.Children {
+				walk(child)
 			}
+			return
+		}
+		n := blk.Count
+		if cap(scores) < n {
+			scores = make([]float64, n)
+		}
+		sc := scores[:n]
+		if bulk {
+			ls.ScoreLeaf(sc, blk.Cols, q)
+			for i := 0; i < n; i++ {
+				p := make(vec.Vector, d)
+				blk.Point(i, p)
+				all = append(all, Record{ID: blk.RecIDs[i], Point: p, Score: sc[i]})
+			}
+			return
+		}
+		for i := 0; i < n; i++ {
+			p := make(vec.Vector, d)
+			blk.Point(i, p)
+			all = append(all, Record{ID: blk.RecIDs[i], Point: p, Score: f.Score(p, q)})
 		}
 	}
 	walk(tree.Root())

@@ -69,6 +69,26 @@ func AXPY(c float64, x, y Vector) {
 	}
 }
 
+// DotColumns scores a column-major block of points against q:
+// dst[i] = Σ_j q[j]·cols[j][i] for every point i. Each cols[j] holds
+// coordinate j of every point contiguously (an R-tree leaf page's layout),
+// so the inner loops are branch-free streams over dense float64 slices.
+//
+// The accumulation visits dimensions in the same order as Dot, adding
+// q[j]·p[j] terms for j = 0..d−1, so every dst[i] is bit-identical to
+// Dot(q, p_i).
+func DotColumns(dst []float64, q Vector, cols [][]float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for j, w := range q {
+		col := cols[j][:len(dst)]
+		for i := range dst {
+			dst[i] += w * col[i]
+		}
+	}
+}
+
 // Norm returns the Euclidean norm of v.
 func Norm(v Vector) float64 {
 	var s float64

@@ -171,17 +171,22 @@ type BatchResult struct {
 // should use.
 func (ds *Dataset) ComputeGIRBatch(items []BatchItem, m Method, parallelism int) []BatchResult {
 	out := make([]BatchResult, len(items))
-	engine.Fan(len(items), parallelism, func(i int) {
-		it := items[i]
-		res, err := ds.TopK(it.Query, it.K)
-		if err != nil {
-			out[i] = BatchResult{Item: it, Err: err}
-			return
-		}
-		// Keep an unconsumed copy of the records for the caller.
-		public := &TopKResult{Records: res.Records, K: res.K}
-		g, err := ds.ComputeGIR(res, m)
-		out[i] = BatchResult{Item: it, Result: public, GIR: g, Err: err}
+	engine.FanScoped(len(items), parallelism, func() (func(int), func()) {
+		// One pooled BRS scratch per worker, reused across every item the
+		// worker serves.
+		sc := ds.acquireScratch()
+		return func(i int) {
+			it := items[i]
+			res, err := ds.topKWith(sc, it.Query, it.K)
+			if err != nil {
+				out[i] = BatchResult{Item: it, Err: err}
+				return
+			}
+			// Keep an unconsumed copy of the records for the caller.
+			public := &TopKResult{Records: res.Records, K: res.K}
+			g, err := ds.ComputeGIR(res, m)
+			out[i] = BatchResult{Item: it, Result: public, GIR: g, Err: err}
+		}, sc.Release
 	})
 	return out
 }

@@ -124,8 +124,10 @@ type topKFill struct {
 func (ds *Dataset) topKAndGIR(q []float64, k int, m Method) (*topKFill, error) {
 	ds.mu.RLock()
 	defer ds.mu.RUnlock()
+	sc := topk.AcquireScratch(ds.tree)
+	defer sc.Release()
 	out := &topKFill{version: ds.version.Load()}
-	res, err := ds.topKLocked(q, k, Linear)
+	res, err := ds.topKLockedWith(sc, q, k, Linear)
 	if err != nil {
 		return nil, err
 	}
