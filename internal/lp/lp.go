@@ -197,6 +197,17 @@ func (tb *tableau) simplex(c []float64, banned []bool, iterBudget int) (Status, 
 }
 
 // Solve solves the problem with the two-phase simplex method.
+//
+// Approximation note: presolve treats coefficients whose magnitude is
+// below eps relative to their row's largest entry as exactly zero. An
+// Optimal status therefore certifies that X is feasible for the original
+// constraints (verified post-solve) and optimal for the perturbed
+// problem; the true optimum may be better, by up to the dropped mass
+// Σ|a_ij|·x*_j ≤ eps·‖x*‖₁ per row (at the equilibrated row scale).
+// Since x ≥ 0 is the only variable bound, this gap is not bounded a
+// priori — it is negligible when optimal variable magnitudes are O(1),
+// as in this library's unit-box geometry, but callers whose optima have
+// huge variable values should not rely on Optimal being exact.
 func Solve(p *Problem) Solution {
 	n := p.NumVars
 	m := len(p.Constraints)
@@ -218,9 +229,10 @@ func Solve(p *Problem) Solution {
 	// are sub-epsilon at that scale (pure noise next to the row's real
 	// entries, e.g. the 3e-10 beside 0.19s in corpus entry
 	// 229d1b270705bacf) are dropped before they can be picked as pivots.
-	// Dropping is safe: if a discarded coefficient ever mattered, the
-	// post-solve feasibility certificate against the ORIGINAL constraints
-	// rejects the solution.
+	// Dropping perturbs the problem: the post-solve certificate checks
+	// the returned point against the ORIGINAL constraints, so feasibility
+	// is never compromised, but optimality is certified only for the
+	// perturbed problem — see the approximation note on Solve.
 	type rowSpec struct {
 		coef []float64
 		op   Op

@@ -230,8 +230,11 @@ func TestPresolveDropsSubEpsilonCoefficients(t *testing.T) {
 	// The ill-conditioned shape of corpus entry 229d1b270705bacf: a row
 	// whose tiny leading coefficient is pure noise next to its real
 	// entries. Presolve equilibrates the row and zeroes the noise term, so
-	// the solver never pivots on it; the solve must either answer
-	// correctly or refuse — never report a phantom optimum.
+	// the solver never pivots on it. The returned point stays feasible for
+	// the original constraints; the objective is the optimum of the
+	// perturbed problem (the true optimum ~1.6e-9 differs by less than the
+	// documented eps·‖x‖₁ presolve tolerance — see Solve's approximation
+	// note).
 	cons := []Constraint{
 		{Coef: []float64{3e-10, -0.19, -0.19}, Op: GE, RHS: 0},
 		{Coef: []float64{1, 0, 0}, Op: LE, RHS: 1},

@@ -125,8 +125,12 @@ func (s *FileStore) ResetStats() {
 // snapshot header: magic, version, page count, then metadata supplied by
 // the caller (the R-tree's root/height/size/dim), then the pages.
 const (
-	snapshotMagic   = 0x47495250 // "GIRP"
-	snapshotVersion = 1
+	snapshotMagic = 0x47495250 // "GIRP"
+	// snapshotVersion 2 changed the leaf-page record layout from
+	// row-major to column-major. Version-1 snapshots therefore hold pages
+	// the current decoder would silently misread (coordinate bits as
+	// record IDs), so they are refused outright rather than migrated.
+	snapshotVersion = 2
 )
 
 // Snapshot writes the full content of any Store plus caller metadata to a
@@ -176,8 +180,11 @@ func LoadSnapshot(path string) (*MemStore, []byte, error) {
 	if binary.LittleEndian.Uint32(head[0:]) != snapshotMagic {
 		return nil, nil, fmt.Errorf("pager: %s is not a snapshot file", path)
 	}
-	if v := binary.LittleEndian.Uint32(head[4:]); v != snapshotVersion {
-		return nil, nil, fmt.Errorf("pager: unsupported snapshot version %d", v)
+	switch v := binary.LittleEndian.Uint32(head[4:]); {
+	case v < snapshotVersion:
+		return nil, nil, fmt.Errorf("pager: %s has snapshot version %d, which predates the column-major leaf layout; rebuild the index and save a new snapshot", path, v)
+	case v > snapshotVersion:
+		return nil, nil, fmt.Errorf("pager: %s has snapshot version %d, newer than this build's %d", path, v, snapshotVersion)
 	}
 	nPages := int(binary.LittleEndian.Uint32(head[8:]))
 	metaLen := int(binary.LittleEndian.Uint32(head[12:]))

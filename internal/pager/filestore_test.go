@@ -2,8 +2,10 @@ package pager
 
 import (
 	"bytes"
+	"encoding/binary"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -142,5 +144,28 @@ func TestLoadSnapshotRejects(t *testing.T) {
 	}
 	if _, _, err := LoadSnapshot(trunc); err == nil {
 		t.Error("truncated snapshot accepted")
+	}
+	// Stale version: v1 snapshots hold row-major leaf pages the current
+	// decoder would silently scramble, so they must fail loudly.
+	old := filepath.Join(dir, "old")
+	oldData := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(oldData[4:], 1)
+	if err := os.WriteFile(old, oldData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadSnapshot(old); err == nil {
+		t.Error("version-1 snapshot accepted")
+	} else if !strings.Contains(err.Error(), "column-major") {
+		t.Errorf("version-1 rejection should explain the layout change, got: %v", err)
+	}
+	// Future version: refuse rather than guess at an unknown layout.
+	future := filepath.Join(dir, "future")
+	futData := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(futData[4:], snapshotVersion+1)
+	if err := os.WriteFile(future, futData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadSnapshot(future); err == nil {
+		t.Error("future-version snapshot accepted")
 	}
 }

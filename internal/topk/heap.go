@@ -96,7 +96,7 @@ type brsItem struct {
 	key   float64
 	id    int64        // record id (record items)
 	child pager.PageID // child page (node items)
-	ref   int32        // arena offset of the point / lo+hi pair
+	ref   int          // arena offset of the point / lo+hi pair
 	node  bool
 }
 

@@ -68,8 +68,8 @@ func (s *Scratch) reset() {
 
 // putPoint copies record i of a leaf block into the arena, returning its
 // offset.
-func (s *Scratch) putPoint(blk *rtree.NodeBlock, i int) int32 {
-	ref := int32(len(s.arena))
+func (s *Scratch) putPoint(blk *rtree.NodeBlock, i int) int {
+	ref := len(s.arena)
 	for _, col := range blk.Cols {
 		s.arena = append(s.arena, col[i])
 	}
@@ -78,8 +78,8 @@ func (s *Scratch) putPoint(blk *rtree.NodeBlock, i int) int32 {
 
 // putRect copies a node's lo and hi corners into the arena, returning the
 // offset of lo (hi follows at ref+d).
-func (s *Scratch) putRect(lo, hi []float64) int32 {
-	ref := int32(len(s.arena))
+func (s *Scratch) putRect(lo, hi []float64) int {
+	ref := len(s.arena)
 	s.arena = append(s.arena, lo...)
 	s.arena = append(s.arena, hi...)
 	return ref

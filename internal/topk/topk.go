@@ -138,7 +138,7 @@ func (s *Scratch) materialize(f score.General, q vec.Vector, d, k int) *Result {
 	res.Records = make([]Record, k)
 	for i, it := range s.top {
 		p := next()
-		copy(p, s.arena[it.ref:int(it.ref)+d])
+		copy(p, s.arena[it.ref:it.ref+d])
 		res.Records[i] = Record{ID: it.id, Point: p, Score: it.key}
 	}
 	if nT > 0 {
@@ -150,12 +150,12 @@ func (s *Scratch) materialize(f score.General, q vec.Vector, d, k int) *Result {
 		if it.node {
 			lo, hi := vec.Vector(rects[:d]), vec.Vector(rects[d:2*d])
 			rects = rects[2*d:]
-			copy(lo, s.arena[it.ref:int(it.ref)+d])
-			copy(hi, s.arena[int(it.ref)+d:int(it.ref)+2*d])
+			copy(lo, s.arena[it.ref:it.ref+d])
+			copy(hi, s.arena[it.ref+d:it.ref+2*d])
 			hp = append(hp, NodeItem{Key: it.key, Child: it.child, Rect: rtree.Rect{Lo: lo, Hi: hi}})
 		} else {
 			p := next()
-			copy(p, s.arena[it.ref:int(it.ref)+d])
+			copy(p, s.arena[it.ref:it.ref+d])
 			res.T = append(res.T, Record{ID: it.id, Point: p, Score: it.key})
 		}
 	}

@@ -35,8 +35,10 @@ func (ds *Dataset) Save(path string) error {
 	return pager.Snapshot(ds.store, meta, path)
 }
 
-// datasetMeta decodes the snapshot metadata block. 20-byte snapshots
-// predate the query-space byte and load as box-space datasets.
+// datasetMeta decodes the snapshot metadata block. Every loadable
+// snapshot carries the query-space byte: 20-byte metadata predates it,
+// but those files are version-1 snapshots (row-major leaves) that
+// pager.LoadSnapshot already refuses.
 type datasetMeta struct {
 	dim, height, size int
 	root              pager.PageID
@@ -44,7 +46,7 @@ type datasetMeta struct {
 }
 
 func parseDatasetMeta(meta []byte, path string) (datasetMeta, error) {
-	if len(meta) != 20 && len(meta) != 21 {
+	if len(meta) != 21 {
 		return datasetMeta{}, fmt.Errorf("gir: %s has malformed dataset metadata", path)
 	}
 	m := datasetMeta{
@@ -53,13 +55,11 @@ func parseDatasetMeta(meta []byte, path string) (datasetMeta, error) {
 		height: int(binary.LittleEndian.Uint32(meta[8:])),
 		size:   int(binary.LittleEndian.Uint64(meta[12:])),
 	}
-	if len(meta) == 21 {
-		switch Space(meta[20]) {
-		case SpaceBox, SpaceSimplex:
-			m.space = Space(meta[20])
-		default:
-			return datasetMeta{}, fmt.Errorf("gir: %s records unknown query space %d", path, meta[20])
-		}
+	switch Space(meta[20]) {
+	case SpaceBox, SpaceSimplex:
+		m.space = Space(meta[20])
+	default:
+		return datasetMeta{}, fmt.Errorf("gir: %s records unknown query space %d", path, meta[20])
 	}
 	return m, nil
 }
@@ -107,9 +107,8 @@ func NewDatasetOnDiskInSpace(points [][]float64, path string, space Space) (*Dat
 // header+metadata followed by page-aligned data, so reads go through a
 // FileStore positioned past the header.
 func OpenOnDisk(path string) (*Dataset, error) {
-	// Snapshots carry a 16-byte header plus the dataset meta block (21
-	// bytes; 20 in pre-space snapshots) before the pages; FileStore needs
-	// page alignment. Rather than complicating the store with offsets,
+	// Snapshots carry a 16-byte header plus the 21-byte dataset meta
+	// block before the pages; FileStore needs page alignment. Rather than complicating the store with offsets,
 	// rewrite the snapshot into a page-aligned sidecar on first open.
 	store, meta, err := pager.LoadSnapshot(path)
 	if err != nil {
