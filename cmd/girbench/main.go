@@ -39,6 +39,8 @@ func main() {
 	serveChurn := flag.Float64("churn", 0, "-serve: fraction of operations that are Insert/Delete writes (> 0 runs the churn benchmark)")
 	serveRepair := flag.Bool("repair", false, "-serve -churn: also measure RepairMode (repair-instead-of-evict cache maintenance) as a third configuration")
 	serveBurst := flag.Int("burst", 0, "-serve -churn: writes arrive in bursts of this size (> 1 runs the batched-vs-per-mutation drain benchmark)")
+	serveWAL := flag.Bool("wal", false, "-serve -churn: benchmark write-ahead-log durability (no-wal vs per-append fsync vs group commit) instead of cache maintenance")
+	serveWALSync := flag.Int("walsync", 32, "-serve -wal: group-commit interval for the third row (fsync once per this many appends)")
 	serveSpace := flag.String("space", "box", "-serve: query-space domain — box ([0,1]^d) or simplex (the paper's Σw=1 convention; queries are sum-normalized)")
 	serveJSON := flag.String("json", "", "-serve: also write the measured rows to this file as JSON (the CI BENCH_hotpath.json / BENCH_serve.json / BENCH_repair.json / BENCH_batch.json / BENCH_simplex.json artifact)")
 	flag.IntVar(&cfg.N, "n", cfg.N, "synthetic dataset cardinality (paper: 1000000)")
@@ -122,7 +124,18 @@ func main() {
 		if *serveBurst > 1 && *serveChurn == 0 {
 			fatal("-burst shapes write arrivals and needs a write mix: add -churn (e.g. -churn 0.05)")
 		}
+		if *serveWAL && *serveChurn == 0 {
+			fatal("-wal prices the write path and needs a write mix: add -churn (e.g. -churn 0.05)")
+		}
+		if *serveWAL && *serveBurst > 1 {
+			fatal("-wal and -burst are separate benchmarks; pick one")
+		}
+		if *serveWALSync < 1 {
+			fatal("bad -walsync: %d (want a group-commit interval ≥ 1)", *serveWALSync)
+		}
 		switch {
+		case *serveWAL:
+			err = runWAL(scfg, *serveChurn, *serveWALSync, *serveJSON, os.Stdout)
 		case *serveChurn > 0 && *serveBurst > 1:
 			err = runBurst(scfg, *serveChurn, *serveBurst, *serveRepair, *serveJSON, os.Stdout)
 		case *serveChurn > 0:

@@ -122,6 +122,57 @@ func TestRunServeSmoke(t *testing.T) {
 	}
 }
 
+// TestRunWALSmoke runs the durability benchmark end to end at toy scale
+// and validates the BENCH_wal.json artifact: all three durability rows
+// are present, write latencies are populated, and both WAL rows completed
+// the checkpoint + recovery round-trip.
+func TestRunWALSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wal benchmark smoke is not -short")
+	}
+	dir := t.TempDir()
+	jsonPath := dir + "/BENCH_wal.json"
+	cfg := serveConfig{N: 1500, D: 3, Seed: 7, Stream: 300, Distinct: 8, ZipfS: 1.3, Jitter: 0.001, Batch: 32}
+	var buf strings.Builder
+	if err := runWAL(cfg, 0.08, 16, jsonPath, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report walReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	want := []string{"no-wal", "wal (sync every 1)", "wal (sync every 16)"}
+	if len(report.Rows) != len(want) {
+		t.Fatalf("got %d rows, want %d: %+v", len(report.Rows), len(want), report.Rows)
+	}
+	for i, row := range report.Rows {
+		if row.Name != want[i] {
+			t.Errorf("row %d is %q, want %q", i, row.Name, want[i])
+		}
+		if row.Writes == 0 || row.WriteP99US <= 0 || row.WriteP99US < row.WriteP50US {
+			t.Errorf("%s row has bad write latencies: %+v", row.Name, row)
+		}
+	}
+	for _, row := range report.Rows[1:] {
+		if !row.Recovered {
+			t.Errorf("%s row did not complete the checkpoint + recovery round-trip", row.Name)
+		}
+		if row.WALRecords != int64(row.Writes) {
+			t.Errorf("%s row logged %d records for %d writes", row.Name, row.WALRecords, row.Writes)
+		}
+	}
+	if report.Rows[0].SyncEvery != 0 || report.Rows[0].WALBytes != 0 {
+		t.Errorf("no-wal baseline carries WAL state: %+v", report.Rows[0])
+	}
+	if report.Config.SyncEvery != 16 {
+		t.Errorf("config sync_every = %d", report.Config.SyncEvery)
+	}
+}
+
 // TestRunBurstSmoke runs the burst benchmark end to end at toy scale and
 // checks the JSON artifact has both drain rows with consistent counters.
 func TestRunBurstSmoke(t *testing.T) {

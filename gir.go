@@ -197,6 +197,9 @@ type Dataset struct {
 	store   pager.Store
 	cost    pager.CostModel
 	file    *pager.FileStore // non-nil when disk-backed (Close releases it)
+	sidecar string           // page-aligned sidecar path (OpenOnDisk; removed by Close)
+	wal     *pager.WAL       // non-nil once EnableWAL/Recover attached a log
+	walDir  string           // the durable directory the WAL lives in
 	version atomic.Int64     // bumped by every successful mutation
 	space   Space            // the query-space domain (data space is [0,1]^d regardless)
 
@@ -318,25 +321,41 @@ func NewDataset(points [][]float64) (*Dataset, error) {
 }
 
 // Insert adds a record dynamically (R* insertion with forced reinsert).
-// It blocks until in-flight queries drain and excludes new ones.
+// It blocks until in-flight queries drain and excludes new ones. With a
+// write-ahead log attached (EnableWAL), the mutation is logged — and, per
+// WALOptions.SyncEvery, fsynced — before it is applied, so a crash after
+// Insert returns never loses it; a failed append aborts the insert.
 func (ds *Dataset) Insert(id int64, p []float64) error {
 	if len(p) != ds.tree.Dim() {
 		return fmt.Errorf("gir: dimension mismatch")
 	}
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
+	if ds.wal != nil {
+		if err := ds.wal.Append(walEncode(ds.version.Load()+1, true, id, p)); err != nil {
+			return fmt.Errorf("gir: insert aborted, write-ahead append failed: %w", err)
+		}
+	}
 	ds.tree.Insert(id, vec.Vector(p))
 	ds.publishLocked(true, id, p)
 	return nil
 }
 
 // Delete removes the record with the given id and coordinates; it reports
-// whether the record was found. Like Insert, it excludes queries.
+// whether the record was found. Like Insert, it excludes queries, and
+// with a write-ahead log attached the deletion is logged before it
+// becomes visible. A WAL append failure after the tree already shed the
+// record cannot be unwound and panics, like a failed page write.
 func (ds *Dataset) Delete(id int64, p []float64) bool {
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
 	found := ds.tree.Delete(id, vec.Vector(p))
 	if found {
+		if ds.wal != nil {
+			if err := ds.wal.Append(walEncode(ds.version.Load()+1, false, id, p)); err != nil {
+				panic(fmt.Sprintf("gir: write-ahead append failed with delete already applied: %v", err))
+			}
+		}
 		ds.publishLocked(false, id, p)
 	}
 	return found

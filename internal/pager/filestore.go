@@ -3,8 +3,10 @@ package pager
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 )
@@ -120,87 +122,265 @@ func (s *FileStore) ResetStats() {
 	s.writes.Store(0)
 }
 
-// --- snapshotting -----------------------------------------------------------
+// --- atomic file replacement ------------------------------------------------
 
-// snapshot header: magic, version, page count, then metadata supplied by
-// the caller (the R-tree's root/height/size/dim), then the pages.
-const (
-	snapshotMagic = 0x47495250 // "GIRP"
-	// snapshotVersion 2 changed the leaf-page record layout from
-	// row-major to column-major. Version-1 snapshots therefore hold pages
-	// the current decoder would silently misread (coordinate bits as
-	// record IDs), so they are refused outright rather than migrated.
-	snapshotVersion = 2
-)
-
-// Snapshot writes the full content of any Store plus caller metadata to a
-// file, so an index built in memory can be persisted.
-func Snapshot(store Store, meta []byte, path string) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+// AtomicWriteFile durably replaces the file at path: write writes the new
+// contents into a uniquely named temp file in the same directory, which is
+// then fsynced and renamed over path (and the directory fsynced so the
+// rename itself is durable). A crash at any point leaves either the old
+// complete file or the new complete file — never a truncated or partial
+// one. Every snapshot writer in this module goes through here.
+func AtomicWriteFile(path string, write func(f *os.File) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	head := make([]byte, 16)
-	binary.LittleEndian.PutUint32(head[0:], snapshotMagic)
-	binary.LittleEndian.PutUint32(head[4:], snapshotVersion)
-	binary.LittleEndian.PutUint32(head[8:], uint32(store.NumPages()))
-	binary.LittleEndian.PutUint32(head[12:], uint32(len(meta)))
-	if _, err := f.Write(head); err != nil {
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmp.Name())
+	}
+	if err := write(tmp); err != nil {
+		cleanup()
 		return err
 	}
-	if _, err := f.Write(meta); err != nil {
+	if err := tmp.Sync(); err != nil {
+		cleanup()
 		return err
 	}
-	page := make([]byte, PageSize)
-	for id := 1; id <= store.NumPages(); id++ {
-		for i := range page {
-			page[i] = 0
-		}
-		copy(page, store.Read(PageID(id)))
-		if _, err := f.Write(page); err != nil {
-			return err
-		}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	// Make the rename durable. Directory fsync is advisory on platforms
+	// that do not support it, so its failure is not fatal.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
 	}
 	return nil
 }
 
+// --- snapshotting -----------------------------------------------------------
+
+// snapshot header: magic, version, page count, metadata length, checksum,
+// then metadata supplied by the caller (the R-tree's root/height/size/dim),
+// then the pages.
+const (
+	snapshotMagic = 0x47495250 // "GIRP"
+	// snapshotVersion 2 changed the leaf-page record layout from
+	// row-major to column-major; version 3 added the whole-file CRC32C
+	// (over metadata + pages) and atomic temp+fsync+rename replacement.
+	// Version-1 snapshots hold pages the current decoder would silently
+	// misread (coordinate bits as record IDs) and version-2 snapshots
+	// carry no checksum, so both are refused rather than migrated: a
+	// loadable snapshot is always verifiable.
+	snapshotVersion = 3
+	snapshotHeader  = 20 // magic, version, page count, meta length, CRC32C
+)
+
+// Snapshot writes the full content of any Store plus caller metadata to a
+// file, so an index built in memory can be persisted. The write is atomic
+// (temp + fsync + rename): a crash mid-save never corrupts or truncates a
+// previous snapshot at path. The header carries a CRC32C over metadata and
+// pages, so LoadSnapshot detects bit rot as well as truncation.
+func Snapshot(store Store, meta []byte, path string) error {
+	return AtomicWriteFile(path, func(f *os.File) error {
+		head := make([]byte, snapshotHeader)
+		binary.LittleEndian.PutUint32(head[0:], snapshotMagic)
+		binary.LittleEndian.PutUint32(head[4:], snapshotVersion)
+		binary.LittleEndian.PutUint32(head[8:], uint32(store.NumPages()))
+		binary.LittleEndian.PutUint32(head[12:], uint32(len(meta)))
+		if _, err := f.Write(head); err != nil {
+			return err
+		}
+		sum := crc32.Checksum(meta, walCRC)
+		if _, err := f.Write(meta); err != nil {
+			return err
+		}
+		page := make([]byte, PageSize)
+		for id := 1; id <= store.NumPages(); id++ {
+			for i := range page {
+				page[i] = 0
+			}
+			copy(page, store.Read(PageID(id)))
+			sum = crc32.Update(sum, walCRC, page)
+			if _, err := f.Write(page); err != nil {
+				return err
+			}
+		}
+		// Patch the checksum into the header now that it is known; the
+		// temp file is not visible at path until the rename.
+		binary.LittleEndian.PutUint32(head[16:], sum)
+		_, err := f.WriteAt(head[16:20], 16)
+		return err
+	})
+}
+
 // LoadSnapshot reads a Snapshot file into a fresh MemStore, returning the
-// caller metadata.
+// caller metadata. Truncation and corruption both fail with a clean error:
+// the page section is verified against the header's CRC32C before any page
+// is served.
 func LoadSnapshot(path string) (*MemStore, []byte, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer f.Close()
-	head := make([]byte, 16)
+	head := make([]byte, snapshotHeader)
 	if _, err := io.ReadFull(f, head); err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("pager: %s is not a snapshot file (truncated header)", path)
 	}
 	if binary.LittleEndian.Uint32(head[0:]) != snapshotMagic {
 		return nil, nil, fmt.Errorf("pager: %s is not a snapshot file", path)
 	}
 	switch v := binary.LittleEndian.Uint32(head[4:]); {
+	case v == 1:
+		return nil, nil, fmt.Errorf("pager: %s has snapshot version 1, which predates the column-major leaf layout; rebuild the index and save a new snapshot", path)
 	case v < snapshotVersion:
-		return nil, nil, fmt.Errorf("pager: %s has snapshot version %d, which predates the column-major leaf layout; rebuild the index and save a new snapshot", path, v)
+		return nil, nil, fmt.Errorf("pager: %s has snapshot version %d, which predates snapshot checksums; rebuild the index and save a new snapshot", path, v)
 	case v > snapshotVersion:
 		return nil, nil, fmt.Errorf("pager: %s has snapshot version %d, newer than this build's %d", path, v, snapshotVersion)
 	}
 	nPages := int(binary.LittleEndian.Uint32(head[8:]))
 	metaLen := int(binary.LittleEndian.Uint32(head[12:]))
+	wantSum := binary.LittleEndian.Uint32(head[16:])
 	meta := make([]byte, metaLen)
 	if _, err := io.ReadFull(f, meta); err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("pager: %s has a truncated metadata block: %v", path, err)
 	}
+	sum := crc32.Checksum(meta, walCRC)
 	store := NewMemStore()
 	page := make([]byte, PageSize)
 	for i := 0; i < nPages; i++ {
 		if _, err := io.ReadFull(f, page); err != nil {
 			return nil, nil, fmt.Errorf("pager: truncated snapshot at page %d: %v", i+1, err)
 		}
+		sum = crc32.Update(sum, walCRC, page)
 		id := store.Alloc()
 		store.Write(id, page)
 	}
+	if sum != wantSum {
+		return nil, nil, fmt.Errorf("pager: %s fails its checksum (stored %08x, computed %08x): the snapshot is corrupt", path, wantSum, sum)
+	}
 	store.ResetStats()
 	return store, meta, nil
+}
+
+// --- page-file sidecars -----------------------------------------------------
+
+// A sidecar is the page-aligned rewrite of a snapshot that OpenOnDisk
+// serves real file reads from. Its last page is an identity trailer naming
+// the source snapshot (size + content checksum) and the page count, so a
+// later open of the same snapshot can reuse the sidecar instead of
+// rewriting it — and a sidecar left behind by a crash or by a concurrent
+// opener is never mistaken for one derived from a different snapshot.
+// Identity is content-based (the snapshot's own CRC32C), not mtime-based:
+// two same-size snapshots written within one mtime tick must not alias.
+const sidecarMagic = 0x47495253 // "GIRS"
+
+// SidecarID identifies the snapshot a sidecar was derived from.
+type SidecarID struct {
+	SrcSize int64  // source snapshot file size in bytes
+	SrcCRC  uint32 // source snapshot whole-file CRC32C (from its header)
+}
+
+// sidecarTrailer encodes the identity page appended after the data pages.
+func sidecarTrailer(id SidecarID, pages int) []byte {
+	t := make([]byte, PageSize)
+	binary.LittleEndian.PutUint32(t[0:], sidecarMagic)
+	binary.LittleEndian.PutUint64(t[4:], uint64(id.SrcSize))
+	binary.LittleEndian.PutUint32(t[12:], id.SrcCRC)
+	binary.LittleEndian.PutUint32(t[16:], uint32(pages))
+	return t
+}
+
+// SnapshotCRC reads the whole-file checksum a current-version snapshot
+// records in its header, without loading the pages — the cheap content
+// identity sidecar reuse keys on.
+func SnapshotCRC(path string) (uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	head := make([]byte, snapshotHeader)
+	if _, err := io.ReadFull(f, head); err != nil {
+		return 0, fmt.Errorf("pager: %s is not a snapshot: %v", path, err)
+	}
+	if binary.LittleEndian.Uint32(head[0:]) != snapshotMagic {
+		return 0, fmt.Errorf("pager: %s is not a snapshot", path)
+	}
+	if v := binary.LittleEndian.Uint32(head[4:]); v != snapshotVersion {
+		return 0, fmt.Errorf("pager: %s has snapshot version %d, want %d", path, v, snapshotVersion)
+	}
+	return binary.LittleEndian.Uint32(head[16:]), nil
+}
+
+// AttachSidecar opens the sidecar at path if it is a complete rewrite of
+// the snapshot identified by id with the given page count; ok is false
+// (and the store nil) when the file is missing, truncated, or derived
+// from a different snapshot — the caller then rebuilds with CreateSidecar.
+func AttachSidecar(path string, id SidecarID, pages int) (*FileStore, bool) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, false
+	}
+	info, err := f.Stat()
+	if err != nil || info.Size() != int64(pages+1)*PageSize {
+		f.Close()
+		return nil, false
+	}
+	trailer := make([]byte, PageSize)
+	if _, err := f.ReadAt(trailer, int64(pages)*PageSize); err != nil {
+		f.Close()
+		return nil, false
+	}
+	want := sidecarTrailer(id, pages)
+	for i := range trailer {
+		if trailer[i] != want[i] {
+			f.Close()
+			return nil, false
+		}
+	}
+	return &FileStore{f: f, pages: pages}, true
+}
+
+// CreateSidecar rewrites the pages of src into a fresh sidecar at path:
+// the data pages, then the identity trailer, built under a unique temp
+// name and renamed into place once complete — a concurrent opener of the
+// same snapshot either attaches to a complete sidecar or builds its own,
+// never reads a half-written one. The returned store reads from the
+// renamed file.
+func CreateSidecar(path string, src Store, id SidecarID) (*FileStore, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return nil, err
+	}
+	fs := &FileStore{f: tmp}
+	fail := func(err error) (*FileStore, error) {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, err
+	}
+	for pid := 1; pid <= src.NumPages(); pid++ {
+		fid := fs.Alloc()
+		fs.Write(fid, src.Read(PageID(pid)))
+	}
+	if _, err := tmp.WriteAt(sidecarTrailer(id, fs.pages), int64(fs.pages)*PageSize); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fail(err)
+	}
+	fs.ResetStats()
+	return fs, nil
 }

@@ -158,6 +158,19 @@ func TestLoadSnapshotRejects(t *testing.T) {
 	} else if !strings.Contains(err.Error(), "column-major") {
 		t.Errorf("version-1 rejection should explain the layout change, got: %v", err)
 	}
+	// Version 2 predates the whole-file checksum: also refused, with its
+	// own explanation.
+	v2 := filepath.Join(dir, "v2")
+	v2Data := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(v2Data[4:], 2)
+	if err := os.WriteFile(v2, v2Data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadSnapshot(v2); err == nil {
+		t.Error("version-2 snapshot accepted")
+	} else if !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("version-2 rejection should explain the checksum change, got: %v", err)
+	}
 	// Future version: refuse rather than guess at an unknown layout.
 	future := filepath.Join(dir, "future")
 	futData := append([]byte(nil), data...)
@@ -167,5 +180,106 @@ func TestLoadSnapshotRejects(t *testing.T) {
 	}
 	if _, _, err := LoadSnapshot(future); err == nil {
 		t.Error("future-version snapshot accepted")
+	}
+	// A flipped bit anywhere in the page section fails the checksum, even
+	// where truncation and structural checks cannot see it.
+	corrupt := filepath.Join(dir, "corrupt")
+	corData := append([]byte(nil), data...)
+	corData[len(corData)-17] ^= 0x40
+	if err := os.WriteFile(corrupt, corData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadSnapshot(corrupt); err == nil {
+		t.Error("bit-flipped snapshot accepted")
+	} else if !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corruption should fail the checksum, got: %v", err)
+	}
+}
+
+// TestSnapshotAtomicReplace pins the crash contract of Snapshot: the
+// destination is replaced by rename, so a stray partial temp file — the
+// debris of a writer crash — never affects the previous good snapshot,
+// and no O_TRUNC window ever exposes a half-written file at path.
+func TestSnapshotAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+	src := NewMemStore()
+	id := src.Alloc()
+	src.Write(id, []byte{7})
+	if err := Snapshot(src, []byte("m1"), path); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a writer that crashed mid-save: a partial temp next to the
+	// snapshot. The old snapshot must still load.
+	if err := os.WriteFile(path+".tmp-crashed", []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, meta, err := LoadSnapshot(path); err != nil || string(meta) != "m1" {
+		t.Fatalf("old snapshot unreadable next to crash debris: %v %q", err, meta)
+	}
+	// A full re-save replaces it atomically and still loads.
+	src.Write(id, []byte{8})
+	if err := Snapshot(src, []byte("m2"), path); err != nil {
+		t.Fatal(err)
+	}
+	store, meta, err := LoadSnapshot(path)
+	if err != nil || string(meta) != "m2" {
+		t.Fatalf("re-saved snapshot: %v %q", err, meta)
+	}
+	if store.Read(id)[0] != 8 {
+		t.Error("re-saved snapshot holds stale page content")
+	}
+	// No temp debris of our own left behind.
+	matches, err := filepath.Glob(path + ".tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 { // only the simulated crash debris remains
+		t.Errorf("atomic write left temp files behind: %v", matches)
+	}
+}
+
+// TestSidecarReuse pins the sidecar identity contract: a sidecar attaches
+// only for the exact snapshot it was derived from, and rebuilding goes
+// through a temp name + rename.
+func TestSidecarReuse(t *testing.T) {
+	dir := t.TempDir()
+	side := filepath.Join(dir, "snap.pages")
+	src := NewMemStore()
+	a := src.Alloc()
+	src.Write(a, []byte{1, 2, 3})
+	id := SidecarID{SrcSize: 1234, SrcCRC: 0xDEADBEEF}
+
+	if _, ok := AttachSidecar(side, id, src.NumPages()); ok {
+		t.Fatal("attached to a missing sidecar")
+	}
+	fs, err := CreateSidecar(side, src, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Read(a)[:3]; got[0] != 1 || got[2] != 3 {
+		t.Errorf("sidecar page = %v", got)
+	}
+	fs.Close()
+
+	// Same identity: reuse. Different identity (snapshot was rewritten —
+	// even to the same size): refuse.
+	fs2, ok := AttachSidecar(side, id, src.NumPages())
+	if !ok {
+		t.Fatal("valid sidecar not reused")
+	}
+	if got := fs2.Read(a)[:3]; got[1] != 2 {
+		t.Errorf("reused sidecar page = %v", got)
+	}
+	fs2.Close()
+	if _, ok := AttachSidecar(side, SidecarID{SrcSize: 1234, SrcCRC: 0xDEADBEF0}, src.NumPages()); ok {
+		t.Error("sidecar attached for a different source snapshot")
+	}
+	if _, ok := AttachSidecar(side, id, src.NumPages()+1); ok {
+		t.Error("sidecar attached with the wrong page count")
+	}
+	matches, _ := filepath.Glob(side + ".tmp-*")
+	if len(matches) != 0 {
+		t.Errorf("sidecar build left temp files behind: %v", matches)
 	}
 }

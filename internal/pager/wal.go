@@ -1,0 +1,280 @@
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// The write-ahead log makes mutations crash-safe: a record is appended
+// (and, per the group-commit policy, fsynced) before the mutation it
+// describes becomes visible, so a crash loses at most the tail of
+// not-yet-acknowledged work. The log is payload-agnostic — callers bring
+// their own record encoding — and every record is length-prefixed and
+// CRC32C-checksummed so a torn final write is detected and truncated on
+// the next open instead of being replayed as garbage.
+//
+// On-disk layout:
+//
+//	[8]  magic "GIRWAL01"
+//	then per record:
+//	[4]  payload length (little endian)
+//	[4]  CRC32C of the payload
+//	[n]  payload
+//
+// A record is valid iff its full header and payload are present and the
+// checksum matches. Scanning stops at the first invalid record: a torn
+// final append (the expected crash shape) silently truncates there; the
+// same rule caps the damage of a corrupted record mid-log to losing the
+// records after it, never to replaying bytes that were not written.
+var walMagic = [8]byte{'G', 'I', 'R', 'W', 'A', 'L', '0', '1'}
+
+// MaxWALRecord bounds a single record's payload. A length prefix above it
+// is treated as corruption (scan stops), not as an allocation request.
+const MaxWALRecord = 1 << 20
+
+// walCRC is the Castagnoli polynomial table (hardware-accelerated on
+// amd64/arm64).
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// WALOptions tunes the durability/latency trade of a WAL.
+type WALOptions struct {
+	// SyncEvery fsyncs the log once per this many appended records (group
+	// commit). 1 — the default for values ≤ 0 — syncs every append: an
+	// acknowledged mutation is durable the moment Append returns. Larger
+	// values amortize the fsync over bursts at the cost of losing up to
+	// SyncEvery−1 acknowledged records on a crash.
+	SyncEvery int
+}
+
+func (o WALOptions) syncEvery() int {
+	if o.SyncEvery <= 0 {
+		return 1
+	}
+	return o.SyncEvery
+}
+
+// WAL is an open write-ahead log. Safe for concurrent use; appends are
+// serialized.
+type WAL struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	size     int64 // end offset of the last valid record
+	records  int64 // valid records in the log
+	unsynced int   // appends since the last fsync
+	opts     WALOptions
+}
+
+// OpenWAL opens (creating if absent) the log at path, replays every intact
+// existing record through replay in append order, truncates any torn or
+// corrupt tail at the last intact record, and returns the log positioned
+// for appends. replay may be nil when the caller only appends. A replay
+// error aborts the open.
+func OpenWAL(path string, opts WALOptions, replay func(payload []byte) error) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &WAL{f: f, path: path, opts: opts}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if info.Size() < int64(len(walMagic)) {
+		// Empty, or a creation torn before the header was durable: only a
+		// prefix of the magic may be present (no record was ever
+		// acknowledged), so reinitialize. Anything else is not a WAL.
+		head := make([]byte, info.Size())
+		if _, err := f.ReadAt(head, 0); info.Size() > 0 && err != nil {
+			f.Close()
+			return nil, err
+		}
+		if string(head) != string(walMagic[:len(head)]) {
+			f.Close()
+			return nil, fmt.Errorf("pager: %s is not a write-ahead log", path)
+		}
+		if _, err := f.WriteAt(walMagic[:], 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		w.size = int64(len(walMagic))
+		return w, nil
+	}
+	valid, records, err := scanWAL(f, info.Size(), func(_ int64, payload []byte) error {
+		if replay == nil {
+			return nil
+		}
+		return replay(payload)
+	})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if valid < info.Size() {
+		// Torn or corrupt tail: cut it off so the next append starts at a
+		// clean record boundary. This is the expected crash shape and is
+		// never an error.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	w.size = valid
+	w.records = records
+	return w, nil
+}
+
+// ScanWAL reads the log at path without opening it for appends, calling fn
+// for each intact record with the file offset at which the record ENDS
+// (the boundary a crash-truncated log would recover to) and its payload.
+// It returns the end offset of the last intact record. Torn or corrupt
+// tails are not errors — the scan just stops, exactly as OpenWAL would.
+func ScanWAL(path string, fn func(end int64, payload []byte) error) (valid int64, records int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return 0, 0, err
+	}
+	return scanWAL(f, info.Size(), fn)
+}
+
+// scanWAL walks records from the header to the first invalid one.
+func scanWAL(f *os.File, size int64, fn func(end int64, payload []byte) error) (valid int64, records int64, err error) {
+	if size < int64(len(walMagic)) {
+		return 0, 0, fmt.Errorf("pager: %s is not a write-ahead log (truncated header)", f.Name())
+	}
+	var magic [8]byte
+	if _, err := f.ReadAt(magic[:], 0); err != nil {
+		return 0, 0, err
+	}
+	if magic != walMagic {
+		return 0, 0, fmt.Errorf("pager: %s is not a write-ahead log", f.Name())
+	}
+	r := io.NewSectionReader(f, int64(len(walMagic)), size-int64(len(walMagic)))
+	valid = int64(len(walMagic))
+	var head [8]byte
+	for {
+		if _, err := io.ReadFull(r, head[:]); err != nil {
+			return valid, records, nil // clean EOF or torn header: stop here
+		}
+		n := binary.LittleEndian.Uint32(head[0:])
+		sum := binary.LittleEndian.Uint32(head[4:])
+		if n > MaxWALRecord {
+			return valid, records, nil // absurd length: corrupt, stop
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return valid, records, nil // torn payload: stop
+		}
+		if crc32.Checksum(payload, walCRC) != sum {
+			return valid, records, nil // checksum mismatch: stop
+		}
+		valid += int64(len(head)) + int64(n)
+		records++
+		if fn != nil {
+			if err := fn(valid, payload); err != nil {
+				return valid, records, err
+			}
+		}
+	}
+}
+
+// Append writes one record and applies the group-commit policy: the call
+// returns only after the record is in the file, and after an fsync when
+// this append completes a SyncEvery group. Callers needing a hard
+// durability point regardless of grouping can follow with Sync.
+func (w *WAL) Append(payload []byte) error {
+	if len(payload) > MaxWALRecord {
+		return fmt.Errorf("pager: WAL record of %d bytes exceeds the %d-byte bound", len(payload), MaxWALRecord)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, walCRC))
+	copy(buf[8:], payload)
+	if _, err := w.f.WriteAt(buf, w.size); err != nil {
+		return err
+	}
+	w.size += int64(len(buf))
+	w.records++
+	w.unsynced++
+	if w.unsynced >= w.opts.syncEvery() {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		w.unsynced = 0
+	}
+	return nil
+}
+
+// Sync flushes any appended-but-unsynced records to stable storage.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.unsynced = 0
+	return nil
+}
+
+// Reset truncates the log to empty (header only) and syncs — the
+// checkpoint epilogue: every logged mutation is now covered by a durable
+// snapshot, so the log restarts clean.
+func (w *WAL) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Truncate(int64(len(walMagic))); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.size = int64(len(walMagic))
+	w.records = 0
+	w.unsynced = 0
+	return nil
+}
+
+// Close syncs and releases the log.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Size returns the log's current valid end offset in bytes.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Records returns the number of valid records in the log.
+func (w *WAL) Records() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records
+}

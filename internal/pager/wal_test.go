@@ -1,0 +1,224 @@
+package pager
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func walRecords(t *testing.T, path string) [][]byte {
+	t.Helper()
+	var got [][]byte
+	if _, _, err := ScanWAL(path, func(_ int64, p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestWALAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path, WALOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 20; i++ {
+		p := []byte(fmt.Sprintf("record-%d", i))
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, p)
+	}
+	if w.Records() != 20 {
+		t.Errorf("Records = %d", w.Records())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got [][]byte
+	w2, err := OpenWAL(path, WALOptions{}, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Appends continue after the replayed tail.
+	if err := w2.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if w2.Records() != 21 {
+		t.Errorf("Records after reopen+append = %d", w2.Records())
+	}
+}
+
+func TestWALTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	w, err := OpenWAL(path, WALOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Append([]byte{byte(i), 1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boundary := w.Size()
+	w.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn final append: every strict prefix that cuts into the
+	// last record must recover exactly the first 4 records, truncate the
+	// file back to the 4-record boundary, and never error.
+	last4 := int64(len(data)) - (8 + 4) // end offset of record 4
+	for cut := last4 + 1; cut < int64(len(data)); cut++ {
+		torn := filepath.Join(dir, "torn.log")
+		if err := os.WriteFile(torn, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		tw, err := OpenWAL(torn, WALOptions{}, func([]byte) error { n++; return nil })
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if n != 4 {
+			t.Fatalf("cut at %d replayed %d records, want 4", cut, n)
+		}
+		if tw.Size() != last4 {
+			t.Fatalf("cut at %d left size %d, want truncation to %d", cut, tw.Size(), last4)
+		}
+		// The truncated log accepts new appends at the clean boundary.
+		if err := tw.Append([]byte("fresh")); err != nil {
+			t.Fatal(err)
+		}
+		tw.Close()
+		recs := walRecords(t, torn)
+		if len(recs) != 5 || string(recs[4]) != "fresh" {
+			t.Fatalf("cut at %d: post-recovery log holds %d records", cut, len(recs))
+		}
+	}
+	_ = boundary
+}
+
+func TestWALCorruptRecordStopsScan(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	w, err := OpenWAL(path, WALOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := w.Append([]byte{byte(i), 9, 9, 9, 9, 9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	data, _ := os.ReadFile(path)
+	recLen := int64(8 + 6)
+	// Flip one payload byte of record 3 (0-based 2): scan keeps records
+	// 0..1 and stops, losing the rest — never panicking, never serving the
+	// corrupt record.
+	flip := append([]byte(nil), data...)
+	flip[8+2*recLen+8+1] ^= 0xFF
+	bad := filepath.Join(dir, "bad.log")
+	if err := os.WriteFile(bad, flip, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if recs := walRecords(t, bad); len(recs) != 2 {
+		t.Errorf("scan past corrupt record: %d records", len(recs))
+	}
+	// A corrupt length prefix (absurd size) also stops the scan instead of
+	// allocating.
+	flip2 := append([]byte(nil), data...)
+	flip2[8+recLen+3] = 0xFF // high byte of record 2's length
+	bad2 := filepath.Join(dir, "bad2.log")
+	if err := os.WriteFile(bad2, flip2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if recs := walRecords(t, bad2); len(recs) != 1 {
+		t.Errorf("scan past absurd length: %d records", len(recs))
+	}
+	// Wrong magic refuses outright.
+	garbage := filepath.Join(dir, "garbage.log")
+	if err := os.WriteFile(garbage, []byte("definitely not a WAL file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWAL(garbage, WALOptions{}, nil); err == nil {
+		t.Error("garbage accepted as a WAL")
+	}
+}
+
+func TestWALGroupCommitAndReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path, WALOptions{SyncEvery: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < 3; i++ {
+		if err := w.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.unsynced != 3 {
+		t.Errorf("unsynced = %d before the group boundary", w.unsynced)
+	}
+	if err := w.Append([]byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	if w.unsynced != 0 {
+		t.Errorf("unsynced = %d after the group boundary (group commit did not fire)", w.unsynced)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != 0 || w.Size() != int64(len(walMagic)) {
+		t.Errorf("after Reset: %d records, %d bytes", w.Records(), w.Size())
+	}
+	if recs := walRecords(t, path); len(recs) != 0 {
+		t.Errorf("reset log still scans %d records", len(recs))
+	}
+	if err := w.Append([]byte("post-reset")); err != nil {
+		t.Fatal(err)
+	}
+	if recs := walRecords(t, path); len(recs) != 1 {
+		t.Errorf("append after reset: %d records", len(recs))
+	}
+}
+
+func TestWALRejectsOversizedRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path, WALOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(make([]byte, MaxWALRecord+1)); err == nil {
+		t.Error("oversized record accepted")
+	}
+	if w.Records() != 0 {
+		t.Error("failed append still counted")
+	}
+}

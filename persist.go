@@ -1,10 +1,11 @@
 package gir
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -21,39 +22,55 @@ import (
 )
 
 // Save persists the dataset's index — all pages plus tree metadata,
-// including the active query space — to a single snapshot file that Open
-// can load later. Building a large R*-tree once and reusing it across
-// runs is how the experiment harness is meant to be used at paper scale.
+// including the active query space and mutation version — to a single
+// snapshot file that Open can load later. The file is replaced
+// atomically (temp + fsync + rename), so a crash mid-save leaves the
+// previous snapshot intact. Building a large R*-tree once and reusing it
+// across runs is how the experiment harness is meant to be used at paper
+// scale.
 func (ds *Dataset) Save(path string) error {
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return ds.saveLocked(path)
+}
+
+// saveLocked is Save with ds.mu already held (either mode: it only
+// reads). Checkpoint runs it under the exclusive lock so no mutation can
+// land between the version it records and the pages it writes.
+func (ds *Dataset) saveLocked(path string) error {
 	root, height, size := ds.tree.Meta()
-	meta := make([]byte, 21)
+	meta := make([]byte, 29)
 	binary.LittleEndian.PutUint32(meta[0:], uint32(ds.tree.Dim()))
 	binary.LittleEndian.PutUint32(meta[4:], uint32(root))
 	binary.LittleEndian.PutUint32(meta[8:], uint32(height))
 	binary.LittleEndian.PutUint64(meta[12:], uint64(size))
-	meta[20] = byte(ds.Space())
+	meta[20] = byte(ds.space)
+	binary.LittleEndian.PutUint64(meta[21:], uint64(ds.version.Load()))
 	return pager.Snapshot(ds.store, meta, path)
 }
 
-// datasetMeta decodes the snapshot metadata block. Every loadable
-// snapshot carries the query-space byte: 20-byte metadata predates it,
-// but those files are version-1 snapshots (row-major leaves) that
-// pager.LoadSnapshot already refuses.
+// datasetMeta decodes the snapshot metadata block: dimension, tree
+// geometry, query space, and the mutation version the snapshot captured
+// (the replay cursor for write-ahead recovery). Shorter 20/21-byte
+// metadata predates the version field, but those files are version-1/2
+// snapshots that pager.LoadSnapshot already refuses.
 type datasetMeta struct {
 	dim, height, size int
 	root              pager.PageID
 	space             Space
+	version           int64
 }
 
 func parseDatasetMeta(meta []byte, path string) (datasetMeta, error) {
-	if len(meta) != 21 {
+	if len(meta) != 29 {
 		return datasetMeta{}, fmt.Errorf("gir: %s has malformed dataset metadata", path)
 	}
 	m := datasetMeta{
-		dim:    int(binary.LittleEndian.Uint32(meta[0:])),
-		root:   pager.PageID(binary.LittleEndian.Uint32(meta[4:])),
-		height: int(binary.LittleEndian.Uint32(meta[8:])),
-		size:   int(binary.LittleEndian.Uint64(meta[12:])),
+		dim:     int(binary.LittleEndian.Uint32(meta[0:])),
+		root:    pager.PageID(binary.LittleEndian.Uint32(meta[4:])),
+		height:  int(binary.LittleEndian.Uint32(meta[8:])),
+		size:    int(binary.LittleEndian.Uint64(meta[12:])),
+		version: int64(binary.LittleEndian.Uint64(meta[21:])),
 	}
 	switch Space(meta[20]) {
 	case SpaceBox, SpaceSimplex:
@@ -65,7 +82,7 @@ func parseDatasetMeta(meta []byte, path string) (datasetMeta, error) {
 }
 
 // Open loads a dataset snapshot written by Save, restoring its query
-// space along with the index.
+// space and mutation version along with the index.
 func Open(path string) (*Dataset, error) {
 	store, meta, err := pager.LoadSnapshot(path)
 	if err != nil {
@@ -76,7 +93,9 @@ func Open(path string) (*Dataset, error) {
 		return nil, err
 	}
 	tree := rtree.Attach(store, m.dim, m.root, m.height, m.size)
-	return &Dataset{tree: tree, store: store, cost: pager.DefaultCostModel, space: m.space}, nil
+	ds := &Dataset{tree: tree, store: store, cost: pager.DefaultCostModel, space: m.space}
+	ds.version.Store(m.version)
+	return ds, nil
 }
 
 // NewDatasetOnDisk bulk-loads the index directly into a real page file at
@@ -104,46 +123,67 @@ func NewDatasetOnDiskInSpace(points [][]float64, path string, space Space) (*Dat
 
 // OpenOnDisk attaches to a dataset snapshot without loading it into
 // memory: every page access is a real file read. The snapshot layout is
-// header+metadata followed by page-aligned data, so reads go through a
-// FileStore positioned past the header.
+// header+metadata followed by page-aligned data; FileStore needs page
+// alignment, so reads go through a page-aligned sidecar file derived
+// from the snapshot. A sidecar left by an earlier open of the same
+// snapshot (matched by an embedded identity trailer: source size, mtime,
+// page count) is reused as-is; otherwise it is rebuilt under a unique
+// temp name and renamed into place, so concurrent openers of one path
+// never clobber each other. Close removes the sidecar.
 func OpenOnDisk(path string) (*Dataset, error) {
-	// Snapshots carry a 16-byte header plus the 21-byte dataset meta
-	// block before the pages; FileStore needs page alignment. Rather than complicating the store with offsets,
-	// rewrite the snapshot into a page-aligned sidecar on first open.
 	store, meta, err := pager.LoadSnapshot(path)
 	if err != nil {
 		return nil, err
 	}
-	side := path + ".pages"
-	fs, err := pager.CreateFileStore(side)
-	if err != nil {
-		return nil, err
-	}
-	for id := 1; id <= store.NumPages(); id++ {
-		fid := fs.Alloc()
-		fs.Write(fid, store.Read(pager.PageID(id)))
-	}
-	if err := fs.Sync(); err != nil {
-		fs.Close()
-		return nil, err
-	}
-	fs.ResetStats()
 	m, err := parseDatasetMeta(meta, path)
 	if err != nil {
-		fs.Close()
 		return nil, err
 	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	crc, err := pager.SnapshotCRC(path)
+	if err != nil {
+		return nil, err
+	}
+	id := pager.SidecarID{SrcSize: info.Size(), SrcCRC: crc}
+	side := path + ".pages"
+	fs, ok := pager.AttachSidecar(side, id, store.NumPages())
+	if !ok {
+		if fs, err = pager.CreateSidecar(side, store, id); err != nil {
+			return nil, err
+		}
+	}
 	tree := rtree.Attach(fs, m.dim, m.root, m.height, m.size)
-	return &Dataset{tree: tree, store: fs, cost: pager.DefaultCostModel, file: fs, space: m.space}, nil
+	ds := &Dataset{tree: tree, store: fs, cost: pager.DefaultCostModel, file: fs, sidecar: side, space: m.space}
+	ds.version.Store(m.version)
+	return ds, nil
 }
 
-// Close releases the file handle of a disk-backed dataset; it is a no-op
-// for in-memory datasets.
+// Close releases a disk-backed dataset: the write-ahead log (if one is
+// attached) is synced and closed, the page file handle released, and the
+// OpenOnDisk sidecar removed. It is a no-op for in-memory datasets
+// without a WAL.
 func (ds *Dataset) Close() error {
-	if ds.file != nil {
-		return ds.file.Close()
+	var first error
+	if ds.wal != nil {
+		first = ds.wal.Close()
+		ds.wal = nil
 	}
-	return nil
+	if ds.file != nil {
+		if err := ds.file.Close(); err != nil && first == nil {
+			first = err
+		}
+		ds.file = nil
+	}
+	if ds.sidecar != "" {
+		if err := os.Remove(ds.sidecar); err != nil && !os.IsNotExist(err) && first == nil {
+			first = err
+		}
+		ds.sidecar = ""
+	}
+	return first
 }
 
 // BatchItem is one unit of work for ComputeGIRBatch.
@@ -192,11 +232,18 @@ func (ds *Dataset) ComputeGIRBatch(items []BatchItem, m Method, parallelism int)
 
 // warmCacheMagic heads a warm-cache snapshot file (the trailing byte is a
 // format version). Version 2 added the query-space byte after the
-// dimension; version-1 snapshots load as box-space caches.
+// dimension; version 3 added a whole-file CRC32C and the dataset version
+// the snapshot captured. Older versions still load (as box-space caches
+// for version 1), they just carry no checksum.
 var (
-	warmCacheMagic   = [8]byte{'G', 'I', 'R', 'W', 'A', 'R', 'M', '2'}
+	warmCacheMagic   = [8]byte{'G', 'I', 'R', 'W', 'A', 'R', 'M', '3'}
+	warmCacheMagicV2 = [8]byte{'G', 'I', 'R', 'W', 'A', 'R', 'M', '2'}
 	warmCacheMagicV1 = [8]byte{'G', 'I', 'R', 'W', 'A', 'R', 'M', '1'}
 )
+
+// cacheCRC is the Castagnoli table the warm-cache checksum uses (the same
+// polynomial as the pager's snapshot and WAL checksums).
+var cacheCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // SaveCache persists the engine's warm GIR cache — every entry's region,
 // result records, inscribed box, retained repair state (candidate set +
@@ -204,36 +251,51 @@ var (
 // server can skip the cold-fill phase (LoadCache). The engine quiesces
 // first: every published mutation is reconciled before the snapshot, so
 // the saved entries are exactly the cache a fresh engine over the same
-// dataset state would serve from. Entries are written in recency order,
-// preserving LRU behavior across the restart. Save the dataset alongside
-// (Dataset.Save): a warm cache is only sound for the dataset state it was
-// saved against.
+// dataset state would serve from; an engine that was Closed with
+// mutations still unreconciled returns an error instead of persisting
+// stale entries. Entries are written in recency order, preserving LRU
+// behavior across the restart, and the file is checksummed and replaced
+// atomically. Save the dataset alongside (Dataset.Save): a warm cache is
+// only sound for the dataset state it was saved against (Engine.Checkpoint
+// writes the pair in one consistent cut).
 func (e *Engine) SaveCache(path string) error {
 	if e.cache == nil {
 		return errors.New("gir: engine has no cache to save")
 	}
-	snaps := e.snapshotCacheQuiesced()
-	f, err := os.Create(path)
+	snaps, version, err := e.snapshotCacheQuiesced()
 	if err != nil {
 		return err
 	}
-	w := bufio.NewWriter(f)
-	enc := cacheEncoder{w: w}
-	enc.bytes(warmCacheMagic[:])
-	enc.u32(uint32(e.ds.Dim()))
-	enc.bytes([]byte{byte(e.ds.Space())})
+	return writeCacheSnapshot(path, e.ds.Dim(), e.ds.Space(), version, snaps)
+}
+
+// writeCacheSnapshot encodes and atomically writes a warm-cache snapshot:
+// magic, CRC32C of everything after it, then dimension, query space, the
+// dataset version the entries are reconciled with, and the entries.
+func writeCacheSnapshot(path string, dim int, space Space, version int64, snaps []cacheint.Snapshot) error {
+	var buf bytes.Buffer
+	enc := cacheEncoder{w: &buf}
+	enc.u32(uint32(dim))
+	enc.bytes([]byte{byte(space)})
+	enc.i64(version)
 	enc.u32(uint32(len(snaps)))
 	for _, s := range snaps {
 		enc.entry(s)
 	}
-	if enc.err == nil {
-		enc.err = w.Flush()
-	}
 	if enc.err != nil {
-		f.Close()
 		return fmt.Errorf("gir: saving cache to %s: %w", path, enc.err)
 	}
-	return f.Close()
+	payload := buf.Bytes()
+	return pager.AtomicWriteFile(path, func(f *os.File) error {
+		var head [12]byte
+		copy(head[:8], warmCacheMagic[:])
+		binary.LittleEndian.PutUint32(head[8:], crc32.Checksum(payload, cacheCRC))
+		if _, err := f.Write(head[:]); err != nil {
+			return err
+		}
+		_, err := f.Write(payload)
+		return err
+	})
 }
 
 // snapshotCacheQuiesced captures every cache entry in recency order at a
@@ -246,19 +308,28 @@ func (e *Engine) SaveCache(path string) error {
 // (Entry.Snapshot also copies the candidate slice, the one mutable piece
 // of entry state). Writers that arrive while the snapshot is being taken
 // simply block on publishing, exactly as they do behind a fill commit.
-func (e *Engine) snapshotCacheQuiesced() []cacheint.Snapshot {
+// The returned version is the dataset version the entries are exactly
+// reconciled with (no publish can complete while invMu is held, so the
+// read is stable). If the engine was Closed with mutations still queued,
+// the drainer is gone and the cache can never catch up: that is an error,
+// not a snapshot of stale entries.
+func (e *Engine) snapshotCacheQuiesced() ([]cacheint.Snapshot, int64, error) {
 	e.invMu.Lock()
 	defer e.invMu.Unlock()
 	for len(e.pending) > 0 && !e.closed {
 		e.invCond.Wait()
 	}
+	if n := len(e.pending); n > 0 {
+		return nil, 0, fmt.Errorf("gir: engine closed with %d mutations unreconciled — the cache is stale and was not saved", n)
+	}
+	version := e.ds.version.Load()
 	entries := e.cache.inner.Entries()
 	sort.Slice(entries, func(i, j int) bool { return entries[i].LastUse() < entries[j].LastUse() })
 	snaps := make([]cacheint.Snapshot, len(entries))
 	for i, ent := range entries {
 		snaps[i] = ent.Snapshot()
 	}
-	return snaps
+	return snaps, version, nil
 }
 
 // LoadCache restores a warm cache saved by SaveCache into the engine's
@@ -272,26 +343,49 @@ func (e *Engine) snapshotCacheQuiesced() []cacheint.Snapshot {
 // hand-managed Cache. Restored entries serve immediately: the first
 // lookups of the restarted engine are warm hits.
 func (e *Engine) LoadCache(path string) error {
+	return e.loadCache(path, nil)
+}
+
+// loadCacheAtVersion loads the snapshot only if it records exactly the
+// given dataset version. A version mismatch is not an error — it is the
+// signature of a checkpoint that crashed between its two file writes, and
+// costs the warm start, nothing else.
+func (e *Engine) loadCacheAtVersion(path string, version int64) error {
+	return e.loadCache(path, &version)
+}
+
+func (e *Engine) loadCache(path string, requireVersion *int64) error {
 	if e.cache == nil {
 		return errors.New("gir: engine has no cache to load into")
 	}
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	dec := cacheDecoder{r: bufio.NewReader(f)}
-	var magic [8]byte
-	dec.bytes(magic[:])
-	if dec.err == nil && magic != warmCacheMagic && magic != warmCacheMagicV1 {
+	if len(data) < 8 {
 		return fmt.Errorf("gir: %s is not a warm-cache snapshot", path)
 	}
-	dim := int(dec.u32())
-	if dec.err == nil && dim != e.ds.Dim() {
-		return fmt.Errorf("gir: cache snapshot has dimension %d, dataset has %d", dim, e.ds.Dim())
+	var magic [8]byte
+	copy(magic[:], data)
+	var body []byte
+	switch magic {
+	case warmCacheMagic:
+		if len(data) < 12 {
+			return fmt.Errorf("gir: %s is not a warm-cache snapshot", path)
+		}
+		if crc32.Checksum(data[12:], cacheCRC) != binary.LittleEndian.Uint32(data[8:]) {
+			return fmt.Errorf("gir: %s fails its checksum — the warm-cache snapshot is corrupt", path)
+		}
+		body = data[12:]
+	case warmCacheMagicV2, warmCacheMagicV1:
+		body = data[8:] // pre-checksum formats: decode guards only
+	default:
+		return fmt.Errorf("gir: %s is not a warm-cache snapshot", path)
 	}
+	dec := cacheDecoder{r: bytes.NewReader(body)}
+	dim := int(dec.u32())
 	space := SpaceBox // version-1 snapshots predate the simplex domain
-	if magic == warmCacheMagic {
+	if magic != warmCacheMagicV1 {
 		var sb [1]byte
 		dec.bytes(sb[:])
 		switch Space(sb[0]) {
@@ -302,6 +396,17 @@ func (e *Engine) LoadCache(path string) error {
 				return fmt.Errorf("gir: %s records unknown query space %d", path, sb[0])
 			}
 		}
+	}
+	savedVersion, haveVersion := int64(0), false
+	if magic == warmCacheMagic {
+		savedVersion = dec.i64()
+		haveVersion = true
+	}
+	if dec.err == nil && requireVersion != nil && (!haveVersion || savedVersion != *requireVersion) {
+		return nil // torn checkpoint pair: skip the warm start
+	}
+	if dec.err == nil && dim != e.ds.Dim() {
+		return fmt.Errorf("gir: cache snapshot has dimension %d, dataset has %d", dim, e.ds.Dim())
 	}
 	if dsSpace := e.ds.Space(); dec.err == nil && space != dsSpace {
 		return fmt.Errorf("gir: cache snapshot was saved in the %v query space, dataset serves %v — cross-domain loads are refused", space, dsSpace)

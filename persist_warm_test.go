@@ -1,9 +1,12 @@
 package gir
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -246,12 +249,30 @@ func TestLoadCacheRejectsGarbage(t *testing.T) {
 		t.Error("truncated snapshot accepted")
 	}
 
+	// Any flipped bit fails the whole-file checksum, even where the
+	// structural guards below could not see it.
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)-3] ^= 0x10
+	flipPath := filepath.Join(dir, "flip.gircache")
+	if err := os.WriteFile(flipPath, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadCache(flipPath); err == nil {
+		t.Error("bit-flipped snapshot accepted")
+	} else if !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corruption should fail the checksum, got: %v", err)
+	}
+
+	// The decoder's own guards stay live behind the checksum (a bug in the
+	// writer would produce a valid CRC over bad structure): corrupt the
+	// bytes, then recompute the CRC so the decoder actually sees them.
 	// A corrupt vector-length prefix must fail the load, not restore an
 	// entry whose first lookup panics on a mismatched dot product. The
-	// first entry's query-vector length lives right after the 17-byte
-	// header (magic + dim + space + count).
+	// first entry's query-vector length lives right after the 29-byte
+	// header (magic 8 + crc 4 + dim 4 + space 1 + version 8 + count 4).
 	corrupt := append([]byte(nil), data...)
-	corrupt[17] = 200
+	corrupt[29] = 200
+	refreshCacheCRC(corrupt)
 	bad := filepath.Join(dir, "bad.gircache")
 	if err := os.WriteFile(bad, corrupt, 0o644); err != nil {
 		t.Fatal(err)
@@ -262,13 +283,58 @@ func TestLoadCacheRejectsGarbage(t *testing.T) {
 
 	// An unknown query-space byte must be rejected up front.
 	badSpace := append([]byte(nil), data...)
-	badSpace[12] = 9 // the space byte follows magic (8) + dim (4)
+	badSpace[16] = 9 // the space byte follows magic (8) + crc (4) + dim (4)
+	refreshCacheCRC(badSpace)
 	badPath := filepath.Join(dir, "badspace.gircache")
 	if err := os.WriteFile(badPath, badSpace, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if err := e.LoadCache(badPath); err == nil {
 		t.Error("snapshot with unknown query space accepted")
+	}
+}
+
+// refreshCacheCRC recomputes a warm-cache snapshot's whole-file checksum
+// in place, so tests can corrupt the payload and still reach the decoder.
+func refreshCacheCRC(data []byte) {
+	binary.LittleEndian.PutUint32(data[8:], crc32.Checksum(data[12:], cacheCRC))
+}
+
+// TestSaveCacheAfterCloseWithPending pins the snapshotCacheQuiesced
+// contract: an engine Closed while mutations were still queued has lost
+// its drainer — the cache can never be reconciled — so SaveCache must
+// refuse with an error naming the backlog instead of persisting stale
+// entries. The state is staged directly (closed flag + queued mutations)
+// because losing that race to a real Close is timing-dependent.
+func TestSaveCacheAfterCloseWithPending(t *testing.T) {
+	r := rand.New(rand.NewSource(93))
+	points := make([][]float64, 300)
+	for i := range points {
+		points[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+	}
+	ds, err := NewDataset(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(ds, EngineOptions{})
+	if res := e.TopK([]float64{0.4, 0.5, 0.6}, 4); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	e.Close()
+	e.invMu.Lock()
+	e.pending = append(e.pending, mutation{version: ds.version.Load() + 1, insert: true, id: 999, point: []float64{0.1, 0.2, 0.3}})
+	e.invMu.Unlock()
+
+	path := filepath.Join(t.TempDir(), "stale.gircache")
+	err = e.SaveCache(path)
+	if err == nil {
+		t.Fatal("SaveCache persisted a cache with unreconciled mutations")
+	}
+	if !strings.Contains(err.Error(), "1 mutation") {
+		t.Errorf("error should name the unreconciled backlog, got: %v", err)
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Error("a stale cache snapshot was written despite the error")
 	}
 }
 
