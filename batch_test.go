@@ -119,8 +119,8 @@ func TestBatchMaintenanceDifferential(t *testing.T) {
 			if len(live) > n/2 && r.Intn(3) == 0 {
 				k := r.Intn(len(live))
 				id := live[k]
-				if !ds.Delete(id, mirror[id]) {
-					t.Fatalf("lost record %d", id)
+				if ok, err := ds.Delete(id, mirror[id]); err != nil || !ok {
+					t.Fatalf("lost record %d (%v, %v)", id, ok, err)
 				}
 				delete(mirror, id)
 				live[k] = live[len(live)-1]

@@ -144,6 +144,10 @@ func (c *Cache) Len() int { return c.inner.Len() }
 // Shards returns the shard count.
 func (c *Cache) Shards() int { return c.inner.Shards() }
 
+// Capacity returns the maximum number of entries the cache holds before
+// approximate-LRU eviction kicks in.
+func (c *Cache) Capacity() int { return c.inner.Capacity() }
+
 // Clear drops every cached entry. The blunt instrument for hand-managed
 // caches; InvalidateInsert/InvalidateDelete evict only the entries a
 // specific mutation can actually perturb (the Engine drives those

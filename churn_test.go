@@ -154,7 +154,7 @@ func runEngineChurn(t *testing.T, opts EngineOptions, space Space) {
 			}
 			if len(live) > 0 && mr.Intn(3) == 0 { // delete a previous insert
 				victim := live[mr.Intn(len(live))]
-				if !ds.Delete(victim.id, victim.point) {
+				if ok, err := ds.Delete(victim.id, victim.point); err != nil || !ok {
 					t.Error("lost a churn record")
 					return
 				}

@@ -110,7 +110,9 @@ func runBurst(cfg serveConfig, churn float64, burst int, repair bool, jsonPath s
 						return err
 					}
 				case op.Write:
-					ds.Delete(op.ID, op.Point)
+					if _, err := ds.Delete(op.ID, op.Point); err != nil {
+						return err
+					}
 				default:
 					if res := e.TopK(op.Query, op.K); res.Err != nil {
 						return res.Err

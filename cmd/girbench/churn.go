@@ -108,7 +108,9 @@ func runChurn(cfg serveConfig, churn float64, repair bool, jsonPath string, w io
 						return err
 					}
 				case op.Write:
-					ds.Delete(op.ID, op.Point)
+					if _, err := ds.Delete(op.ID, op.Point); err != nil {
+						return err
+					}
 				default:
 					if res := e.TopK(op.Query, op.K); res.Err != nil {
 						return res.Err

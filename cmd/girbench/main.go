@@ -40,6 +40,7 @@ func main() {
 	serveRepair := flag.Bool("repair", false, "-serve -churn: also measure RepairMode (repair-instead-of-evict cache maintenance) as a third configuration")
 	serveBurst := flag.Int("burst", 0, "-serve -churn: writes arrive in bursts of this size (> 1 runs the batched-vs-per-mutation drain benchmark)")
 	serveWAL := flag.Bool("wal", false, "-serve -churn: benchmark write-ahead-log durability (no-wal vs per-append fsync vs group commit) instead of cache maintenance")
+	serveShards := flag.Int("shards", 0, "-serve: benchmark the horizontally partitioned scatter/gather tier with this many partitions vs a single partition (> 1)")
 	serveWALSync := flag.Int("walsync", 32, "-serve -wal: group-commit interval for the third row (fsync once per this many appends)")
 	serveSpace := flag.String("space", "box", "-serve: query-space domain — box ([0,1]^d) or simplex (the paper's Σw=1 convention; queries are sum-normalized)")
 	serveJSON := flag.String("json", "", "-serve: also write the measured rows to this file as JSON (the CI BENCH_hotpath.json / BENCH_serve.json / BENCH_repair.json / BENCH_batch.json / BENCH_simplex.json artifact)")
@@ -133,7 +134,15 @@ func main() {
 		if *serveWALSync < 1 {
 			fatal("bad -walsync: %d (want a group-commit interval ≥ 1)", *serveWALSync)
 		}
+		if *serveShards < 0 || *serveShards == 1 {
+			fatal("bad -shards: %d (want a partition count > 1, or 0 for the unsharded benchmarks)", *serveShards)
+		}
+		if *serveShards > 1 && (*serveWAL || *serveBurst > 1 || *serveRepair) {
+			fatal("-shards is its own benchmark; drop -wal/-burst/-repair")
+		}
 		switch {
+		case *serveShards > 1:
+			err = runShard(scfg, *serveChurn, *serveShards, *serveJSON, os.Stdout)
 		case *serveWAL:
 			err = runWAL(scfg, *serveChurn, *serveWALSync, *serveJSON, os.Stdout)
 		case *serveChurn > 0 && *serveBurst > 1:

@@ -216,3 +216,62 @@ func TestRunBurstSmoke(t *testing.T) {
 		t.Errorf("config burst = %d", report.Config.Burst)
 	}
 }
+
+// TestRunShardSmoke runs the sharded serving benchmark end to end at toy
+// scale and validates the BENCH_shard.json artifact schema: a 1-shard
+// baseline row plus the N-shard row, per-partition sub-rows that cover
+// every partition with real traffic, skew ratios ≥ 1, and merge overhead
+// populated only on the sharded row.
+func TestRunShardSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard benchmark smoke is not -short")
+	}
+	dir := t.TempDir()
+	jsonPath := dir + "/BENCH_shard.json"
+	cfg := serveConfig{N: 1500, D: 3, Seed: 7, Stream: 300, Distinct: 8, ZipfS: 1.3, Jitter: 0.001, Batch: 32}
+	var buf strings.Builder
+	if err := runShard(cfg, 0.08, 4, jsonPath, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report shardReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if report.Benchmark != "girbench-serve-shard" || report.Config.Shards != 4 {
+		t.Fatalf("bad report header: %q, shards %d", report.Benchmark, report.Config.Shards)
+	}
+	if len(report.Rows) != 2 || report.Rows[0].Shards != 1 || report.Rows[1].Shards != 4 {
+		t.Fatalf("unexpected rows: %+v", report.Rows)
+	}
+	for _, row := range report.Rows {
+		if len(row.Parts) != row.Shards {
+			t.Fatalf("%s row has %d partition sub-rows for %d shards", row.Name, len(row.Parts), row.Shards)
+		}
+		if row.Queries != 300-row.Writes || row.QPS <= 0 {
+			t.Errorf("%s row has bad volume/throughput: %+v", row.Name, row)
+		}
+		if row.Hits == 0 {
+			t.Errorf("%s row served no cache hits", row.Name)
+		}
+		if row.RecordSkew < 1 || row.LookupSkew < 1 {
+			t.Errorf("%s row has skew ratios below 1: %+v", row.Name, row)
+		}
+		records := 0
+		for _, pr := range row.Parts {
+			records += pr.Records
+			if pr.Lookups == 0 {
+				t.Errorf("%s row: partition %d saw no lookups — the scatter skipped it", row.Name, pr.Part)
+			}
+		}
+		if records < cfg.N {
+			t.Errorf("%s row: partitions hold %d records, seeded with %d", row.Name, records, cfg.N)
+		}
+	}
+	if report.Rows[0].MergeOverheadPct != 0 {
+		t.Errorf("baseline row carries merge overhead: %+v", report.Rows[0])
+	}
+}

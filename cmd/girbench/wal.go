@@ -105,7 +105,9 @@ func runWAL(cfg serveConfig, churn float64, syncEvery int, jsonPath string, w io
 				lat = append(lat, time.Since(t0))
 			case op.Write:
 				t0 := time.Now()
-				ds.Delete(op.ID, op.Point)
+				if _, err := ds.Delete(op.ID, op.Point); err != nil {
+					return err
+				}
 				lat = append(lat, time.Since(t0))
 			default:
 				if _, err := ds.TopK(op.Query, op.K); err != nil {
@@ -140,8 +142,8 @@ func runWAL(cfg serveConfig, churn float64, syncEvery int, jsonPath string, w io
 		}
 
 		if walSync > 0 {
-			records, bytes := ds.WALStats()
-			row.WALRecords, row.WALBytes = records, bytes
+			st := ds.WALStats()
+			row.WALRecords, row.WALBytes = st.Records, st.Bytes
 			// End-to-end sanity: checkpoint, then recover the directory into
 			// a fresh dataset and require the same cardinality. A benchmark
 			// that measures a broken durability path is worse than no number.

@@ -132,8 +132,8 @@ func TestKillDurability(t *testing.T) {
 		// The acknowledged insert must have survived; deleting it by exact
 		// id+point is the membership check (and itself gets logged for the
 		// next round).
-		if !ds.Delete(ackID, []float64{0.123, 0.456, 0.789}) {
-			t.Fatalf("round %d: acknowledged SyncEvery=1 insert %d was lost", round, ackID)
+		if ok, err := ds.Delete(ackID, []float64{0.123, 0.456, 0.789}); err != nil || !ok {
+			t.Fatalf("round %d: acknowledged SyncEvery=1 insert %d was lost (%v, %v)", round, ackID, ok, err)
 		}
 		if err := ds.Close(); err != nil {
 			t.Fatal(err)

@@ -352,6 +352,14 @@ type EngineStats struct {
 	DrainedMutations int64
 	PredicateEvals   int64
 	FenceOpen        time.Duration
+
+	// Version is the dataset mutation version visible when the stats were
+	// read; Reconciled is the version the cache is fully reconciled with
+	// (= Version when the generation fence is down or caching is off). A
+	// sharded coordinator reads these to place a partition on its version
+	// vector and to see drain lag at a glance.
+	Version    int64
+	Reconciled int64
 }
 
 // Stats returns cumulative engine counters.
@@ -367,9 +375,12 @@ func (e *Engine) Stats() EngineStats {
 		DrainedMutations: e.drainedMuts.Load(),
 		PredicateEvals:   e.planner.Predicates(),
 		FenceOpen:        time.Duration(e.fenceNanos.Load()),
+		Version:          e.ds.version.Load(),
 	}
+	st.Reconciled = st.Version
 	if e.cache != nil {
 		st.CacheHits, st.PartialHits, st.Misses = e.cache.Stats()
+		st.Reconciled = e.applied.Load()
 	}
 	return st
 }

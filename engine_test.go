@@ -302,8 +302,8 @@ func TestEngineMutationInvalidatesCache(t *testing.T) {
 
 	// Delete restores the old result; the cache must have been refilled
 	// for the post-insert state and flush again.
-	if !ds.Delete(newID, []float64{0.999, 0.999, 0.999}) {
-		t.Fatal("delete failed")
+	if ok, err := ds.Delete(newID, []float64{0.999, 0.999, 0.999}); err != nil || !ok {
+		t.Fatalf("delete failed: %v, %v", ok, err)
 	}
 	final := e.TopK(q.Vector, q.K)
 	if final.Err != nil {
@@ -338,7 +338,7 @@ func TestEngineQueriesRaceMutations(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			if !ds.Delete(id, p) {
+			if ok, err := ds.Delete(id, p); err != nil || !ok {
 				t.Error("lost the record just inserted")
 				return
 			}

@@ -81,7 +81,9 @@ func run(name string, raw [][]float64, ops []engine.ChurnOp, flushOnWrite bool) 
 				log.Fatal(err)
 			}
 		case o.Write:
-			ds.Delete(o.ID, o.Point)
+			if _, err := ds.Delete(o.ID, o.Point); err != nil {
+				log.Fatal(err)
+			}
 		default:
 			if res := e.TopK(o.Query, o.K); res.Err != nil {
 				log.Fatal(res.Err)

@@ -320,6 +320,49 @@ func NewDataset(points [][]float64) (*Dataset, error) {
 	return &Dataset{tree: tree, store: store, cost: pager.DefaultCostModel}, nil
 }
 
+// NewDatasetWithIDs is NewDatasetInSpace with explicit record ids:
+// points[i] is stored under ids[i] instead of its index. It is the
+// constructor a partitioned tier builds shards with — each partition
+// holds a subset of a global dataset and must keep the GLOBAL ids, so
+// results merged across partitions agree record-for-record with a single
+// dataset over the union. ids must be pairwise distinct and match points
+// in length.
+func NewDatasetWithIDs(ids []int64, points [][]float64, space Space) (*Dataset, error) {
+	if len(ids) != len(points) {
+		return nil, fmt.Errorf("gir: %d ids for %d points", len(ids), len(points))
+	}
+	seen := make(map[int64]struct{}, len(ids))
+	for _, id := range ids {
+		if _, dup := seen[id]; dup {
+			return nil, fmt.Errorf("gir: duplicate record id %d", id)
+		}
+		seen[id] = struct{}{}
+	}
+	if len(points) == 0 {
+		return nil, errors.New("gir: empty dataset")
+	}
+	d := len(points[0])
+	if d < 2 {
+		return nil, fmt.Errorf("gir: dimension %d not supported (need ≥ 2)", d)
+	}
+	pts := make([]vec.Vector, len(points))
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("gir: point %d has dimension %d, want %d", i, len(p), d)
+		}
+		for j, x := range p {
+			if x < 0 || x > 1 {
+				return nil, fmt.Errorf("gir: point %d coordinate %d = %v outside [0,1]", i, j, x)
+			}
+		}
+		pts[i] = vec.Vector(p)
+	}
+	store := pager.NewMemStore()
+	tree := rtree.BulkLoad(store, d, pts, ids)
+	store.ResetStats()
+	return &Dataset{tree: tree, store: store, cost: pager.DefaultCostModel, space: space}, nil
+}
+
 // Insert adds a record dynamically (R* insertion with forced reinsert).
 // It blocks until in-flight queries drain and excludes new ones. With a
 // write-ahead log attached (EnableWAL), the mutation is logged — and, per
@@ -342,23 +385,29 @@ func (ds *Dataset) Insert(id int64, p []float64) error {
 }
 
 // Delete removes the record with the given id and coordinates; it reports
-// whether the record was found. Like Insert, it excludes queries, and
-// with a write-ahead log attached the deletion is logged before it
-// becomes visible. A WAL append failure after the tree already shed the
-// record cannot be unwound and panics, like a failed page write.
-func (ds *Dataset) Delete(id int64, p []float64) bool {
+// whether the record was found. Like Insert, it excludes queries and
+// follows the log-before-visibility discipline: with a write-ahead log
+// attached, the deletion is appended — and, per WALOptions.SyncEvery,
+// fsynced — before the tree sheds the record, so a failed append aborts
+// the delete with the dataset untouched and the record still served.
+// (The tree is probed first so a miss never logs a record replay would
+// reject.)
+func (ds *Dataset) Delete(id int64, p []float64) (bool, error) {
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
+	if ds.wal != nil {
+		if !ds.tree.Contains(id, vec.Vector(p)) {
+			return false, nil
+		}
+		if err := ds.wal.Append(walEncode(ds.version.Load()+1, false, id, p)); err != nil {
+			return false, fmt.Errorf("gir: delete aborted, write-ahead append failed: %w", err)
+		}
+	}
 	found := ds.tree.Delete(id, vec.Vector(p))
 	if found {
-		if ds.wal != nil {
-			if err := ds.wal.Append(walEncode(ds.version.Load()+1, false, id, p)); err != nil {
-				panic(fmt.Sprintf("gir: write-ahead append failed with delete already applied: %v", err))
-			}
-		}
 		ds.publishLocked(false, id, p)
 	}
-	return found
+	return found, nil
 }
 
 // Len returns the number of records.
@@ -367,6 +416,14 @@ func (ds *Dataset) Len() int {
 	defer ds.mu.RUnlock()
 	return ds.tree.Len()
 }
+
+// Version returns the dataset's mutation version: 0 at construction,
+// advanced by one per applied Insert/Delete. It is the coordinate a
+// sharded serving tier's version vector is built from — an Engine over
+// this dataset serves results at or past the version read here (its
+// generation fence vetoes cache hits that any not-yet-reconciled
+// mutation could perturb).
+func (ds *Dataset) Version() int64 { return ds.version.Load() }
 
 // Dim returns the data dimensionality.
 func (ds *Dataset) Dim() int { return ds.tree.Dim() }

@@ -212,10 +212,12 @@ func TestInsertDelete(t *testing.T) {
 	if res.Records[0].ID != 1000 {
 		t.Errorf("dominating insert is not top-1 (got %d)", res.Records[0].ID)
 	}
-	if !ds.Delete(1000, p) {
-		t.Error("Delete failed")
+	if ok, err := ds.Delete(1000, p); err != nil || !ok {
+		t.Errorf("Delete failed: %v, %v", ok, err)
 	}
-	if ds.Delete(1000, p) {
+	if ok, err := ds.Delete(1000, p); err != nil {
+		t.Error(err)
+	} else if ok {
 		t.Error("double Delete succeeded")
 	}
 	res2, _ := ds.TopK([]float64{0.5, 0.5}, 1)

@@ -644,3 +644,7 @@ func (c *Cache) Len() int {
 
 // Shards returns the shard count (exposed for benchmarks and reports).
 func (c *Cache) Shards() int { return len(c.shards) }
+
+// Capacity returns the maximum entry count the cache admits before
+// evicting (exposed so serving tiers can report per-partition fill).
+func (c *Cache) Capacity() int { return c.capacity }

@@ -57,6 +57,26 @@ func (o WALOptions) syncEvery() int {
 	return o.SyncEvery
 }
 
+// WALStats describes an open log: its intact contents plus the tail
+// diagnostics of the open that attached it. Truncating a torn tail is the
+// EXPECTED shape of a crash mid-append and never fails the open — the
+// tail counters exist so an operator can tell a clean restart (all zero)
+// from real loss: a half-written final frame (ShortTail, the benign crash
+// signature) versus fully framed records that had to be discarded
+// (TruncatedRecords > 0, with CRCFailures separating checksum corruption
+// from records merely stranded behind it).
+type WALStats struct {
+	Records int64 // intact records in the log
+	Bytes   int64 // end offset of the last intact record
+
+	// Tail diagnostics from the last OpenWAL (zero on a freshly created
+	// or cleanly closed log).
+	TruncatedBytes   int64 // bytes discarded past the last intact record
+	TruncatedRecords int64 // fully framed records among the discarded bytes
+	CRCFailures      int64 // discarded frames whose checksum mismatched
+	ShortTail        bool  // the discarded tail ended in a half-written frame
+}
+
 // WAL is an open write-ahead log. Safe for concurrent use; appends are
 // serialized.
 type WAL struct {
@@ -67,6 +87,7 @@ type WAL struct {
 	records  int64 // valid records in the log
 	unsynced int   // appends since the last fsync
 	opts     WALOptions
+	tail     WALStats // truncation diagnostics recorded by OpenWAL
 }
 
 // OpenWAL opens (creating if absent) the log at path, replays every intact
@@ -122,7 +143,13 @@ func OpenWAL(path string, opts WALOptions, replay func(payload []byte) error) (*
 	if valid < info.Size() {
 		// Torn or corrupt tail: cut it off so the next append starts at a
 		// clean record boundary. This is the expected crash shape and is
-		// never an error.
+		// never an error — but it must not be SILENT either: diagnose the
+		// tail before truncating so Stats can report exactly what was lost
+		// (bytes, framable records, and whether the cause was checksum
+		// corruption or an ordinary half-written final frame).
+		w.tail.TruncatedBytes = info.Size() - valid
+		w.tail.TruncatedRecords, w.tail.CRCFailures, w.tail.ShortTail =
+			diagnoseTail(f, valid, info.Size())
 		if err := f.Truncate(valid); err != nil {
 			f.Close()
 			return nil, err
@@ -194,6 +221,50 @@ func scanWAL(f *os.File, size int64, fn func(end int64, payload []byte) error) (
 			}
 		}
 	}
+}
+
+// diagnoseTail classifies the invalid region [start, size) of a log being
+// opened, walking record frames best-effort: a frame whose length prefix
+// is sane and whose payload is fully present counts as a truncated record
+// (with CRC-mismatching frames counted separately — the frame after a
+// corrupt one is untrustworthy to REPLAY, but its framing still tells the
+// operator how many records were stranded); a frame cut short mid-header
+// or mid-payload marks the tail as short (the benign crash signature); an
+// absurd length prefix ends the walk — framing is lost and the remaining
+// bytes are unclassifiable. Purely diagnostic: recovery semantics are
+// decided by scanWAL alone.
+func diagnoseTail(f *os.File, start, size int64) (records, crcFails int64, short bool) {
+	r := io.NewSectionReader(f, start, size-start)
+	var head [8]byte
+	for {
+		if _, err := io.ReadFull(r, head[:]); err != nil {
+			return records, crcFails, short || err == io.ErrUnexpectedEOF
+		}
+		n := binary.LittleEndian.Uint32(head[0:])
+		sum := binary.LittleEndian.Uint32(head[4:])
+		if n > MaxWALRecord {
+			return records, crcFails, short
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return records, crcFails, true
+		}
+		records++
+		if crc32.Checksum(payload, walCRC) != sum {
+			crcFails++
+		}
+	}
+}
+
+// Stats reports the log's intact contents and the tail diagnostics of the
+// open that attached it.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := w.tail
+	st.Records = w.records
+	st.Bytes = w.size
+	return st
 }
 
 // Append writes one record and applies the group-commit policy: the call

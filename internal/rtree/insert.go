@@ -290,6 +290,32 @@ func (t *Tree) split(n *Node) *Node {
 	return sibling
 }
 
+// Contains reports whether the record with the given id exists at point
+// p — the same containment walk Delete uses, without mutating. It lets a
+// caller decide a mutation's outcome before committing to side effects
+// (e.g. logging a delete to a write-ahead log before applying it).
+func (t *Tree) Contains(id int64, p vec.Vector) bool {
+	var walk func(nid pager.PageID) bool
+	walk = func(nid pager.PageID) bool {
+		n := t.ReadNode(nid)
+		if n.Leaf {
+			for _, e := range n.Entries {
+				if e.RecID == id && vec.Equal(e.Point(), p, 0) {
+					return true
+				}
+			}
+			return false
+		}
+		for _, e := range n.Entries {
+			if e.Rect.Contains(p) && walk(e.Child) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(t.root)
+}
+
 // Delete removes the record with the given id located at point p. It
 // returns false if no such record exists. Underfull nodes along the path
 // are dissolved and their entries reinserted (condense-tree).

@@ -1,0 +1,151 @@
+package shard
+
+import (
+	"fmt"
+
+	gir "github.com/girlib/gir"
+)
+
+// PartGIR is one partition's contribution to a global GIR computation.
+type PartGIR struct {
+	Part int
+	// GIR is the partition's local region: the weight vectors for which
+	// the partition's local top-min(k, |partition|) keeps its composition
+	// and order. The global region is a subset of every one of these.
+	GIR *gir.GIR
+	// Contributed is how many of the global top-k came from this
+	// partition. Because scores are bit-equal across partitions, the
+	// contributed records are exactly the first Contributed entries of
+	// the partition's local list.
+	Contributed int
+}
+
+// GIRResult is the answer to a global GIR query.
+type GIRResult struct {
+	Records []gir.Record
+	// Global is a sound global immutable region: for every weight vector
+	// inside it, the global top-k keeps exactly this composition and
+	// order. Like a repaired cache region, it may be SMALLER than the
+	// maximal GIR a single engine would compute — the cross-partition
+	// constraints added by the merge are sufficient, not necessary — but
+	// it is never unsound.
+	Global *gir.GIR
+	Parts  []PartGIR
+	At     VersionVector
+	Err    error
+}
+
+// GIR answers one global top-k query AND assembles its immutable region
+// from the partitions' local regions. Soundness argument, for any q'
+// inside Global:
+//
+//   - Each local region certifies its partition's local top-kᵢ list keeps
+//     composition and order at q' (partition halfspaces, inherited by
+//     intersection — Region.Shrink over the same Domain).
+//   - The added adjacent-pair constraints (r_j − r_{j+1})·q' ≥ 0 certify
+//     the merged order across partition boundaries.
+//   - For each partition, the runner-up constraint (r_k − u_i)·q' ≥ 0 —
+//     u_i the partition's first non-contributed local record — caps every
+//     non-contributed record: u_i tops the partition's non-contributed
+//     chain (local region), so nothing outside the global top-k can climb
+//     past r_k.
+//
+// Composition and order of the global top-k are therefore stable
+// throughout Global. A single partition needs no merge and returns its
+// local region unchanged (the maximal GIR).
+func (c *Coordinator) GIR(q []float64, k int, m gir.Method) GIRResult {
+	at := c.Versions()
+	total := c.Len()
+	if k < 1 || k > total {
+		return GIRResult{Err: fmt.Errorf("shard: k = %d outside [1, %d]", k, total), At: at}
+	}
+
+	// Scatter: every partition computes its local top-kᵢ and region in
+	// one BatchGIR call (filling its cache on the way, exactly as a
+	// single-engine BatchGIR would).
+	locals := make([]gir.EngineResult, len(c.parts))
+	c.scatter(func(i int) {
+		n := c.parts[i].ds.Len()
+		if n == 0 {
+			return
+		}
+		locals[i] = c.parts[i].eng.BatchGIR([]gir.Query{{Vector: q, K: min(k, n)}}, m)[0]
+	})
+
+	res := GIRResult{At: at, Parts: make([]PartGIR, 0, len(c.parts))}
+	var merged []gir.Record
+	for i := range c.parts {
+		if c.parts[i].ds.Len() == 0 {
+			continue
+		}
+		r := locals[i]
+		if r.Err != nil {
+			return GIRResult{Err: fmt.Errorf("shard: partition %d: %w", i, r.Err), At: at}
+		}
+		if r.GIR == nil {
+			return GIRResult{Err: fmt.Errorf("shard: partition %d returned no region", i), At: at}
+		}
+		res.Parts = append(res.Parts, PartGIR{Part: i, GIR: r.GIR})
+		merged = append(merged, r.Records...)
+	}
+	sortMerged(merged)
+	res.Records = merged[:k]
+
+	// Count contributions. Bit-equal scoring makes each partition's
+	// contributed records the prefix of its local list, so the runner-up
+	// below is just the next local entry.
+	inTop := make(map[int64]int, k)
+	for _, r := range res.Records {
+		inTop[r.ID] = 1
+	}
+	for pi := range res.Parts {
+		n := 0
+		for _, r := range locals[res.Parts[pi].Part].Records {
+			if inTop[r.ID] != 0 {
+				n++
+			}
+		}
+		res.Parts[pi].Contributed = n
+	}
+
+	if len(res.Parts) == 1 {
+		res.Global = res.Parts[0].GIR
+		return res
+	}
+
+	// Gather the cross-partition constraints, then intersect: the base
+	// partition's region already carries its own halfspaces and the
+	// Domain; Shrink adds the rest and re-reduces (redundant halfspaces —
+	// e.g. within-partition adjacencies re-added below — are dropped by
+	// the LP reduction).
+	var normals [][]float64
+	for pi, pg := range res.Parts {
+		if pi > 0 { // partition 0's region is the base
+			for _, con := range pg.GIR.Constraints() {
+				normals = append(normals, con.Normal)
+			}
+		}
+		local := locals[pg.Part].Records
+		if pg.Contributed < len(local) {
+			normals = append(normals, diff(res.Records[k-1].Attrs, local[pg.Contributed].Attrs))
+		}
+	}
+	for j := 0; j+1 < k; j++ {
+		normals = append(normals, diff(res.Records[j].Attrs, res.Records[j+1].Attrs))
+	}
+	g, err := res.Parts[0].GIR.Shrink(normals)
+	if err != nil {
+		return GIRResult{Err: fmt.Errorf("shard: region merge: %w", err), At: at}
+	}
+	res.Global = g
+	return res
+}
+
+// diff returns a − b: the halfspace normal certifying "a outranks b".
+func diff(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}

@@ -101,8 +101,8 @@ func TestWarmCacheRoundTrip(t *testing.T) {
 	// must be repairable in place (candidate promotion), not just evicted,
 	// and the repaired entry must serve the true post-delete result.
 	victim := saved[0][k-1]
-	if !ds2.Delete(victim.ID, victim.Attrs) {
-		t.Fatal("victim record missing from the restarted dataset")
+	if ok, err := ds2.Delete(victim.ID, victim.Attrs); err != nil || !ok {
+		t.Fatalf("victim record missing from the restarted dataset: %v, %v", ok, err)
 	}
 	e2.Quiesce()
 	if got := e2.Stats().Repaired; got < 1 {

@@ -235,8 +235,8 @@ func TestInvalidateThenRepairDeleteStaysSound(t *testing.T) {
 
 	// Delete the k-th result record and repair: the promotion must pick
 	// the freshly inserted record, not the stale fill-time next-best.
-	if !ds.Delete(kth.ID, kth.Attrs) {
-		t.Fatal("delete failed")
+	if ok, err := ds.Delete(kth.ID, kth.Attrs); err != nil || !ok {
+		t.Fatalf("delete failed: %v, %v", ok, err)
 	}
 	rep, ev := c.RepairDelete(kth.ID)
 	if rep != 1 || ev != 0 {
@@ -339,8 +339,8 @@ func runRepairDifferential(t *testing.T, space Space) {
 			j := r.Intn(len(live))
 			id := live[j]
 			p := mirror[id]
-			if !ds.Delete(id, p) {
-				t.Fatalf("step %d: lost record %d", step, id)
+			if ok, err := ds.Delete(id, p); err != nil || !ok {
+				t.Fatalf("step %d: lost record %d (%v, %v)", step, id, ok, err)
 			}
 			delete(mirror, id)
 			live[j] = live[len(live)-1]

@@ -161,8 +161,82 @@ func TestTornWriteCorpus(t *testing.T) {
 		if got := rec.Len() - base; got != intact {
 			t.Fatalf("WAL cut at %d bytes replayed %d records, want %d", cut, got, intact)
 		}
+		// The truncation must be REPORTED, not silent: Recover discards
+		// exactly the bytes past the last intact record, and — since every
+		// cut here lands mid-frame — classifies the loss as the benign
+		// short-tail crash signature, never as discarded whole records.
+		st := rec.WALStats()
+		if st.Records != int64(intact) {
+			t.Fatalf("WAL cut at %d bytes reports %d intact records, want %d", cut, st.Records, intact)
+		}
+		wantTrunc := int64(0)
+		if cut >= walMagicLen {
+			last := int64(walMagicLen)
+			for _, b := range boundaries {
+				if b <= int64(cut) {
+					last = b
+				}
+			}
+			wantTrunc = int64(cut) - last
+		}
+		if st.TruncatedBytes != wantTrunc {
+			t.Fatalf("WAL cut at %d bytes reports %d truncated bytes, want %d", cut, st.TruncatedBytes, wantTrunc)
+		}
+		if wantTrunc > 0 {
+			if !st.ShortTail || st.TruncatedRecords != 0 || st.CRCFailures != 0 {
+				t.Fatalf("WAL cut at %d bytes misclassified its torn tail: %+v", cut, st)
+			}
+		} else if st.ShortTail || st.TruncatedRecords != 0 || st.CRCFailures != 0 {
+			t.Fatalf("WAL cut at a record boundary (%d bytes) reports phantom loss: %+v", cut, st)
+		}
 		if err := rec.Close(); err != nil {
 			t.Fatal(err)
 		}
 	}
+
+	// Mid-log corruption: flip one payload bit in record j. Replay must
+	// stop before the corrupt record (never replay garbage), and the open
+	// must report the loss as real — j intact records kept, the corrupt
+	// frame counted as a CRC failure, and every well-framed record stranded
+	// behind it counted as truncated, with no short-tail signature.
+	j := len(boundaries) / 2
+	prev := int64(walMagicLen)
+	if j > 0 {
+		prev = boundaries[j-1]
+	}
+	cor := append([]byte(nil), walData...)
+	cor[prev+8] ^= 0x01 // first payload byte of record j (after the 8-byte frame header)
+	if err := os.WriteFile(filepath.Join(crashDir, walName), cor, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(crashDir, WALOptions{})
+	if err != nil {
+		t.Fatalf("recovery with a corrupt mid-log record failed: %v", err)
+	}
+	if got := rec.Len() - base; got != j {
+		t.Fatalf("corrupt record %d: replayed %d records, want %d", j, got, j)
+	}
+	st := rec.WALStats()
+	if st.Records != int64(j) {
+		t.Fatalf("corrupt record %d: reports %d intact records, want %d", j, st.Records, j)
+	}
+	if st.TruncatedBytes != int64(len(walData))-prev {
+		t.Fatalf("corrupt record %d: reports %d truncated bytes, want %d", j, st.TruncatedBytes, int64(len(walData))-prev)
+	}
+	if st.CRCFailures != 1 {
+		t.Fatalf("corrupt record %d: reports %d CRC failures, want 1", j, st.CRCFailures)
+	}
+	if st.TruncatedRecords != int64(len(boundaries)-j) {
+		t.Fatalf("corrupt record %d: reports %d truncated records, want %d", j, st.TruncatedRecords, len(boundaries)-j)
+	}
+	if st.ShortTail {
+		t.Fatalf("corrupt record %d: misreported as a benign short tail: %+v", j, st)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
 }
+
+// walMagicLen mirrors the pager's 8-byte "GIRWAL01" header length for
+// boundary arithmetic in the torn-write corpus.
+const walMagicLen = 8

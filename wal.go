@@ -114,15 +114,24 @@ func (ds *Dataset) EnableWAL(dir string, opts WALOptions) error {
 	return nil
 }
 
-// WALStats reports the open write-ahead log's size, for tests and
-// monitoring; both values are zero when no WAL is attached.
-func (ds *Dataset) WALStats() (records, bytes int64) {
+// WALStats describes the open write-ahead log: its intact contents plus
+// the truncation diagnostics of the open that attached it (see
+// pager.WALStats). The tail counters let an operator distinguish a clean
+// restart from real loss after Recover: ShortTail flags the benign
+// crash-mid-append signature, while TruncatedRecords/CRCFailures count
+// fully framed records that had to be discarded.
+type WALStats = pager.WALStats
+
+// WALStats reports the open write-ahead log's contents and the tail
+// diagnostics recorded when it was opened, for tests and monitoring; the
+// zero value is returned when no WAL is attached.
+func (ds *Dataset) WALStats() WALStats {
 	ds.mu.RLock()
 	defer ds.mu.RUnlock()
 	if ds.wal == nil {
-		return 0, 0
+		return WALStats{}
 	}
-	return ds.wal.Records(), ds.wal.Size()
+	return ds.wal.Stats()
 }
 
 // applyWALPayload replays one logged mutation during recovery: records
@@ -239,7 +248,10 @@ func (e *Engine) Checkpoint(dir string) error {
 // torn final record (the expected shape of a crash mid-append — never an
 // error), and leaves the log attached so new mutations keep appending.
 // The recovered state is exactly the never-crashed dataset that applied
-// the same durable mutation prefix.
+// the same durable mutation prefix. What the truncation discarded — bytes,
+// framable records, and whether the cause was checksum corruption or an
+// ordinary half-written final frame — is reported by ds.WALStats(), so a
+// clean restart (all tail counters zero) is distinguishable from loss.
 func Recover(dir string, opts WALOptions) (*Dataset, error) {
 	ds, err := Open(filepath.Join(dir, datasetSnapName))
 	if err != nil {

@@ -58,8 +58,8 @@ func applyMut(t *testing.T, ds *Dataset, m churnMut) {
 		if err := ds.Insert(m.id, m.point); err != nil {
 			t.Fatal(err)
 		}
-	} else if !ds.Delete(m.id, m.point) {
-		t.Fatalf("delete of live record %d missed", m.id)
+	} else if ok, err := ds.Delete(m.id, m.point); err != nil || !ok {
+		t.Fatalf("delete of live record %d missed (%v, %v)", m.id, ok, err)
 	}
 }
 
@@ -146,7 +146,7 @@ func testReplayDifferential(t *testing.T, space Space, seed int64) {
 	for _, m := range muts {
 		applyMut(t, ds, m)
 	}
-	if recs, _ := ds.WALStats(); recs != steps {
+	if recs := ds.WALStats().Records; recs != steps {
 		t.Fatalf("WAL holds %d records after %d mutations", recs, steps)
 	}
 	if err := ds.wal.Sync(); err != nil {
@@ -275,7 +275,7 @@ func TestCheckpointIdempotentReplay(t *testing.T) {
 	if err := ds.Checkpoint(dir); err != nil {
 		t.Fatal(err)
 	}
-	if recs, _ := ds.WALStats(); recs != 0 {
+	if recs := ds.WALStats().Records; recs != 0 {
 		t.Fatalf("checkpoint left %d records in the log", recs)
 	}
 	if err := os.WriteFile(walPath, staleLog, 0o644); err != nil {
@@ -339,8 +339,8 @@ func TestEnableWALGuards(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !rec.Delete(9999, []float64{0.1, 0.2, 0.3}) {
-		t.Fatal("recovered dataset lost a logged insert")
+	if ok, err := rec.Delete(9999, []float64{0.1, 0.2, 0.3}); err != nil || !ok {
+		t.Fatalf("recovered dataset lost a logged insert (%v, %v)", ok, err)
 	}
 	if err := rec.Close(); err != nil {
 		t.Fatal(err)
@@ -350,7 +350,9 @@ func TestEnableWALGuards(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rec2.Close()
-	if rec2.Delete(9999, []float64{0.1, 0.2, 0.3}) {
+	if ok, err := rec2.Delete(9999, []float64{0.1, 0.2, 0.3}); err != nil {
+		t.Fatal(err)
+	} else if ok {
 		t.Fatal("recovered dataset resurrected a logged delete")
 	}
 }
@@ -458,5 +460,95 @@ func TestRecoverEngineWarmPair(t *testing.T) {
 	defer ds4.Close()
 	if got := len(cacheFingerprints(e4.Cache())); got != 0 {
 		t.Fatalf("torn pair restored %d stale cache entries", got)
+	}
+}
+
+// TestDeleteWALAppendFailure is the regression test for the Delete write
+// path: when the write-ahead append fails, Delete must return the error —
+// not panic — and leave the dataset untouched, with the record still
+// indexed and still served. The failing writer is injected by closing the
+// log's file out from under the dataset, so the next append's WriteAt
+// fails exactly like a full or yanked disk.
+func TestDeleteWALAppendFailure(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	const n, d = 200, 3
+	points := make([][]float64, n)
+	for i := range points {
+		points[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+	}
+	ds, err := NewDataset(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := ds.EnableWAL(dir, WALOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	victim := int64(7)
+	q := []float64{0.4, 0.3, 0.3}
+	before, err := ds.TopK(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	versionBefore := ds.version.Load()
+	recordsBefore := ds.WALStats().Records
+
+	// Sever the log. Any further append must fail.
+	if err := ds.wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := func() (ok bool, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("Delete panicked on WAL append failure: %v", p)
+			}
+		}()
+		return ds.Delete(victim, points[victim])
+	}()
+	if err == nil {
+		t.Fatal("Delete with a failed WAL append reported success")
+	}
+	if ok {
+		t.Fatal("Delete reported the record removed despite the failed append")
+	}
+
+	// The failed delete must not have been applied: same cardinality, same
+	// version, no published mutation, and the record still served.
+	if ds.Len() != n {
+		t.Fatalf("failed delete changed Len to %d, want %d", ds.Len(), n)
+	}
+	if v := ds.version.Load(); v != versionBefore {
+		t.Fatalf("failed delete advanced the version to %d, want %d", v, versionBefore)
+	}
+	after, err := ds.TopK(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before.Records {
+		if before.Records[i].ID != after.Records[i].ID {
+			t.Fatalf("failed delete changed the served top-k: %+v vs %+v", before.Records, after.Records)
+		}
+	}
+	if !ds.tree.Contains(victim, points[victim]) {
+		t.Fatal("failed delete removed the record from the index")
+	}
+
+	// A delete that misses must not log either (probe-first): reopen the
+	// log and check the record count did not move for a missing id.
+	w, err := pager.OpenWAL(filepath.Join(dir, walName), WALOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.mu.Lock()
+	ds.wal = w
+	ds.mu.Unlock()
+	if ok, err := ds.Delete(1<<50, points[0]); err != nil || ok {
+		t.Fatalf("delete of a missing record: %v, %v", ok, err)
+	}
+	if got := ds.WALStats().Records; got != recordsBefore {
+		t.Fatalf("a missed delete appended to the WAL: %d records, want %d", got, recordsBefore)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
