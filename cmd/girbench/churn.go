@@ -21,7 +21,12 @@ import (
 	"github.com/girlib/gir/internal/engine"
 )
 
-// churnRow is one measured configuration, printed and serialized.
+// churnRow is one measured configuration, printed and serialized. The
+// latency block samples each query's individual service time (mutations
+// are not sampled — the write-side percentiles live in the -wal rows);
+// note that this mode issues mutations inline in the operation loop, so
+// writer-induced reader stalls do not appear here — the -stall mode runs
+// a dedicated concurrent mutator to expose exactly those.
 type churnRow struct {
 	Name        string  `json:"name"`
 	ElapsedMS   float64 `json:"elapsed_ms"`
@@ -40,6 +45,7 @@ type churnRow struct {
 	PageReads   int64   `json:"page_reads"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
+	latSummary
 }
 
 // churnReport is the -json artifact.
@@ -74,8 +80,8 @@ func runChurn(cfg serveConfig, churn float64, repair bool, jsonPath string, w io
 
 	fmt.Fprintf(w, "churn benchmark: n=%d d=%d space=%v, %d operations (%d queries, %d writes = %.1f%%) over %d distinct vectors (zipf s=%.2f)\n\n",
 		cfg.N, cfg.D, cfg.Space, cfg.Stream, queries, writes, 100*float64(writes)/float64(max(1, cfg.Stream)), cfg.Distinct, cfg.ZipfS)
-	fmt.Fprintf(w, "%-22s %10s %10s %8s %8s %8s %9s %9s %12s %10s %8s\n",
-		"configuration", "elapsed", "queries/s", "hits", "misses", "hitrate", "repaired", "evicted", "fence-vetos", "recomputes", "reads")
+	fmt.Fprintf(w, "%-22s %10s %10s %8s %8s %8s %9s %9s %12s %10s %8s %8s %8s %8s\n",
+		"configuration", "elapsed", "queries/s", "hits", "misses", "hitrate", "repaired", "evicted", "fence-vetos", "recomputes", "reads", "p50", "p99", "p99.9")
 
 	var rows []churnRow
 	measure := func(name string, flushOnWrite, repairMode bool) error {
@@ -99,6 +105,7 @@ func runChurn(cfg serveConfig, churn float64, repair bool, jsonPath string, w io
 		}
 		warm := e.Stats()
 		ds.ResetIOStats()
+		lat := newLatRecorder(queries)
 		start := time.Now()
 		allocs, bytes, err := measureAllocs(func() error {
 			for _, op := range ops {
@@ -112,7 +119,10 @@ func runChurn(cfg serveConfig, churn float64, repair bool, jsonPath string, w io
 						return err
 					}
 				default:
-					if res := e.TopK(op.Query, op.K); res.Err != nil {
+					qStart := time.Now()
+					res := e.TopK(op.Query, op.K)
+					lat.add(time.Since(qStart))
+					if res.Err != nil {
 						return res.Err
 					}
 				}
@@ -142,14 +152,16 @@ func runChurn(cfg serveConfig, churn float64, repair bool, jsonPath string, w io
 			PageReads:   ds.IOStats().PageReads,
 			AllocsPerOp: float64(allocs) / float64(max(1, cfg.Stream)),
 			BytesPerOp:  float64(bytes) / float64(max(1, cfg.Stream)),
+			latSummary:  lat.summarize(),
 		}
 		if lookups := row.Hits + row.Partial + row.Misses; lookups > 0 {
 			row.HitRate = float64(row.Hits) / float64(lookups)
 		}
 		rows = append(rows, row)
-		fmt.Fprintf(w, "%-22s %10v %10.0f %8d %8d %7.1f%% %9d %9d %12d %10d %8d\n",
+		fmt.Fprintf(w, "%-22s %10v %10.0f %8d %8d %7.1f%% %9d %9d %12d %10d %8d %7.0fµ %7.0fµ %7.0fµ\n",
 			name, elapsed.Round(time.Millisecond), row.QPS, row.Hits, row.Misses,
-			100*row.HitRate, row.Repaired, row.Invalidated, row.Fenced, row.Recomputes, row.PageReads)
+			100*row.HitRate, row.Repaired, row.Invalidated, row.Fenced, row.Recomputes, row.PageReads,
+			row.P50US, row.P99US, row.P999US)
 		return nil
 	}
 

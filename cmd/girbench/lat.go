@@ -1,0 +1,62 @@
+package main
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latRecorder collects per-query service times so benchmark rows can
+// report real latency percentiles — each sample is one timed query, never
+// a number derived from aggregate throughput (QPS hides tail stalls
+// entirely: one 10ms fsync stall among ten thousand 80µs queries barely
+// moves the mean but owns the p99.9). Safe for concurrent add from
+// serving workers.
+type latRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+func newLatRecorder(capacity int) *latRecorder {
+	return &latRecorder{samples: make([]time.Duration, 0, capacity)}
+}
+
+func (l *latRecorder) add(d time.Duration) {
+	l.mu.Lock()
+	l.samples = append(l.samples, d)
+	l.mu.Unlock()
+}
+
+// latSummary is the percentile block embedded in the serve/churn/stall
+// row schemas (and the BENCH_*.json artifacts).
+type latSummary struct {
+	P50US  float64 `json:"p50_us"`
+	P99US  float64 `json:"p99_us"`
+	P999US float64 `json:"p999_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// summarize computes nearest-rank percentiles over the recorded samples.
+func (l *latRecorder) summarize() latSummary {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return latSummary{}
+	}
+	sorted := append([]time.Duration(nil), l.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	rank := func(q float64) time.Duration {
+		i := int(q * float64(len(sorted)))
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	return latSummary{
+		P50US:  us(rank(0.50)),
+		P99US:  us(rank(0.99)),
+		P999US: us(rank(0.999)),
+		MaxUS:  us(sorted[len(sorted)-1]),
+	}
+}

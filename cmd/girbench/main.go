@@ -41,6 +41,9 @@ func main() {
 	serveBurst := flag.Int("burst", 0, "-serve -churn: writes arrive in bursts of this size (> 1 runs the batched-vs-per-mutation drain benchmark)")
 	serveWAL := flag.Bool("wal", false, "-serve -churn: benchmark write-ahead-log durability (no-wal vs per-append fsync vs group commit) instead of cache maintenance")
 	serveShards := flag.Int("shards", 0, "-serve: benchmark the horizontally partitioned scatter/gather tier with this many partitions vs a single partition (> 1)")
+	serveStall := flag.Bool("stall", false, "-serve: benchmark read tail latency against a dedicated mutator goroutine doing SyncEvery=1 durable writes (the BENCH_latency.json artifact)")
+	serveWriteRate := flag.Int("writerate", 200, "-serve -stall: the concurrent mutator's target durable-write rate per second")
+	serveFsyncDelay := flag.Duration("fsyncdelay", 2*time.Millisecond, "-serve -stall: simulated extra fsync latency per durable write (a spinning disk's fsync; 0 = the real filesystem only)")
 	serveWALSync := flag.Int("walsync", 32, "-serve -wal: group-commit interval for the third row (fsync once per this many appends)")
 	serveSpace := flag.String("space", "box", "-serve: query-space domain — box ([0,1]^d) or simplex (the paper's Σw=1 convention; queries are sum-normalized)")
 	serveJSON := flag.String("json", "", "-serve: also write the measured rows to this file as JSON (the CI BENCH_hotpath.json / BENCH_serve.json / BENCH_repair.json / BENCH_batch.json / BENCH_simplex.json artifact)")
@@ -56,6 +59,8 @@ func main() {
 	latency := flag.Duration("iolat", 100*time.Microsecond, "simulated latency per 4KiB page read")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit (go tool pprof)")
+	blockProfile := flag.String("blockprofile", "", "write a goroutine-blocking profile to this file on exit (go tool pprof; records every blocking event)")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit (go tool pprof; records every contended lock)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -81,6 +86,17 @@ func main() {
 				fatal("-memprofile: %v", err)
 			}
 		}()
+	}
+	// The block/mutex collectors are off by default and stay off unless
+	// their flag is set — sampling every blocking event costs enough that
+	// it must never tax an unprofiled benchmark run.
+	if *blockProfile != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeProfile("block", *blockProfile)
+	}
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeProfile("mutex", *mutexProfile)
 	}
 
 	var err error
@@ -140,7 +156,18 @@ func main() {
 		if *serveShards > 1 && (*serveWAL || *serveBurst > 1 || *serveRepair) {
 			fatal("-shards is its own benchmark; drop -wal/-burst/-repair")
 		}
+		if *serveStall && (*serveWAL || *serveBurst > 1 || *serveRepair || *serveShards > 1 || *serveChurn > 0) {
+			fatal("-stall is its own benchmark (it brings its own concurrent mutator); drop -wal/-burst/-repair/-shards/-churn")
+		}
+		if *serveWriteRate < 1 {
+			fatal("bad -writerate: %d (want at least one write per second)", *serveWriteRate)
+		}
+		if *serveFsyncDelay < 0 {
+			fatal("bad -fsyncdelay: %v", *serveFsyncDelay)
+		}
 		switch {
+		case *serveStall:
+			err = runStall(scfg, *serveWriteRate, *serveFsyncDelay, *serveJSON, os.Stdout)
 		case *serveShards > 1:
 			err = runShard(scfg, *serveChurn, *serveShards, *serveJSON, os.Stdout)
 		case *serveWAL:
@@ -171,6 +198,18 @@ func main() {
 func fatal(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "girbench: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// writeProfile dumps a named runtime profile ("block", "mutex") to path.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("bad -%sprofile: %v", name, err)
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fatal("-%sprofile: %v", name, err)
+	}
 }
 
 func parseInts(s string) ([]int, error) {

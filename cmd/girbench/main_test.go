@@ -5,6 +5,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 
 	gir "github.com/girlib/gir"
 )
@@ -214,6 +215,62 @@ func TestRunBurstSmoke(t *testing.T) {
 	}
 	if report.Config.Burst != 4 {
 		t.Errorf("config burst = %d", report.Config.Burst)
+	}
+}
+
+// TestRunStallSmoke runs the read-tail-latency benchmark end to end at
+// toy scale and validates the BENCH_latency.json artifact schema CI
+// uploads: both rows present, every row carrying ordered sampled
+// percentiles, the churn row showing real durable writes, and the
+// embedded pre-change baseline populated so the improvement ratio is
+// meaningful.
+func TestRunStallSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stall benchmark smoke is not -short")
+	}
+	dir := t.TempDir()
+	jsonPath := dir + "/BENCH_latency.json"
+	// The churn stream must outlast a couple of scheduler ticks, or the
+	// mutator goroutine never preempts the single-core serve loop and the
+	// Writes assertion below is vacuous.
+	cfg := serveConfig{N: 1500, D: 3, Seed: 7, Stream: 2000, Distinct: 8, ZipfS: 1.3, Jitter: 0.001, Batch: 32, Space: gir.SpaceSimplex}
+	var buf strings.Builder
+	if err := runStall(cfg, 2000, 200*time.Microsecond, jsonPath, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report stallReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if report.Benchmark != "girbench-stall" {
+		t.Fatalf("benchmark name = %q", report.Benchmark)
+	}
+	if report.Config.WriteRate != 2000 || report.Config.FsyncDelayMS != 0.2 {
+		t.Errorf("config does not record the churn parameters: %+v", report.Config)
+	}
+	if len(report.Rows) != 2 || report.Rows[0].Name != "read-only" || report.Rows[1].Name != "syncevery=1 churn" {
+		t.Fatalf("unexpected rows: %+v", report.Rows)
+	}
+	for _, row := range report.Rows {
+		if row.Queries != cfg.Stream || row.QPS <= 0 {
+			t.Errorf("%s row has bad volume/throughput: %+v", row.Name, row)
+		}
+		if row.P50US <= 0 || row.P99US < row.P50US || row.P999US < row.P99US || row.MaxUS < row.P999US {
+			t.Errorf("%s row has unordered or empty percentiles: %+v", row.Name, row)
+		}
+	}
+	if report.Rows[0].Writes != 0 {
+		t.Errorf("read-only row saw %d writes", report.Rows[0].Writes)
+	}
+	if report.Rows[1].Writes == 0 {
+		t.Error("churn row saw no durable writes — the mutator never ran")
+	}
+	if report.BaselineP99US <= 0 || report.ImprovementX <= 0 {
+		t.Errorf("baseline comparison is empty: baseline=%v improvement=%v", report.BaselineP99US, report.ImprovementX)
 	}
 }
 

@@ -15,6 +15,8 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	gir "github.com/girlib/gir"
@@ -31,12 +33,14 @@ type serveConfig struct {
 	Distinct int       // distinct query vectors in the pool
 	ZipfS    float64   // Zipf skew (>1)
 	Jitter   float64   // gaussian nudge magnitude (in-region near-repeats)
-	Batch    int       // queries per BatchTopK call
+	Batch    int       // serving concurrency: in-flight per-query calls
 	Workers  int       // engine worker-pool size (0 = GOMAXPROCS)
 	Space    gir.Space // query-space domain (box or Σw=1 simplex)
 }
 
-// serveRow is one measured configuration, printed and serialized.
+// serveRow is one measured configuration, printed and serialized. The
+// embedded latency block is sampled per query (each TopK call is timed
+// individually), so tail stalls show up even when throughput looks fine.
 type serveRow struct {
 	Name           string  `json:"name"`
 	ElapsedMS      float64 `json:"elapsed_ms"`
@@ -48,6 +52,7 @@ type serveRow struct {
 	PageReads      int64   `json:"page_reads"`
 	AllocsPerQuery float64 `json:"allocs_per_query"`
 	BytesPerQuery  float64 `json:"bytes_per_query"`
+	latSummary
 }
 
 // serveReport is the -json artifact (BENCH_hotpath.json in CI).
@@ -99,17 +104,18 @@ func runServe(cfg serveConfig, jsonPath string, w io.Writer) error {
 
 	fmt.Fprintf(w, "serving benchmark: n=%d d=%d space=%v, %d queries over %d distinct vectors (zipf s=%.2f, jitter %.3g), GOMAXPROCS=%d\n\n",
 		cfg.N, cfg.D, cfg.Space, cfg.Stream, cfg.Distinct, cfg.ZipfS, cfg.Jitter, runtime.GOMAXPROCS(0))
-	fmt.Fprintf(w, "%-22s %12s %12s %10s %10s %10s %12s %12s %12s\n",
-		"configuration", "elapsed", "queries/s", "hits", "partial", "misses", "page reads", "allocs/query", "B/query")
+	fmt.Fprintf(w, "%-22s %12s %12s %10s %10s %10s %12s %12s %12s %9s %9s %9s\n",
+		"configuration", "elapsed", "queries/s", "hits", "partial", "misses", "page reads", "allocs/query", "B/query", "p50", "p99", "p99.9")
 
 	var rows []serveRow
-	row := func(name string, run func() (gir.EngineStats, error)) error {
+	row := func(name string, run func(lat *latRecorder) (gir.EngineStats, error)) error {
 		ds.ResetIOStats()
+		lat := newLatRecorder(cfg.Stream)
 		var stats gir.EngineStats
 		start := time.Now()
 		allocs, bytes, err := measureAllocs(func() error {
 			var err error
-			stats, err = run()
+			stats, err = run(lat)
 			return err
 		})
 		if err != nil {
@@ -127,17 +133,22 @@ func runServe(cfg serveConfig, jsonPath string, w io.Writer) error {
 			PageReads:      ds.IOStats().PageReads,
 			AllocsPerQuery: float64(allocs) / float64(max(1, cfg.Stream)),
 			BytesPerQuery:  float64(bytes) / float64(max(1, cfg.Stream)),
+			latSummary:     lat.summarize(),
 		}
 		rows = append(rows, r)
-		fmt.Fprintf(w, "%-22s %12v %12.0f %10d %10d %10d %12d %12.1f %12.0f\n",
+		fmt.Fprintf(w, "%-22s %12v %12.0f %10d %10d %10d %12d %12.1f %12.0f %8.0fµ %8.0fµ %8.0fµ\n",
 			name, elapsed.Round(time.Millisecond), r.QPS,
-			r.Hits, r.Partial, r.Misses, r.PageReads, r.AllocsPerQuery, r.BytesPerQuery)
+			r.Hits, r.Partial, r.Misses, r.PageReads, r.AllocsPerQuery, r.BytesPerQuery,
+			r.P50US, r.P99US, r.P999US)
 		return nil
 	}
 
-	if err := row("sequential no-cache", func() (gir.EngineStats, error) {
+	if err := row("sequential no-cache", func(lat *latRecorder) (gir.EngineStats, error) {
 		for _, q := range queries {
-			if _, err := ds.TopK(q.Vector, q.K); err != nil {
+			qStart := time.Now()
+			_, err := ds.TopK(q.Vector, q.K)
+			lat.add(time.Since(qStart))
+			if err != nil {
 				return gir.EngineStats{}, err
 			}
 		}
@@ -146,10 +157,10 @@ func runServe(cfg serveConfig, jsonPath string, w io.Writer) error {
 		return err
 	}
 
-	if err := row("engine no-cache", func() (gir.EngineStats, error) {
+	if err := row("engine no-cache", func(lat *latRecorder) (gir.EngineStats, error) {
 		e := gir.NewEngine(ds, gir.EngineOptions{Workers: cfg.Workers, CacheCapacity: -1})
 		defer e.Close()
-		if err := serveBatches(e, queries, cfg.Batch); err != nil {
+		if err := serveStream(e, queries, cfg.Batch, lat); err != nil {
 			return gir.EngineStats{}, err
 		}
 		return e.Stats(), nil
@@ -161,8 +172,8 @@ func runServe(cfg serveConfig, jsonPath string, w io.Writer) error {
 	// fill the paper's caching application amortizes over later traffic).
 	e := gir.NewEngine(ds, gir.EngineOptions{Workers: cfg.Workers, CacheCapacity: cfg.Distinct * 2})
 	defer e.Close()
-	if err := row("engine cache (cold)", func() (gir.EngineStats, error) {
-		if err := serveBatches(e, queries, cfg.Batch); err != nil {
+	if err := row("engine cache (cold)", func(lat *latRecorder) (gir.EngineStats, error) {
+		if err := serveStream(e, queries, cfg.Batch, lat); err != nil {
 			return gir.EngineStats{}, err
 		}
 		return e.Stats(), nil
@@ -172,8 +183,8 @@ func runServe(cfg serveConfig, jsonPath string, w io.Writer) error {
 
 	// Warm pass over the same engine: steady-state serving.
 	before := e.Stats()
-	if err := row("engine cache (warm)", func() (gir.EngineStats, error) {
-		if err := serveBatches(e, queries, cfg.Batch); err != nil {
+	if err := row("engine cache (warm)", func(lat *latRecorder) (gir.EngineStats, error) {
+		if err := serveStream(e, queries, cfg.Batch, lat); err != nil {
 			return gir.EngineStats{}, err
 		}
 		after := e.Stats()
@@ -219,20 +230,50 @@ func runServe(cfg serveConfig, jsonPath string, w io.Writer) error {
 	return nil
 }
 
-func serveBatches(e *gir.Engine, queries []gir.Query, batch int) error {
-	if batch <= 0 {
-		batch = 64
+// serveStream serves the query stream through the engine's per-query
+// entry point from `inflight` concurrent worker goroutines (the -batch
+// flag: formerly the BatchTopK batch size, now the serving concurrency),
+// timing each call individually. The same single-flight dedup, cache and
+// worker-pool paths serve every query; what changed is that each query's
+// service time is observable, which is what the latency columns report —
+// batch-level timing can only average a stall across the whole batch.
+func serveStream(e *gir.Engine, queries []gir.Query, inflight int, lat *latRecorder) error {
+	if inflight <= 0 {
+		inflight = 64
 	}
-	for lo := 0; lo < len(queries); lo += batch {
-		hi := lo + batch
-		if hi > len(queries) {
-			hi = len(queries)
-		}
-		for _, res := range e.BatchTopK(queries[lo:hi]) {
-			if res.Err != nil {
-				return res.Err
+	if inflight > len(queries) {
+		inflight = max(1, len(queries))
+	}
+	var next atomic.Int64
+	errs := make(chan error, inflight)
+	var wg sync.WaitGroup
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(queries) {
+					return
+				}
+				start := time.Now()
+				res := e.TopK(queries[j].Vector, queries[j].K)
+				lat.add(time.Since(start))
+				if res.Err != nil {
+					select {
+					case errs <- res.Err:
+					default:
+					}
+					return
+				}
 			}
-		}
+		}()
 	}
-	return nil
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
 }

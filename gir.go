@@ -185,15 +185,18 @@ type IOStats struct {
 // Dataset is an indexed collection of records in [0,1]^d, stored in an
 // R*-tree over simulated 4 KiB disk pages.
 //
-// A Dataset is safe for concurrent use: any number of goroutines may run
-// TopK/TopKFunc and ComputeGIR simultaneously (reads share the index
-// without blocking each other), while Insert and Delete take exclusive
-// ownership for their duration. A TopKResult obtained before a mutation
-// must not power a ComputeGIR after it — the retained traversal state
-// refers to the pre-mutation tree; rerun TopK instead.
+// A Dataset is safe for concurrent use, and reads never block on writes:
+// every query pins an immutable snapshot of the index (published by the
+// last mutation with an atomic pointer swap) and traverses it without
+// taking any lock, so a writer parked in a WAL fsync — or mid-insert —
+// never stalls a reader. Insert and Delete serialize with each other on a
+// writer mutex and pay the copy-on-write page relocations. A TopKResult
+// powers a ComputeGIR only against the dataset version it was computed
+// at; after an intervening mutation ComputeGIR returns an error — rerun
+// TopK.
 type Dataset struct {
-	mu      sync.RWMutex // queries share, Insert/Delete exclude
-	tree    *rtree.Tree
+	mu      sync.RWMutex // serializes writers and configuration; readers do not take it
+	tree    *rtree.Tree  // the writer's mutable handle; readers use ds.snap
 	store   pager.Store
 	cost    pager.CostModel
 	file    *pager.FileStore // non-nil when disk-backed (Close releases it)
@@ -203,8 +206,92 @@ type Dataset struct {
 	version atomic.Int64     // bumped by every successful mutation
 	space   Space            // the query-space domain (data space is [0,1]^d regardless)
 
+	// snap is the current published index version; readers pin it with
+	// pinSnap. retired holds superseded snapshots, oldest first, whose
+	// freed pages wait for the last pinned reader before returning to the
+	// store's freelist (reclaimLocked, under mu).
+	snap    atomic.Pointer[treeSnap]
+	retired []*treeSnap
+
 	subID int64                    // next subscriber handle
 	subs  map[int64]func(mutation) // mutation listeners (Engines), under mu
+}
+
+// treeSnap is one immutable published version of the index: a read-only
+// tree view over the shared store plus the version and query space it was
+// published with. Snapshot pages are never overwritten (mutations are
+// copy-on-write), so any number of readers traverse a pinned snapshot
+// with no lock at all.
+type treeSnap struct {
+	tree    *rtree.Tree
+	version int64
+	space   Space
+	refs    atomic.Int64 // pinned readers
+	// freed is set at retirement: the pages the superseding mutation
+	// relocated or discarded. They may back this and any earlier version,
+	// so reclamation frees retired snapshots strictly oldest-first.
+	freed []pager.PageID
+}
+
+// pinSnap acquires the current snapshot for reading. The increment is
+// published before re-checking currency: if the snapshot pointer still
+// matches, the snapshot was current — hence not retired, hence not
+// reclaimed — at a moment after the pin count became visible, so its
+// pages cannot be freed until release. On a lost race (a writer swapped
+// in between) it backs off and retries; no path blocks.
+func (ds *Dataset) pinSnap() *treeSnap {
+	for {
+		s := ds.snap.Load()
+		s.refs.Add(1)
+		if ds.snap.Load() == s {
+			return s
+		}
+		s.refs.Add(-1)
+	}
+}
+
+// release drops a pin taken by pinSnap. Freed pages of a drained snapshot
+// are returned to the store by the next mutation's reclaim pass.
+func (s *treeSnap) release() { s.refs.Add(-1) }
+
+// validate checks a query vector and k against this snapshot.
+func (s *treeSnap) validate(q []float64, k int) error {
+	if len(q) != s.tree.Dim() {
+		return fmt.Errorf("gir: query has dimension %d, want %d", len(q), s.tree.Dim())
+	}
+	sum := 0.0
+	for _, w := range q {
+		if w < 0 {
+			return errors.New("gir: query weights must be nonnegative")
+		}
+		sum += w
+	}
+	if s.space == SpaceSimplex && math.Abs(sum-1) > domain.EqTol {
+		return fmt.Errorf("gir: query weights sum to %v; the simplex query space needs Σw = 1 (normalize with gir.SpaceSimplex.Normalize)", sum)
+	}
+	if k <= 0 || k > s.tree.Len() {
+		return fmt.Errorf("gir: k = %d out of range (dataset has %d records)", k, s.tree.Len())
+	}
+	return nil
+}
+
+// topK validates and answers a query against this snapshot on a scratch
+// borrowed from the package pool for just this call.
+func (s *treeSnap) topK(q []float64, k int, sc Scoring) (*topk.Result, error) {
+	if err := s.validate(q, k); err != nil {
+		return nil, err
+	}
+	return topk.BRS(s.tree, sc.function(s.tree.Dim()), vec.Vector(q), k), nil
+}
+
+// topKWith is topK on an explicitly threaded scratch, for callers that
+// reuse one workspace across many queries (the engine's fill path, batch
+// workers).
+func (s *treeSnap) topKWith(scr *topk.Scratch, q []float64, k int, sc Scoring) (*topk.Result, error) {
+	if err := s.validate(q, k); err != nil {
+		return nil, err
+	}
+	return topk.BRSWith(scr, s.tree, sc.function(s.tree.Dim()), vec.Vector(q), k), nil
 }
 
 // mutation describes one successful Insert or Delete, in the order the
@@ -240,8 +327,12 @@ func (ds *Dataset) subscribe(fn func(mutation)) (unsubscribe func()) {
 }
 
 // publishLocked delivers a mutation event and then makes its version
-// visible; the caller holds ds.mu exclusively.
-func (ds *Dataset) publishLocked(insert bool, id int64, p []float64) {
+// visible; the caller holds ds.mu exclusively. Delivery strictly precedes
+// visibility — the snapshot swap is the visibility point — so a reader
+// that pins version v is guaranteed the events for every mutation up to v
+// were already handed to subscribers. freed is the mutation's superseded
+// page set (Tree.CommitCOW).
+func (ds *Dataset) publishLocked(insert bool, id int64, p []float64, freed []pager.PageID) {
 	m := mutation{
 		version: ds.version.Load() + 1,
 		insert:  insert,
@@ -251,7 +342,60 @@ func (ds *Dataset) publishLocked(insert bool, id int64, p []float64) {
 	for _, fn := range ds.subs {
 		fn(m)
 	}
+	ds.publishSnapLocked(m.version, freed)
 	ds.version.Store(m.version)
+}
+
+// publishSnapLocked swaps in a fresh snapshot of the writer tree's state
+// and retires the previous one, attaching the pages this mutation
+// superseded; the caller holds ds.mu exclusively. Retired snapshots are
+// reclaimed oldest-first as their pins drain.
+func (ds *Dataset) publishSnapLocked(version int64, freed []pager.PageID) {
+	root, height, size := ds.tree.Meta()
+	next := &treeSnap{
+		tree:    rtree.Attach(ds.store, ds.tree.Dim(), root, height, size),
+		version: version,
+		space:   ds.space,
+	}
+	prev := ds.snap.Load()
+	ds.snap.Store(next)
+	if prev != nil {
+		prev.freed = freed
+		ds.retired = append(ds.retired, prev)
+		ds.reclaimLocked()
+	}
+}
+
+// reclaimLocked frees the longest unpinned prefix of retired snapshots.
+// Strictly a prefix: a page freed at version v may back any snapshot up
+// to v, so it returns to the store only once every snapshot ≤ v has
+// drained. Stops at the first pinned snapshot; a snapshot whose last pin
+// is released later is collected by the next mutation's pass.
+func (ds *Dataset) reclaimLocked() {
+	n := 0
+	for _, s := range ds.retired {
+		if s.refs.Load() != 0 {
+			break
+		}
+		for _, id := range s.freed {
+			ds.store.Free(id)
+		}
+		n++
+	}
+	if n > 0 {
+		ds.retired = append(ds.retired[:0], ds.retired[n:]...)
+	}
+}
+
+// initSnap publishes the dataset's first snapshot; constructors call it
+// once the tree, version and space fields are in place.
+func (ds *Dataset) initSnap() {
+	root, height, size := ds.tree.Meta()
+	ds.snap.Store(&treeSnap{
+		tree:    rtree.Attach(ds.store, ds.tree.Dim(), root, height, size),
+		version: ds.version.Load(),
+		space:   ds.space,
+	})
 }
 
 // NewDatasetInSpace is NewDataset with an explicit query-space domain.
@@ -262,15 +406,13 @@ func NewDatasetInSpace(points [][]float64, space Space) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	ds.space = space
+	ds.SetSpace(space)
 	return ds, nil
 }
 
 // Space returns the dataset's active query-space domain.
 func (ds *Dataset) Space() Space {
-	ds.mu.RLock()
-	defer ds.mu.RUnlock()
-	return ds.space
+	return ds.snap.Load().space
 }
 
 // SetSpace switches the query-space domain. Call it before serving
@@ -284,11 +426,11 @@ func (ds *Dataset) SetSpace(space Space) {
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
 	ds.space = space
+	// Republish so readers pick the space up atomically with the index
+	// state; the version is unchanged (no mutation happened) and the
+	// retired predecessor carries no freed pages.
+	ds.publishSnapLocked(ds.version.Load(), nil)
 }
-
-// spaceLocked reads the space under either lock mode (callers of the
-// read paths hold at least ds.mu.RLock).
-func (ds *Dataset) spaceLocked() Space { return ds.space }
 
 // NewDataset bulk-loads (STR) an R*-tree over the given points; record ids
 // are the point indices. Every point must have the same dimension d ≥ 2
@@ -317,7 +459,9 @@ func NewDataset(points [][]float64) (*Dataset, error) {
 	store := pager.NewMemStore()
 	tree := rtree.BulkLoad(store, d, pts, nil)
 	store.ResetStats()
-	return &Dataset{tree: tree, store: store, cost: pager.DefaultCostModel}, nil
+	ds := &Dataset{tree: tree, store: store, cost: pager.DefaultCostModel}
+	ds.initSnap()
+	return ds, nil
 }
 
 // NewDatasetWithIDs is NewDatasetInSpace with explicit record ids:
@@ -360,14 +504,20 @@ func NewDatasetWithIDs(ids []int64, points [][]float64, space Space) (*Dataset, 
 	store := pager.NewMemStore()
 	tree := rtree.BulkLoad(store, d, pts, ids)
 	store.ResetStats()
-	return &Dataset{tree: tree, store: store, cost: pager.DefaultCostModel, space: space}, nil
+	ds := &Dataset{tree: tree, store: store, cost: pager.DefaultCostModel, space: space}
+	ds.initSnap()
+	return ds, nil
 }
 
 // Insert adds a record dynamically (R* insertion with forced reinsert).
-// It blocks until in-flight queries drain and excludes new ones. With a
-// write-ahead log attached (EnableWAL), the mutation is logged — and, per
-// WALOptions.SyncEvery, fsynced — before it is applied, so a crash after
-// Insert returns never loses it; a failed append aborts the insert.
+// It serializes with other writers but never blocks or excludes readers:
+// the insert builds new index pages copy-on-write and publishes them as a
+// new snapshot once complete, so in-flight queries keep traversing the
+// old version throughout. With a write-ahead log attached (EnableWAL),
+// the mutation is logged — and, per WALOptions.SyncEvery, fsynced —
+// before it is applied, so a crash after Insert returns never loses it; a
+// failed append aborts the insert. The fsync happens while only the
+// writer mutex is held — readers are never behind it.
 func (ds *Dataset) Insert(id int64, p []float64) error {
 	if len(p) != ds.tree.Dim() {
 		return fmt.Errorf("gir: dimension mismatch")
@@ -379,14 +529,16 @@ func (ds *Dataset) Insert(id int64, p []float64) error {
 			return fmt.Errorf("gir: insert aborted, write-ahead append failed: %w", err)
 		}
 	}
+	ds.tree.BeginCOW()
 	ds.tree.Insert(id, vec.Vector(p))
-	ds.publishLocked(true, id, p)
+	ds.publishLocked(true, id, p, ds.tree.CommitCOW())
 	return nil
 }
 
 // Delete removes the record with the given id and coordinates; it reports
-// whether the record was found. Like Insert, it excludes queries and
-// follows the log-before-visibility discipline: with a write-ahead log
+// whether the record was found. Like Insert, it never blocks readers
+// (copy-on-write, snapshot publication on completion) and follows the
+// log-before-visibility discipline: with a write-ahead log
 // attached, the deletion is appended — and, per WALOptions.SyncEvery,
 // fsynced — before the tree sheds the record, so a failed append aborts
 // the delete with the dataset untouched and the record still served.
@@ -403,18 +555,19 @@ func (ds *Dataset) Delete(id int64, p []float64) (bool, error) {
 			return false, fmt.Errorf("gir: delete aborted, write-ahead append failed: %w", err)
 		}
 	}
+	ds.tree.BeginCOW()
 	found := ds.tree.Delete(id, vec.Vector(p))
+	freed := ds.tree.CommitCOW()
 	if found {
-		ds.publishLocked(false, id, p)
+		ds.publishLocked(false, id, p, freed)
 	}
 	return found, nil
 }
 
-// Len returns the number of records.
+// Len returns the number of records (of the currently published version;
+// no lock is taken).
 func (ds *Dataset) Len() int {
-	ds.mu.RLock()
-	defer ds.mu.RUnlock()
-	return ds.tree.Len()
+	return ds.snap.Load().tree.Len()
 }
 
 // Version returns the dataset's mutation version: 0 at construction,
@@ -450,6 +603,7 @@ type TopKResult struct {
 
 	inner    *topk.Result
 	consumed bool
+	version  int64 // the dataset version the traversal ran against
 
 	// Repair state, snapshotted when a GIR computation consumes the result
 	// (Phase 2 mutates the retained heap, so the snapshot must happen
@@ -467,91 +621,37 @@ func (ds *Dataset) TopK(q []float64, k int) (*TopKResult, error) {
 	return ds.TopKFunc(q, k, Linear)
 }
 
-// TopKFunc answers a top-k query under the given scoring family.
+// TopKFunc answers a top-k query under the given scoring family. The
+// traversal runs against a pinned snapshot: it never blocks on writers.
 func (ds *Dataset) TopKFunc(q []float64, k int, s Scoring) (*TopKResult, error) {
-	ds.mu.RLock()
-	res, err := ds.topKLocked(q, k, s)
-	ds.mu.RUnlock()
-	return wrapTopK(res, err, k)
-}
-
-// topKWith is TopK running on an explicitly threaded scratch workspace
-// (batch workers reuse one per worker instead of borrowing per query).
-func (ds *Dataset) topKWith(sc *topk.Scratch, q []float64, k int) (*TopKResult, error) {
-	ds.mu.RLock()
-	res, err := ds.topKLockedWith(sc, q, k, Linear)
-	ds.mu.RUnlock()
-	return wrapTopK(res, err, k)
+	sn := ds.pinSnap()
+	res, err := sn.topK(q, k, s)
+	sn.release()
+	return wrapTopK(res, err, k, sn.version)
 }
 
 // wrapTopK builds the public result from a BRS answer.
-func wrapTopK(res *topk.Result, err error, k int) (*TopKResult, error) {
+func wrapTopK(res *topk.Result, err error, k int, version int64) (*TopKResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &TopKResult{K: k, inner: res}
+	out := &TopKResult{K: k, inner: res, version: version}
 	for _, r := range res.Records {
 		out.Records = append(out.Records, Record{ID: r.ID, Attrs: r.Point, Score: r.Score})
 	}
 	return out, nil
 }
 
-// topKLocked validates and answers a query; the caller holds ds.mu, so
-// validation and traversal see one consistent tree state. The BRS runs on
-// a scratch borrowed from the package pool for just this call.
-func (ds *Dataset) topKLocked(q []float64, k int, s Scoring) (*topk.Result, error) {
-	if err := ds.validateLocked(q, k); err != nil {
-		return nil, err
-	}
-	return topk.BRS(ds.tree, s.function(ds.tree.Dim()), vec.Vector(q), k), nil
-}
-
-// topKLockedWith is topKLocked on an explicitly threaded scratch, for
-// callers that reuse one workspace across many queries (the engine's fill
-// path, batch workers).
-func (ds *Dataset) topKLockedWith(sc *topk.Scratch, q []float64, k int, s Scoring) (*topk.Result, error) {
-	if err := ds.validateLocked(q, k); err != nil {
-		return nil, err
-	}
-	return topk.BRSWith(sc, ds.tree, s.function(ds.tree.Dim()), vec.Vector(q), k), nil
-}
-
-// acquireScratch borrows a pooled BRS workspace sized for the current
-// tree, taking the read lock for the sizing reads (tree height changes
-// under mutation).
+// acquireScratch borrows a pooled BRS workspace sized for the currently
+// published tree (no lock; the snapshot's geometry is immutable).
 func (ds *Dataset) acquireScratch() *topk.Scratch {
-	ds.mu.RLock()
-	defer ds.mu.RUnlock()
-	return topk.AcquireScratch(ds.tree)
+	return topk.AcquireScratch(ds.snap.Load().tree)
 }
 
 // validateQuery checks a query vector and k against the dataset, with the
 // same errors for the sequential and batch (Engine) entry points.
 func (ds *Dataset) validateQuery(q []float64, k int) error {
-	ds.mu.RLock()
-	defer ds.mu.RUnlock()
-	return ds.validateLocked(q, k)
-}
-
-// validateLocked is validateQuery with ds.mu already held.
-func (ds *Dataset) validateLocked(q []float64, k int) error {
-	if len(q) != ds.tree.Dim() {
-		return fmt.Errorf("gir: query has dimension %d, want %d", len(q), ds.tree.Dim())
-	}
-	sum := 0.0
-	for _, w := range q {
-		if w < 0 {
-			return errors.New("gir: query weights must be nonnegative")
-		}
-		sum += w
-	}
-	if ds.spaceLocked() == SpaceSimplex && math.Abs(sum-1) > domain.EqTol {
-		return fmt.Errorf("gir: query weights sum to %v; the simplex query space needs Σw = 1 (normalize with gir.SpaceSimplex.Normalize)", sum)
-	}
-	if k <= 0 || k > ds.tree.Len() {
-		return fmt.Errorf("gir: k = %d out of range (dataset has %d records)", k, ds.tree.Len())
-	}
-	return nil
+	return ds.snap.Load().validate(q, k)
 }
 
 // take marks the result consumed, returning an error on reuse. It also

@@ -26,6 +26,7 @@ type FileStore struct {
 	mu     sync.RWMutex
 	f      *os.File
 	pages  int
+	free   []PageID // freed ids awaiting reuse (LIFO); not persisted
 	reads  atomic.Int64
 	writes atomic.Int64
 }
@@ -67,8 +68,26 @@ func (s *FileStore) Sync() error { return s.f.Sync() }
 func (s *FileStore) Alloc() PageID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if n := len(s.free); n > 0 {
+		id := s.free[n-1]
+		s.free = s.free[:n-1]
+		return id
+	}
 	s.pages++
 	return PageID(s.pages)
+}
+
+// Free implements Store. The file is not shrunk or scrubbed — the page's
+// bytes stay readable until a reuse overwrites them. The freelist is
+// in-memory only: ids freed before a crash simply leak in the reopened
+// file (a snapshot-and-replay recovery rebuilds a compact store anyway).
+func (s *FileStore) Free(id PageID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id == 0 || int(id) > s.pages {
+		panic(fmt.Sprintf("pager: free of unallocated page %d", id))
+	}
+	s.free = append(s.free, id)
 }
 
 // Write implements Store.

@@ -54,14 +54,23 @@ func (c CostModel) IOTime(s Stats) time.Duration {
 // built; callers that mutate an index concurrently with queries need
 // higher-level coordination (see gir.Dataset).
 type Store interface {
-	// Alloc reserves a new page and returns its id.
+	// Alloc reserves a new page and returns its id, preferring ids
+	// released by Free over growing the store.
 	Alloc() PageID
 	// Write stores data (at most PageSize bytes) at the page.
 	Write(id PageID, data []byte)
 	// Read returns the page contents. The returned slice must not be
 	// modified by the caller.
 	Read(id PageID) []byte
-	// NumPages returns the number of allocated pages.
+	// Free returns a page to the allocator for reuse by a later Alloc.
+	// The page's last contents stay readable until the page is both
+	// reallocated and rewritten — copy-on-write readers pin superseded
+	// pages and release them asynchronously, and full-store snapshots
+	// read every allocated page — so Free must neither shrink the store
+	// nor scrub the page.
+	Free(id PageID)
+	// NumPages returns the number of allocated pages (including freed
+	// pages not yet reused; the store never shrinks).
 	NumPages() int
 	// Stats returns the I/O counters.
 	Stats() Stats
@@ -79,6 +88,7 @@ type Store interface {
 type MemStore struct {
 	mu     sync.RWMutex
 	pages  [][]byte
+	free   []PageID // freed ids awaiting reuse (LIFO)
 	reads  atomic.Int64
 	writes atomic.Int64
 }
@@ -90,8 +100,34 @@ func NewMemStore() *MemStore { return &MemStore{} }
 func (m *MemStore) Alloc() PageID {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if n := len(m.free); n > 0 {
+		id := m.free[n-1]
+		m.free = m.free[:n-1]
+		return id
+	}
 	m.pages = append(m.pages, nil)
 	return PageID(len(m.pages)) // 1-based: id 0 stays invalid
+}
+
+// Free implements Store. The page's bytes are kept — readers that were
+// handed the old contents (and whole-store snapshots) stay valid until a
+// reuse overwrites the page, and Write installs a fresh buffer anyway.
+func (m *MemStore) Free(id PageID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id == 0 || int(id) > len(m.pages) {
+		panic(fmt.Sprintf("pager: free of unallocated page %d", id))
+	}
+	m.free = append(m.free, id)
+}
+
+// FreePages reports how many freed pages are awaiting reuse — the
+// reclamation tests assert pages come back exactly when the last pinned
+// snapshot referencing them releases.
+func (m *MemStore) FreePages() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.free)
 }
 
 // Write implements Store.

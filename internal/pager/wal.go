@@ -48,6 +48,14 @@ type WALOptions struct {
 	// values amortize the fsync over bursts at the cost of losing up to
 	// SyncEvery−1 acknowledged records on a crash.
 	SyncEvery int
+
+	// SyncHook, when non-nil, runs immediately before every fsync the
+	// group-commit policy issues (Append completing a SyncEvery group,
+	// and explicit Sync calls), while the log's append lock is held. It
+	// exists so tests and benchmarks can dilate or observe the durability
+	// stall — e.g. simulate a spinning disk's multi-millisecond fsync —
+	// without faking the filesystem. Production callers leave it nil.
+	SyncHook func()
 }
 
 func (o WALOptions) syncEvery() int {
@@ -288,6 +296,9 @@ func (w *WAL) Append(payload []byte) error {
 	w.records++
 	w.unsynced++
 	if w.unsynced >= w.opts.syncEvery() {
+		if w.opts.SyncHook != nil {
+			w.opts.SyncHook()
+		}
 		if err := w.f.Sync(); err != nil {
 			return err
 		}
@@ -300,6 +311,9 @@ func (w *WAL) Append(payload []byte) error {
 func (w *WAL) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.opts.SyncHook != nil {
+		w.opts.SyncHook()
+	}
 	if err := w.f.Sync(); err != nil {
 		return err
 	}

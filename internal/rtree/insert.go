@@ -127,7 +127,7 @@ func (t *Tree) refreshPath(path []pathStep) {
 // growRoot replaces the root with a new internal node over the old root and
 // its split sibling.
 func (t *Tree) growRoot(oldRoot *Node, sibling Entry) {
-	newRoot := &Node{ID: t.store.Alloc(), Leaf: false}
+	newRoot := &Node{ID: t.allocPage(), Leaf: false}
 	newRoot.Entries = []Entry{
 		{Rect: oldRoot.MBB(t.dim), Child: oldRoot.ID},
 		sibling,
@@ -283,7 +283,7 @@ func (t *Tree) split(n *Node) *Node {
 		}
 		return sorted[i].Rect.Hi[ax] < sorted[j].Rect.Hi[ax]
 	})
-	sibling := &Node{ID: t.store.Alloc(), Leaf: n.Leaf}
+	sibling := &Node{ID: t.allocPage(), Leaf: n.Leaf}
 	n.Entries = append([]Entry(nil), sorted[:best.k]...)
 	sibling.Entries = append([]Entry(nil), sorted[best.k:]...)
 	t.writeNode(sibling)
@@ -374,14 +374,17 @@ func (t *Tree) Delete(id int64, p vec.Vector) bool {
 				orphans = append(orphans, orphan{e, level})
 			}
 			parent.node.Entries = append(parent.node.Entries[:parent.slot], parent.node.Entries[parent.slot+1:]...)
+			t.retirePage(node.ID)
 		} else {
 			t.writeNode(node)
 			if !isRoot {
 				parent := leafPath[len(leafPath)-1]
 				// The slot may have shifted if a previous dissolve removed
-				// an earlier entry; find the child by id.
+				// an earlier entry; find the child by id. The stored child id
+				// predates any copy-on-write relocation of the node, so
+				// resolve it before comparing.
 				for i := range parent.node.Entries {
-					if parent.node.Entries[i].Child == node.ID {
+					if t.resolveID(parent.node.Entries[i].Child) == node.ID {
 						parent.node.Entries[i].Rect = node.MBB(t.dim)
 						break
 					}
@@ -403,6 +406,7 @@ func (t *Tree) Delete(id int64, p vec.Vector) bool {
 		if len(root.Entries) != 1 {
 			break
 		}
+		t.retirePage(root.ID)
 		t.root = root.Entries[0].Child
 		t.height--
 	}

@@ -164,6 +164,11 @@ type Tree struct {
 
 	maxLeaf, minLeaf int
 	maxInt, minInt   int
+
+	// cow, when non-nil, makes writeNode relocate instead of overwrite
+	// (see cow.go). Nil outside BeginCOW/CommitCOW: mutations then write
+	// pages in place exactly as the original tree did.
+	cow *cowState
 }
 
 const nodeHeader = 4 // leaf flag (1) + entry count (2) + pad (1)
@@ -192,7 +197,7 @@ func New(store pager.Store, dim int) *Tree {
 		maxLeaf: maxLeaf, minLeaf: max(2, maxLeaf*2/5),
 		maxInt: maxInt, minInt: max(2, maxInt*2/5),
 	}
-	root := &Node{ID: store.Alloc(), Leaf: true}
+	root := &Node{ID: t.allocPage(), Leaf: true}
 	t.root = root.ID
 	t.height = 1
 	t.writeNode(root)
@@ -238,8 +243,12 @@ func (t *Tree) RootRect() Rect {
 	return t.ReadNode(t.root).MBB(t.dim)
 }
 
-// ReadNode fetches and decodes a node page (a counted disk read).
+// ReadNode fetches and decodes a node page (a counted disk read). Inside a
+// copy-on-write mutation the id is resolved through the relocation remap,
+// so the mutation reads its own writes; the returned node's ID is the
+// resolved page.
 func (t *Tree) ReadNode(id pager.PageID) *Node {
+	id = t.resolveID(id)
 	return t.decode(id, t.store.Read(id))
 }
 
@@ -258,6 +267,21 @@ func (t *Tree) writeNode(n *Node) {
 	}
 	if len(n.Entries) > capEntries {
 		panic(fmt.Sprintf("rtree: node %d overflow: %d entries > cap %d", n.ID, len(n.Entries), capEntries))
+	}
+	// Under copy-on-write, the first write to an existing page relocates
+	// it: the old page keeps the previous version's bytes, and the remap
+	// entry makes this mutation's later reads — and, below, the re-encoded
+	// child pointers of every ancestor the R* algorithms rewrite on the
+	// same pass — land on the fresh copy. Relying on that full-path
+	// rewrite is what makes page-granular shadowing sound: a node is only
+	// ever relocated when its parent is rewritten in the same mutation.
+	if t.cow != nil {
+		if _, fresh := t.cow.fresh[n.ID]; !fresh {
+			old := n.ID
+			n.ID = t.allocPage()
+			t.cow.remap[old] = n.ID
+			t.cow.freed = append(t.cow.freed, old)
+		}
 	}
 	buf := make([]byte, 0, pager.PageSize)
 	var flag byte
@@ -278,7 +302,7 @@ func (t *Tree) writeNode(n *Node) {
 		}
 	} else {
 		for _, e := range n.Entries {
-			buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Child))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(t.resolveID(e.Child)))
 			for i := 0; i < t.dim; i++ {
 				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Rect.Lo[i]))
 			}
@@ -360,6 +384,7 @@ type NodeBlock struct {
 // ReadBlock fetches a node page (a counted disk read) and decodes it into
 // blk, reusing blk's buffers across calls. It returns blk.
 func (t *Tree) ReadBlock(id pager.PageID, blk *NodeBlock) *NodeBlock {
+	id = t.resolveID(id)
 	buf := t.store.Read(id)
 	d := t.dim
 	blk.ID = id

@@ -25,18 +25,19 @@ import (
 // including the active query space and mutation version — to a single
 // snapshot file that Open can load later. The file is replaced
 // atomically (temp + fsync + rename), so a crash mid-save leaves the
-// previous snapshot intact. Building a large R*-tree once and reusing it
-// across runs is how the experiment harness is meant to be used at paper
-// scale.
+// previous snapshot intact. Save quiesces writers (it iterates every
+// store page, which a concurrent copy-on-write mutation would grow under
+// it) but never blocks queries. Building a large R*-tree once and reusing
+// it across runs is how the experiment harness is meant to be used at
+// paper scale.
 func (ds *Dataset) Save(path string) error {
-	ds.mu.RLock()
-	defer ds.mu.RUnlock()
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
 	return ds.saveLocked(path)
 }
 
-// saveLocked is Save with ds.mu already held (either mode: it only
-// reads). Checkpoint runs it under the exclusive lock so no mutation can
-// land between the version it records and the pages it writes.
+// saveLocked is Save with the writer mutex already held, so no mutation
+// can land between the version it records and the pages it writes.
 func (ds *Dataset) saveLocked(path string) error {
 	root, height, size := ds.tree.Meta()
 	meta := make([]byte, 29)
@@ -95,6 +96,7 @@ func Open(path string) (*Dataset, error) {
 	tree := rtree.Attach(store, m.dim, m.root, m.height, m.size)
 	ds := &Dataset{tree: tree, store: store, cost: pager.DefaultCostModel, space: m.space}
 	ds.version.Store(m.version)
+	ds.initSnap()
 	return ds, nil
 }
 
@@ -158,6 +160,7 @@ func OpenOnDisk(path string) (*Dataset, error) {
 	tree := rtree.Attach(fs, m.dim, m.root, m.height, m.size)
 	ds := &Dataset{tree: tree, store: fs, cost: pager.DefaultCostModel, file: fs, sidecar: side, space: m.space}
 	ds.version.Store(m.version)
+	ds.initSnap()
 	return ds, nil
 }
 
@@ -216,14 +219,23 @@ func (ds *Dataset) ComputeGIRBatch(items []BatchItem, m Method, parallelism int)
 		sc := ds.acquireScratch()
 		return func(i int) {
 			it := items[i]
-			res, err := ds.topKWith(sc, it.Query, it.K)
+			// One pinned snapshot per item: the traversal and the region
+			// build see the same index version even while mutations land.
+			sn := ds.pinSnap()
+			defer sn.release()
+			inner, err := sn.topKWith(sc, it.Query, it.K, Linear)
 			if err != nil {
 				out[i] = BatchResult{Item: it, Err: err}
 				return
 			}
+			res, _ := wrapTopK(inner, nil, it.K, sn.version)
 			// Keep an unconsumed copy of the records for the caller.
 			public := &TopKResult{Records: res.Records, K: res.K}
-			g, err := ds.ComputeGIR(res, m)
+			taken, err := res.take()
+			var g *GIR
+			if err == nil {
+				g, err = ds.computeGIRSnap(sn, taken, m, false)
+			}
 			out[i] = BatchResult{Item: it, Result: public, GIR: g, Err: err}
 		}, sc.Release
 	})

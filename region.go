@@ -64,24 +64,32 @@ func (ds *Dataset) computeGIR(res *TopKResult, m Method, star bool) (*GIR, error
 	if err != nil {
 		return nil, err
 	}
-	ds.mu.RLock()
-	defer ds.mu.RUnlock()
-	return ds.computeGIRLocked(inner, m, star)
+	sn := ds.pinSnap()
+	defer sn.release()
+	// The retained BRS heap refers to pages of the version the traversal
+	// ran against; Phase 2 must resume into exactly those pages. A pinned
+	// snapshot of a LATER version is a different tree, so the mismatch is
+	// an error rather than an inconsistent region.
+	if res.version != sn.version {
+		return nil, fmt.Errorf("gir: the top-k result was computed at dataset version %d but the index is now at %d — rerun TopK", res.version, sn.version)
+	}
+	return ds.computeGIRSnap(sn, inner, m, star)
 }
 
-// computeGIRLocked runs Phase 2 over a retained traversal; the caller
-// holds ds.mu, so the resumed heap and the tree pages are consistent.
-func (ds *Dataset) computeGIRLocked(inner *topk.Result, m Method, star bool) (*GIR, error) {
+// computeGIRSnap runs Phase 2 over a retained traversal against a pinned
+// snapshot; the caller guarantees sn is the snapshot the traversal ran
+// on, so the resumed heap and the tree pages are consistent.
+func (ds *Dataset) computeGIRSnap(sn *treeSnap, inner *topk.Result, m Method, star bool) (*GIR, error) {
 	readsBefore := ds.store.Stats().Reads
 	start := time.Now()
-	opts := girint.Options{Method: m.internal(), Domain: ds.spaceLocked().domain(ds.tree.Dim())}
+	opts := girint.Options{Method: m.internal(), Domain: sn.space.domain(sn.tree.Dim())}
 	var region *girint.Region
 	var st *girint.Stats
 	var err error
 	if star {
-		region, st, err = girint.ComputeStar(ds.tree, inner, opts)
+		region, st, err = girint.ComputeStar(sn.tree, inner, opts)
 	} else {
-		region, st, err = girint.Compute(ds.tree, inner, opts)
+		region, st, err = girint.Compute(sn.tree, inner, opts)
 	}
 	if err != nil {
 		return nil, err
@@ -115,19 +123,19 @@ type topKFill struct {
 	girErr  error
 }
 
-// topKAndGIR answers a query and computes its GIR under ONE read lock, so
-// no mutation can land between the traversal and the region build (the
-// retained BRS heap stays consistent with the pages Phase 2 resumes
-// into). The repair state is snapshotted between BRS and Phase 2 — Phase 2
-// consumes the heap, and FP prunes subtrees from it without reading them,
-// so only the pre-Phase-2 state covers the dataset.
+// topKAndGIR answers a query and computes its GIR against ONE pinned
+// snapshot, so no mutation can land between the traversal and the region
+// build (the retained BRS heap stays consistent with the pages Phase 2
+// resumes into). The repair state is snapshotted between BRS and Phase 2
+// — Phase 2 consumes the heap, and FP prunes subtrees from it without
+// reading them, so only the pre-Phase-2 state covers the dataset.
 func (ds *Dataset) topKAndGIR(q []float64, k int, m Method) (*topKFill, error) {
-	ds.mu.RLock()
-	defer ds.mu.RUnlock()
-	sc := topk.AcquireScratch(ds.tree)
+	sn := ds.pinSnap()
+	defer sn.release()
+	sc := topk.AcquireScratch(sn.tree)
 	defer sc.Release()
-	out := &topKFill{version: ds.version.Load()}
-	res, err := ds.topKLockedWith(sc, q, k, Linear)
+	out := &topKFill{version: sn.version}
+	res, err := sn.topKWith(sc, q, k, Linear)
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +144,7 @@ func (ds *Dataset) topKAndGIR(q []float64, k int, m Method) (*topKFill, error) {
 		out.recs[i] = Record{ID: r.ID, Attrs: r.Point, Score: r.Score}
 	}
 	out.cand, out.bounds, out.candOK = retainRepairState(res)
-	out.g, out.girErr = ds.computeGIRLocked(res, m, false)
+	out.g, out.girErr = ds.computeGIRSnap(sn, res, m, false)
 	return out, nil
 }
 

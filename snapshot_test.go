@@ -1,0 +1,358 @@
+package gir
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/girlib/gir/internal/pager"
+)
+
+// bruteScored is one brute-force ranking entry: the exact score a
+// snapshot answer must reproduce bit for bit.
+type bruteScored struct {
+	id    int64
+	score float64
+}
+
+// bruteTopKScored scores every record of a shadow copy and returns the k
+// best in decreasing score order — the reference a pinned snapshot's
+// answer must match byte for byte. (bruteTopK in churn_test.go returns
+// ids only; the isolation tests also compare scores.)
+func bruteTopKScored(shadow map[int64][]float64, q []float64, k int) []bruteScored {
+	all := make([]bruteScored, 0, len(shadow))
+	for id, p := range shadow {
+		s := 0.0
+		for i, w := range q {
+			s += w * p[i]
+		}
+		all = append(all, bruteScored{id, s})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].id < all[j].id
+	})
+	return all[:k]
+}
+
+// TestSnapshotIsolation pins a snapshot at version v, advances the
+// dataset through N further mutations, and checks the pinned snapshot
+// still answers exactly the version-v state — byte-equal to brute force
+// over a shadow copy frozen at pin time — while the live dataset answers
+// the advanced state. This is the read-side contract of the copy-on-write
+// index: a published version is immutable no matter what writers do.
+func TestSnapshotIsolation(t *testing.T) {
+	r := rand.New(rand.NewSource(411))
+	const n, d, k, rounds, mutsPerRound = 400, 3, 7, 5, 40
+	points := make([][]float64, n)
+	shadow := make(map[int64][]float64, n)
+	for i := range points {
+		p := []float64{r.Float64(), r.Float64(), r.Float64()}
+		points[i] = p
+		shadow[int64(i)] = p
+	}
+	ds, err := NewDataset(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([][]float64, 6)
+	for i := range queries {
+		queries[i] = []float64{0.1 + 0.8*r.Float64(), 0.1 + 0.8*r.Float64(), 0.1 + 0.8*r.Float64()}
+	}
+	check := func(what string, sn *treeSnap, frozen map[int64][]float64) {
+		t.Helper()
+		for _, q := range queries {
+			res, err := sn.topK(q, k, Linear)
+			if err != nil {
+				t.Fatalf("%s: %v", what, err)
+			}
+			want := bruteTopKScored(frozen, q, k)
+			for i, rec := range res.Records {
+				if rec.ID != want[i].id || rec.Score != want[i].score {
+					t.Fatalf("%s: rank %d = record %d score %v, brute force says record %d score %v",
+						what, i, rec.ID, rec.Score, want[i].id, want[i].score)
+				}
+			}
+		}
+	}
+
+	nextID := int64(n)
+	var live []int64 // churn-inserted ids still present
+	for round := 0; round < rounds; round++ {
+		sn := ds.pinSnap()
+		pinnedVersion := sn.version
+		frozen := make(map[int64][]float64, len(shadow))
+		for id, p := range shadow {
+			frozen[id] = p
+		}
+		for m := 0; m < mutsPerRound; m++ {
+			if len(live) > 0 && r.Intn(3) == 0 {
+				i := r.Intn(len(live))
+				id := live[i]
+				if ok, err := ds.Delete(id, shadow[id]); err != nil || !ok {
+					t.Fatalf("delete of churn record %d: found=%v err=%v", id, ok, err)
+				}
+				delete(shadow, id)
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				p := []float64{r.Float64(), r.Float64(), r.Float64()}
+				if err := ds.Insert(nextID, p); err != nil {
+					t.Fatal(err)
+				}
+				shadow[nextID] = p
+				live = append(live, nextID)
+				nextID++
+			}
+		}
+		if sn.version != pinnedVersion {
+			t.Fatalf("pinned snapshot's version moved: %d → %d", pinnedVersion, sn.version)
+		}
+		if got := ds.Version(); got != pinnedVersion+mutsPerRound {
+			t.Fatalf("dataset version = %d after %d mutations past %d", got, mutsPerRound, pinnedVersion)
+		}
+		// The pinned snapshot answers the frozen state; the live dataset
+		// answers the advanced one.
+		check(fmt.Sprintf("round %d pinned snapshot", round), sn, frozen)
+		check(fmt.Sprintf("round %d live dataset", round), ds.pinnedForTest(t), shadow)
+		sn.release()
+	}
+}
+
+// pinnedForTest pins the current snapshot and releases it when the test
+// finishes (the isolation test reads the live state through the same
+// code path it reads pinned history through).
+func (ds *Dataset) pinnedForTest(t *testing.T) *treeSnap {
+	sn := ds.pinSnap()
+	t.Cleanup(sn.release)
+	return sn
+}
+
+// TestSnapshotIsolationConcurrent races readers against a live mutator
+// under the race detector: each reader pins a snapshot and requires
+// repeated identical queries against it to return identical answers for
+// as long as the pin is held — any writer mutating a published page, or
+// any premature page reuse, breaks the repetition (and the race detector
+// flags the access).
+func TestSnapshotIsolationConcurrent(t *testing.T) {
+	r := rand.New(rand.NewSource(412))
+	const n, d, k = 600, 3, 5
+	points := make([][]float64, n)
+	for i := range points {
+		points[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+	}
+	ds, err := NewDataset(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // mutator: alternating insert/delete churn
+		defer wg.Done()
+		mr := rand.New(rand.NewSource(413))
+		id := int64(n)
+		p := make([]float64, d)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i := range p {
+				p[i] = mr.Float64()
+			}
+			if err := ds.Insert(id, p); err != nil {
+				t.Error(err)
+				return
+			}
+			if ok, err := ds.Delete(id, p); err != nil || !ok {
+				t.Errorf("lost record %d: found=%v err=%v", id, ok, err)
+				return
+			}
+			id++
+		}
+	}()
+
+	const readers = 4
+	wg.Add(readers)
+	for w := 0; w < readers; w++ {
+		go func(seed int64) {
+			defer wg.Done()
+			qr := rand.New(rand.NewSource(seed))
+			for round := 0; round < 60; round++ {
+				q := []float64{0.1 + 0.8*qr.Float64(), 0.1 + 0.8*qr.Float64(), 0.1 + 0.8*qr.Float64()}
+				sn := ds.pinSnap()
+				first, err := sn.topK(q, k, Linear)
+				if err != nil {
+					t.Error(err)
+					sn.release()
+					return
+				}
+				for rep := 0; rep < 5; rep++ {
+					again, err := sn.topK(q, k, Linear)
+					if err != nil {
+						t.Error(err)
+						break
+					}
+					for i := range first.Records {
+						if first.Records[i].ID != again.Records[i].ID || first.Records[i].Score != again.Records[i].Score {
+							t.Errorf("pinned snapshot v%d changed its answer between reads: rank %d %d/%v → %d/%v",
+								sn.version, i, first.Records[i].ID, first.Records[i].Score, again.Records[i].ID, again.Records[i].Score)
+						}
+					}
+				}
+				sn.release()
+			}
+		}(414 + int64(w))
+	}
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// TestSnapshotReclamation asserts the epoch rule: pages superseded by a
+// mutation return to the store's freelist only after every snapshot that
+// could reference them is released — never while one is pinned — and do
+// return (and get reused) afterwards.
+func TestSnapshotReclamation(t *testing.T) {
+	r := rand.New(rand.NewSource(421))
+	const n, d = 500, 3
+	points := make([][]float64, n)
+	for i := range points {
+		points[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+	}
+	ds, err := NewDataset(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := ds.store.(*pager.MemStore)
+
+	mutate := func(id int64) {
+		t.Helper()
+		p := []float64{r.Float64(), r.Float64(), r.Float64()}
+		if err := ds.Insert(id, p); err != nil {
+			t.Fatal(err)
+		}
+		if ok, err := ds.Delete(id, p); err != nil || !ok {
+			t.Fatalf("lost record %d: found=%v err=%v", id, ok, err)
+		}
+	}
+
+	// Unpinned steady state: each mutation retires the previous snapshot,
+	// and with no pins the next mutation's reclaim pass frees it, so the
+	// freelist is non-empty and the store reuses it instead of growing.
+	mutate(1 << 30)
+	mutate(1<<30 + 1)
+	if mem.FreePages() == 0 {
+		t.Fatal("no pages reclaimed with no pinned snapshots")
+	}
+	pagesBefore := mem.NumPages()
+	for i := int64(2); i < 12; i++ {
+		mutate(1<<30 + i)
+	}
+	if grown := mem.NumPages() - pagesBefore; grown > 0 {
+		t.Errorf("store grew %d pages across 10 mutations despite an active freelist", grown)
+	}
+
+	// Pin the current snapshot: every page superseded from here on may be
+	// referenced by it (or by versions between it and the head), so the
+	// freelist must freeze exactly as it is until the pin is dropped.
+	sn := ds.pinSnap()
+	freeAtPin := mem.FreePages()
+	for i := int64(100); i < 110; i++ {
+		mutate(1<<30 + i)
+		if got := mem.FreePages(); got > freeAtPin {
+			t.Fatalf("freelist grew from %d to %d while a snapshot was pinned — a pinned reader's pages were handed out for reuse", freeAtPin, got)
+		}
+	}
+	if len(ds.retired) == 0 {
+		t.Fatal("no retired snapshots accumulated behind the pin")
+	}
+	sn.release()
+
+	// The release itself frees nothing (readers take no locks); the next
+	// mutation's reclaim pass drains the whole retired backlog.
+	backlog := len(ds.retired)
+	mutate(1 << 31)
+	if got := len(ds.retired); got >= backlog {
+		t.Errorf("retired backlog %d did not drain after release (now %d)", backlog, got)
+	}
+	if got := mem.FreePages(); got <= freeAtPin {
+		t.Errorf("freelist = %d after release + mutation, want > %d (the backlog's pages)", got, freeAtPin)
+	}
+}
+
+// TestReaderNotBlockedByFsync is the regression gate for the lock-free
+// read path: a writer is held INSIDE its WAL fsync (SyncHook blocks with
+// the write-ahead append — and hence the writer mutex — held) and a
+// concurrent TopK must still complete. On the previous layout, where
+// readers shared the dataset's RWMutex with writers, this times out by
+// construction: the reader's RLock queues behind the fsyncing writer.
+func TestReaderNotBlockedByFsync(t *testing.T) {
+	r := rand.New(rand.NewSource(431))
+	const n, d = 300, 3
+	points := make([][]float64, n)
+	for i := range points {
+		points[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+	}
+	ds, err := NewDataset(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var once sync.Once
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	opts := WALOptions{SyncEvery: 1, SyncHook: func() {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	}}
+	if err := ds.EnableWAL(t.TempDir(), opts); err != nil {
+		t.Fatal(err)
+	}
+	defer close(release) // unblock the writer even on failure exits
+
+	insertDone := make(chan error, 1)
+	point := []float64{0.5, 0.5, 0.5}
+	go func() { insertDone <- ds.Insert(1<<30, point) }()
+	<-entered // the writer is now parked inside its fsync
+
+	q := []float64{0.3, 0.4, 0.3}
+	topkDone := make(chan error, 1)
+	go func() {
+		res, err := ds.TopK(q, 5)
+		if err == nil && len(res.Records) != 5 {
+			err = fmt.Errorf("got %d records, want 5", len(res.Records))
+		}
+		topkDone <- err
+	}()
+	select {
+	case err := <-topkDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("TopK did not complete while a writer was blocked in its WAL fsync — readers are queueing behind the write path again")
+	}
+	select {
+	case err := <-insertDone:
+		t.Fatalf("insert finished before its fsync was released: %v", err)
+	default:
+	}
+
+	release <- struct{}{} // wake the parked writer (the deferred close handles reruns)
+	if err := <-insertDone; err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Len(); got != n+1 {
+		t.Fatalf("Len = %d after the released insert, want %d", got, n+1)
+	}
+}

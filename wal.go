@@ -151,16 +151,21 @@ func (ds *Dataset) applyWALPayload(payload []byte) error {
 	if len(m.point) != ds.tree.Dim() {
 		return fmt.Errorf("gir: WAL record has dimension %d, dataset has %d", len(m.point), ds.tree.Dim())
 	}
+	ds.tree.BeginCOW()
 	if m.insert {
 		ds.tree.Insert(m.id, vec.Vector(m.point))
 	} else if !ds.tree.Delete(m.id, vec.Vector(m.point)) {
 		// The record passed its CRC, so this is real log/snapshot
-		// disagreement, not a torn write.
+		// disagreement, not a torn write. The failed walk wrote nothing,
+		// so the commit publishes no pages.
+		ds.tree.CommitCOW()
 		return fmt.Errorf("gir: WAL replays a delete of record %d the index does not hold", m.id)
 	}
+	freed := ds.tree.CommitCOW()
 	for _, fn := range ds.subs {
 		fn(m)
 	}
+	ds.publishSnapLocked(m.version, freed)
 	ds.version.Store(m.version)
 	return nil
 }
