@@ -6,6 +6,8 @@
 package gir
 
 import (
+	"math"
+	"math/rand"
 	"testing"
 
 	"github.com/girlib/gir/internal/datagen"
@@ -86,6 +88,57 @@ func TestColdBRSAllocBudget(t *testing.T) {
 	})
 	if allocs > budget {
 		t.Fatalf("cold BRS allocated %.1f allocs/op, budget %d", allocs, budget)
+	}
+}
+
+// TestBatchDispatchAllocBudget bounds the engine's per-query dispatch
+// overhead on the no-cache batch path: against a serving-shaped batch
+// (jittered repeats of a few centers — the BENCH_hotpath stream), fused
+// BatchTopK may cost at most 2 allocs/query more than a sequential
+// Dataset.TopK loop. The fused path's fixed per-group cost (claim
+// bookkeeping, group slices) must amortize across members; a regression
+// that adds per-query allocations to dispatch fails here.
+func TestBatchDispatchAllocBudget(t *testing.T) {
+	ds := allocDataset(t, 20000, 4)
+	e := NewEngine(ds, EngineOptions{Workers: 1, CacheCapacity: -1})
+	defer e.Close()
+
+	r := rand.New(rand.NewSource(88))
+	const centers, per = 8, 8
+	batch := make([]Query, 0, centers*per)
+	for c := 0; c < centers; c++ {
+		center := []float64{0.1 + 0.8*r.Float64(), 0.1 + 0.8*r.Float64(), 0.1 + 0.8*r.Float64(), 0.1 + 0.8*r.Float64()}
+		for i := 0; i < per; i++ {
+			q := make([]float64, len(center))
+			for j := range center {
+				q[j] = math.Max(1e-6, center[j]+0.001*r.NormFloat64())
+			}
+			batch = append(batch, Query{Vector: q, K: 20})
+		}
+	}
+	nq := float64(len(batch))
+
+	var errSeen bool
+	seq := testing.AllocsPerRun(10, func() {
+		for _, q := range batch {
+			if _, err := ds.TopK(q.Vector, q.K); err != nil {
+				errSeen = true
+			}
+		}
+	}) / nq
+	eng := testing.AllocsPerRun(10, func() {
+		for _, res := range e.BatchTopK(batch) {
+			if res.Err != nil {
+				errSeen = true
+			}
+		}
+	}) / nq
+	if errSeen {
+		t.Fatal("a query failed mid-measurement")
+	}
+	t.Logf("allocs/query: sequential TopK %.1f, engine BatchTopK %.1f", seq, eng)
+	if eng > seq+2 {
+		t.Fatalf("engine batch dispatch costs %.1f allocs/query, sequential loop %.1f — gap above 2", eng, seq)
 	}
 }
 

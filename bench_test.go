@@ -235,6 +235,35 @@ func BenchmarkBRS(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchBRS measures the fused multi-query traversal against a
+// serving-shaped batch (jittered repeats of a few centers, the workload
+// girbench -fuse runs at scale). One iteration answers the whole batch;
+// pages/query counts the store reads fusion actually paid.
+func BenchmarkBatchBRS(b *testing.B) {
+	env := setupBench(b, datagen.IND, 100000, 4)
+	const centers, per = 8, 8
+	qs := make([]vec.Vector, 0, centers*per)
+	ks := make([]int, 0, centers*per)
+	for c := 0; c < centers; c++ {
+		center := datagen.Query(4, int64(100+c))
+		for i := 0; i < per; i++ {
+			q := center.Clone()
+			q[i%4] += 0.001 * float64(i+1)
+			qs = append(qs, q)
+			ks = append(ks, benchK)
+		}
+	}
+	env.store.ResetStats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topk.BatchBRS(env.tree, score.Linear{}, qs, ks, 8)
+	}
+	b.StopTimer()
+	reads := float64(env.store.Stats().Reads)
+	b.ReportMetric(reads/float64(b.N*len(qs)), "pages/query")
+}
+
 // --- Ablations for the design decisions DESIGN.md §4 records -------------
 
 // BenchmarkAblationReduce isolates the LP-based redundancy elimination:

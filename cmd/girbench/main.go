@@ -41,6 +41,7 @@ func main() {
 	serveBurst := flag.Int("burst", 0, "-serve -churn: writes arrive in bursts of this size (> 1 runs the batched-vs-per-mutation drain benchmark)")
 	serveWAL := flag.Bool("wal", false, "-serve -churn: benchmark write-ahead-log durability (no-wal vs per-append fsync vs group commit) instead of cache maintenance")
 	serveShards := flag.Int("shards", 0, "-serve: benchmark the horizontally partitioned scatter/gather tier with this many partitions vs a single partition (> 1)")
+	serveFuse := flag.Bool("fuse", false, "-serve: benchmark the fused batched execution path (BatchTopK with angular-similarity grouping and shared page scans) against the per-query fan (the BENCH_fusion.json artifact)")
 	serveStall := flag.Bool("stall", false, "-serve: benchmark read tail latency against a dedicated mutator goroutine doing SyncEvery=1 durable writes (the BENCH_latency.json artifact)")
 	serveWriteRate := flag.Int("writerate", 200, "-serve -stall: the concurrent mutator's target durable-write rate per second")
 	serveFsyncDelay := flag.Duration("fsyncdelay", 2*time.Millisecond, "-serve -stall: simulated extra fsync latency per durable write (a spinning disk's fsync; 0 = the real filesystem only)")
@@ -159,6 +160,9 @@ func main() {
 		if *serveStall && (*serveWAL || *serveBurst > 1 || *serveRepair || *serveShards > 1 || *serveChurn > 0) {
 			fatal("-stall is its own benchmark (it brings its own concurrent mutator); drop -wal/-burst/-repair/-shards/-churn")
 		}
+		if *serveFuse && (*serveWAL || *serveBurst > 1 || *serveRepair || *serveShards > 1 || *serveChurn > 0 || *serveStall) {
+			fatal("-fuse is its own benchmark; drop -wal/-burst/-repair/-shards/-churn/-stall")
+		}
 		if *serveWriteRate < 1 {
 			fatal("bad -writerate: %d (want at least one write per second)", *serveWriteRate)
 		}
@@ -166,6 +170,8 @@ func main() {
 			fatal("bad -fsyncdelay: %v", *serveFsyncDelay)
 		}
 		switch {
+		case *serveFuse:
+			err = runFusion(scfg, *serveJSON, os.Stdout)
 		case *serveStall:
 			err = runStall(scfg, *serveWriteRate, *serveFsyncDelay, *serveJSON, os.Stdout)
 		case *serveShards > 1:

@@ -123,6 +123,67 @@ func TestRunServeSmoke(t *testing.T) {
 	}
 }
 
+// TestRunFusionSmoke runs the fused-batch benchmark end to end at toy
+// scale and validates the BENCH_fusion.json artifact schema: all four
+// rows present in order, fused rows recording fused groups/queries and
+// shared page reads, and the fused no-cache pass reading no more pages
+// than the unfused baseline (fewer is the whole point; equality is
+// tolerated only at this toy scale, never more).
+func TestRunFusionSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fusion benchmark smoke is not -short")
+	}
+	dir := t.TempDir()
+	jsonPath := dir + "/BENCH_fusion.json"
+	cfg := serveConfig{N: 1500, D: 3, Seed: 7, Stream: 300, Distinct: 8, ZipfS: 1.3, Jitter: 0.001, Batch: 32}
+	var buf strings.Builder
+	if err := runFusion(cfg, jsonPath, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report fusionReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if report.Benchmark != "girbench-fusion" {
+		t.Fatalf("benchmark name = %q", report.Benchmark)
+	}
+	want := []string{"unfused no-cache", "fused no-cache", "fused cache (cold)", "fused cache (warm)"}
+	if len(report.Rows) != len(want) {
+		t.Fatalf("got %d rows, want %d: %+v", len(report.Rows), len(want), report.Rows)
+	}
+	for i, row := range report.Rows {
+		if row.Name != want[i] {
+			t.Errorf("row %d is %q, want %q", i, row.Name, want[i])
+		}
+		if row.Queries != cfg.Stream || row.QPS <= 0 {
+			t.Errorf("%s row has bad volume/throughput: %+v", row.Name, row)
+		}
+		if row.PageReads < 0 || row.AllocsPerQuery < 0 {
+			t.Errorf("%s row has negative counters: %+v", row.Name, row)
+		}
+	}
+	unfused, fused := report.Rows[0], report.Rows[1]
+	if unfused.FusedGroups != 0 || unfused.SharedPageReads != 0 {
+		t.Errorf("unfused baseline recorded fused activity: %+v", unfused)
+	}
+	if fused.FusedGroups == 0 || fused.FusedQueries == 0 {
+		t.Errorf("fused pass ran no fused traversals: %+v", fused)
+	}
+	if fused.SharedPageReads == 0 {
+		t.Errorf("fused pass shared no page reads: %+v", fused)
+	}
+	if fused.PageReads > unfused.PageReads {
+		t.Errorf("fusion read MORE pages than the per-query baseline: %d vs %d", fused.PageReads, unfused.PageReads)
+	}
+	if report.Config.GroupSize != 8 {
+		t.Errorf("config group_size = %d", report.Config.GroupSize)
+	}
+}
+
 // TestRunWALSmoke runs the durability benchmark end to end at toy scale
 // and validates the BENCH_wal.json artifact: all three durability rows
 // are present, write latencies are populated, and both WAL rows completed

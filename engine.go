@@ -82,6 +82,10 @@ type Engine struct {
 	drainPasses atomic.Int64 // batched maintenance passes run
 	drainedMuts atomic.Int64 // mutations those passes reconciled
 	fenceNanos  atomic.Int64 // cumulative wall time the generation fence was up
+
+	fusedGroups  atomic.Int64 // fused traversals that served ≥ 2 queries
+	fusedQueries atomic.Int64 // queries those traversals answered
+	sharedReads  atomic.Int64 // page visits served from a group's decode cache
 }
 
 // EngineOptions tunes a new Engine. The zero value is ready to use:
@@ -123,6 +127,13 @@ type EngineOptions struct {
 	// pending). 1 reproduces the pre-batching one-mutation-per-pass drain
 	// and is kept as a benchmark baseline (girbench -burst).
 	DrainBatch int
+	// FuseGroupSize caps how many cache-missing queries of one BatchTopK
+	// call a fused traversal serves together (0 = default 8). Misses are
+	// grouped by angular similarity of their weight vectors and each group
+	// shares one pass over the index pages; every member's result stays
+	// byte-identical to a solo TopK. 1 disables fusion (the per-query
+	// baseline).
+	FuseGroupSize int
 }
 
 // NewEngine builds an engine over the dataset.
@@ -353,6 +364,14 @@ type EngineStats struct {
 	PredicateEvals   int64
 	FenceOpen        time.Duration
 
+	// Fused-batch economics: how many multi-member fused traversals ran,
+	// how many queries they answered, and how many page visits were served
+	// from a group's shared decode cache instead of the store. SharedPageReads
+	// is exactly the reads fusion saved over per-query traversals.
+	FusedGroups     int64
+	FusedQueries    int64
+	SharedPageReads int64
+
 	// Version is the dataset mutation version visible when the stats were
 	// read; Reconciled is the version the cache is fully reconciled with
 	// (= Version when the generation fence is down or caching is off). A
@@ -375,6 +394,9 @@ func (e *Engine) Stats() EngineStats {
 		DrainedMutations: e.drainedMuts.Load(),
 		PredicateEvals:   e.planner.Predicates(),
 		FenceOpen:        time.Duration(e.fenceNanos.Load()),
+		FusedGroups:      e.fusedGroups.Load(),
+		FusedQueries:     e.fusedQueries.Load(),
+		SharedPageReads:  e.sharedReads.Load(),
 		Version:          e.ds.version.Load(),
 	}
 	st.Reconciled = st.Version
@@ -393,15 +415,192 @@ func (e *Engine) Cache() *Cache { return e.cache }
 // caches, fences, repairs or persists is clipped to this space.
 func (e *Engine) Space() Space { return e.ds.Space() }
 
+// defaultFuseGroupSize is the fused-traversal group cap when
+// EngineOptions.FuseGroupSize is left zero.
+const defaultFuseGroupSize = 8
+
+func (e *Engine) fuseLimit() int {
+	if e.opts.FuseGroupSize == 0 {
+		return defaultFuseGroupSize
+	}
+	if e.opts.FuseGroupSize < 1 {
+		return 1
+	}
+	return e.opts.FuseGroupSize
+}
+
 // BatchTopK answers a batch of top-k queries concurrently. The i-th result
 // corresponds to the i-th query; every result is byte-identical to what
 // Dataset.TopK would return for that query.
+//
+// Unless FuseGroupSize disables it, the batch's cache misses are
+// deduplicated, grouped by angular similarity of their weight vectors, and
+// each group is answered by ONE fused traversal that shares page decodes
+// and block-scores leaves for the whole group (topk.BRSGroup) — byte
+// identity per query is preserved by construction.
 func (e *Engine) BatchTopK(queries []Query) []EngineResult {
 	out := make([]EngineResult, len(queries))
+	if limit := e.fuseLimit(); limit > 1 && len(queries) > 1 {
+		e.batchTopKFused(queries, out, limit)
+		return out
+	}
 	engineint.Fan(len(queries), e.opts.Workers, func(i int) {
 		out[i] = e.serveTopK(queries[i])
 	})
 	return out
+}
+
+// batchTopKFused is BatchTopK's fused execution: cache lookups fan out as
+// before; the misses are deduplicated within the batch, partitioned into
+// angular-similarity groups, and each group computed with one shared
+// traversal under one snapshot pin.
+func (e *Engine) batchTopKFused(queries []Query, out []EngineResult, limit int) {
+	n := len(queries)
+	miss := make([]bool, n)
+	engineint.Fan(n, e.opts.Workers, func(i int) {
+		q := queries[i]
+		if err := e.ds.validateQuery(q.Vector, q.K); err != nil {
+			out[i] = EngineResult{Err: err}
+			return
+		}
+		if e.cache != nil {
+			if entry, complete, ok := e.cache.lookupEntry(q.Vector, q.K, e.fenceVeto()); ok {
+				if complete {
+					dst := make([]Record, q.K)
+					rescoreInto(dst, entry.Records[:q.K], q.Vector)
+					out[i] = EngineResult{Records: dst, CacheHit: true}
+					return
+				}
+				out[i].PartialHit = true
+			}
+		}
+		miss[i] = true
+	})
+
+	// In-batch dedupe: the first query with a given (vector, k) key owns
+	// the computation; repeats become followers and copy its answer, the
+	// same sharing single-flight gives concurrent callers.
+	byKey := make(map[string]int, n)
+	ownerIdx := make([]int, 0, n)
+	ownerKey := make([]string, 0, n)
+	var followers map[int][]int
+	for i := range queries {
+		if !miss[i] {
+			continue
+		}
+		key := "t:" + engineint.Key(queries[i].Vector, queries[i].K)
+		if o, ok := byKey[key]; ok {
+			if followers == nil {
+				followers = make(map[int][]int)
+			}
+			followers[o] = append(followers[o], i)
+			continue
+		}
+		byKey[key] = len(ownerIdx)
+		ownerIdx = append(ownerIdx, i)
+		ownerKey = append(ownerKey, key)
+	}
+
+	if len(ownerIdx) > 0 {
+		vecs := make([]vec.Vector, len(ownerIdx))
+		for j, i := range ownerIdx {
+			vecs[j] = vec.Vector(queries[i].Vector)
+		}
+		groups := topk.FuseGroups(vecs, limit)
+		engineint.Fan(len(groups), e.opts.Workers, func(gi int) {
+			e.computeFusedGroup(queries, out, ownerIdx, ownerKey, groups[gi])
+		})
+	}
+
+	for o, fs := range followers {
+		src := out[ownerIdx[o]]
+		for _, i := range fs {
+			e.deduped.Add(1)
+			out[i].Records = src.Records
+			out[i].Err = src.Err
+			out[i].Shared = true
+		}
+	}
+}
+
+// computeFusedGroup claims each member's single-flight key, answers the
+// claimed subset with one fused traversal under one snapshot pin,
+// publishes per-member results, then adopts results for members some
+// other caller was already computing. Claiming everything up front keeps
+// the engine's dedupe guarantee — a fused member and a concurrent solo
+// TopK for the same key still compute once — and waiting only AFTER our
+// own subset is published makes overlapping groups deadlock-free (a
+// leader never blocks before releasing its claims).
+func (e *Engine) computeFusedGroup(queries []Query, out []EngineResult, ownerIdx []int, ownerKey []string, group []int) {
+	type member struct {
+		i    int // index into queries/out
+		key  string
+		call *engineint.Call
+	}
+	lead := make([]member, 0, len(group))
+	var waiters []member
+	for _, g := range group {
+		c, leader := e.flight.Claim(ownerKey[g])
+		m := member{i: ownerIdx[g], key: ownerKey[g], call: c}
+		if leader {
+			lead = append(lead, m)
+		} else {
+			waiters = append(waiters, m)
+		}
+	}
+
+	if len(lead) > 0 {
+		e.computed.Add(int64(len(lead)))
+		qs := make([][]float64, len(lead))
+		ks := make([]int, len(lead))
+		for j, m := range lead {
+			qs[j] = queries[m.i].Vector
+			ks[j] = queries[m.i].K
+		}
+		var recs [][]Record
+		var errs []error
+		var stats topk.GroupStats
+		if e.cache == nil {
+			recs, stats, errs = e.ds.topKGroup(qs, ks)
+		} else {
+			fills, st, ferrs := e.ds.topKAndGIRGroup(qs, ks, e.opts.CacheMethod)
+			stats, errs = st, ferrs
+			recs = make([][]Record, len(fills))
+			for j, fill := range fills {
+				if fill == nil {
+					continue
+				}
+				e.putIfCurrent(fill)
+				recs[j] = fill.recs
+			}
+		}
+		e.sharedReads.Add(stats.SharedReads)
+		if len(lead) > 1 {
+			e.fusedGroups.Add(1)
+			e.fusedQueries.Add(int64(len(lead)))
+		}
+		for j, m := range lead {
+			if errs[j] != nil {
+				e.flight.Done(m.key, m.call, nil, errs[j])
+				out[m.i] = EngineResult{Err: errs[j], PartialHit: out[m.i].PartialHit}
+				continue
+			}
+			e.flight.Done(m.key, m.call, recs[j], nil)
+			out[m.i].Records = recs[j]
+		}
+	}
+
+	for _, m := range waiters {
+		v, err := m.call.Wait()
+		e.deduped.Add(1)
+		out[m.i].Shared = true
+		if err != nil {
+			out[m.i].Err = err
+			out[m.i].Records = nil
+			continue
+		}
+		out[m.i].Records = v.([]Record)
+	}
 }
 
 // TopK answers one query through the engine (cache + single-flight); it

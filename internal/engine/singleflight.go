@@ -9,11 +9,18 @@ package engine
 
 import "sync"
 
-// call is one in-flight or completed Do invocation.
-type call struct {
+// Call is one in-flight or completed computation for a key. Leaders fill
+// it through Group.Done; everyone else blocks in Wait.
+type Call struct {
 	wg  sync.WaitGroup
 	val any
 	err error
+}
+
+// Wait blocks until the call's leader publishes a result and returns it.
+func (c *Call) Wait() (any, error) {
+	c.wg.Wait()
+	return c.val, c.err
 }
 
 // Group deduplicates concurrent function calls by key: while one call for
@@ -21,34 +28,55 @@ type call struct {
 // and share its result instead of executing fn again. Completed calls are
 // forgotten immediately (this is request collapsing, not caching — the
 // caller layers its own cache on top).
+//
+// Beyond Do, the Claim/Done pair exposes the same discipline split in
+// two, for callers that compute MANY claimed keys in one fused operation
+// (the engine's batched traversal): claim every key first, run the single
+// computation, then publish per-key results.
 type Group struct {
 	mu sync.Mutex
-	m  map[string]*call
+	m  map[string]*Call
+}
+
+// Claim registers this caller as the key's leader if no call is in
+// flight, returning leader=true; the caller MUST eventually publish with
+// Done(key, c, ...) or every waiter deadlocks. With leader=false the
+// returned Call is another leader's; wait on it with Call.Wait.
+func (g *Group) Claim(key string) (c *Call, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = make(map[string]*Call)
+	}
+	if c, ok := g.m[key]; ok {
+		return c, false
+	}
+	c = &Call{}
+	c.wg.Add(1)
+	g.m[key] = c
+	return c, true
+}
+
+// Done publishes a claimed call's result and releases every waiter. Only
+// the leader returned by Claim(key) may call it, exactly once.
+func (g *Group) Done(key string, c *Call, val any, err error) {
+	c.val, c.err = val, err
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
 }
 
 // Do executes fn once per key among concurrent callers, returning the
 // shared value and error. The boolean reports whether this caller shared
 // another caller's execution (true) or ran fn itself (false).
 func (g *Group) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
-	g.mu.Lock()
-	if g.m == nil {
-		g.m = make(map[string]*call)
+	c, leader := g.Claim(key)
+	if !leader {
+		val, err = c.Wait()
+		return val, err, true
 	}
-	if c, ok := g.m[key]; ok {
-		g.mu.Unlock()
-		c.wg.Wait()
-		return c.val, c.err, true
-	}
-	c := &call{}
-	c.wg.Add(1)
-	g.m[key] = c
-	g.mu.Unlock()
-
-	c.val, c.err = fn()
-
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	c.wg.Done()
-	return c.val, c.err, false
+	val, err = fn()
+	g.Done(key, c, val, err)
+	return val, err, false
 }

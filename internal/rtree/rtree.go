@@ -445,6 +445,54 @@ func (t *Tree) ReadBlock(id pager.PageID, blk *NodeBlock) *NodeBlock {
 	return blk
 }
 
+// BlockCache memoizes decoded node pages for one fused multi-query
+// traversal: the first visit to a page decodes it (one counted read) into
+// a slot the cache retains, and every later visit — by the same or
+// another query of the group — returns the retained block without
+// touching the store. Slots and their buffers are reused across Reset, so
+// a pooled cache stops allocating once its working set stabilizes.
+//
+// A cache is only valid against one tree state: pages are keyed by id and
+// a mutation may rewrite a page id's contents, so callers must Reset
+// between groups and never share a cache across snapshots.
+type BlockCache struct {
+	idx    map[pager.PageID]int
+	blocks []*NodeBlock
+	n      int // slots in use; blocks[n:] are retained spares
+}
+
+// Reset forgets every cached page, keeping slot capacity for reuse.
+func (c *BlockCache) Reset() {
+	clear(c.idx)
+	c.n = 0
+}
+
+// Len returns the number of distinct pages currently cached.
+func (c *BlockCache) Len() int { return c.n }
+
+// ReadBlockCached returns the decoded block for id through the cache:
+// cached=false means this call decoded the page (one counted store read),
+// cached=true that a previous call within the same cache generation
+// already had. slot identifies the page's cache slot, stable until Reset —
+// callers key per-page side state (a fused group's precomputed score rows)
+// by it.
+func (t *Tree) ReadBlockCached(id pager.PageID, c *BlockCache) (blk *NodeBlock, cached bool, slot int) {
+	id = t.resolveID(id)
+	if c.idx == nil {
+		c.idx = make(map[pager.PageID]int)
+	}
+	if s, ok := c.idx[id]; ok {
+		return c.blocks[s], true, s
+	}
+	if c.n == len(c.blocks) {
+		c.blocks = append(c.blocks, &NodeBlock{})
+	}
+	s := c.n
+	c.n++
+	c.idx[id] = s
+	return t.ReadBlock(id, c.blocks[s]), false, s
+}
+
 // Point gathers record i of a leaf block into dst (len ≥ d) and returns
 // dst[:d].
 func (b *NodeBlock) Point(i int, dst []float64) []float64 {

@@ -56,6 +56,20 @@ type LeafScorer interface {
 	ScoreLeaf(dst []float64, cols [][]float64, q vec.Vector)
 }
 
+// MultiLeafScorer is an optional block fast path a General may implement
+// on top of LeafScorer: score every record of one column-major leaf block
+// against a whole block of queries in one pass (dst[g][i] = the score of
+// record i under query g). The per-query values must be bit-identical to
+// what ScoreLeaf — and hence the per-record Score loop — would produce,
+// so a fused multi-query traversal can hand any member's row to code that
+// expects a solo traversal's scores. Linear implements it via
+// vec.DotColumnsMulti; non-separable functions fall back to per-query
+// scoring.
+type MultiLeafScorer interface {
+	LeafScorer
+	ScoreLeafMulti(dst [][]float64, cols [][]float64, qs []vec.Vector)
+}
+
 // Leontief is a weighted-minimum scoring function S(p,q) = min_i(w_i·p_i)
 // — monotone but NOT separable, so its immutable region is a general
 // convex-ish set rather than a half-space intersection. It exists to
@@ -96,6 +110,12 @@ func (Linear) MaxScore(_, hi, q vec.Vector) float64 { return vec.Dot(q, hi) }
 // dimensions in Dot's order).
 func (Linear) ScoreLeaf(dst []float64, cols [][]float64, q vec.Vector) {
 	vec.DotColumns(dst, q, cols)
+}
+
+// ScoreLeafMulti implements MultiLeafScorer: dst[g][i] = qs[g]·p_i for the
+// whole queries×records tile, per-query bit-identical to ScoreLeaf.
+func (Linear) ScoreLeafMulti(dst [][]float64, cols [][]float64, qs []vec.Vector) {
+	vec.DotColumnsMulti(dst, qs, cols)
 }
 
 // Name implements Function.

@@ -113,3 +113,48 @@ func TestByName(t *testing.T) {
 		t.Errorf("ByName(Polynomial, 3) = %#v", f)
 	}
 }
+
+// TestLinearScoreLeafMulti checks the block fast path against the solo
+// leaf scorer and the per-record Score loop — bit-identical per query, the
+// contract the fused multi-query traversal leans on.
+func TestLinearScoreLeafMulti(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var f Linear
+	var _ MultiLeafScorer = f
+	d, n, g := 4, 60, 5
+	cols := make([][]float64, d)
+	for j := range cols {
+		cols[j] = make([]float64, n)
+		for i := range cols[j] {
+			cols[j][i] = rng.Float64()
+		}
+	}
+	qs := make([]vec.Vector, g)
+	for m := range qs {
+		qs[m] = make(vec.Vector, d)
+		for j := range qs[m] {
+			qs[m][j] = rng.Float64()
+		}
+	}
+	dst := make([][]float64, g)
+	for m := range dst {
+		dst[m] = make([]float64, n)
+	}
+	f.ScoreLeafMulti(dst, cols, qs)
+	solo := make([]float64, n)
+	p := make(vec.Vector, d)
+	for m := range qs {
+		f.ScoreLeaf(solo, cols, qs[m])
+		for i := 0; i < n; i++ {
+			if dst[m][i] != solo[i] {
+				t.Fatalf("query %d record %d: multi %v != ScoreLeaf %v", m, i, dst[m][i], solo[i])
+			}
+			for j := 0; j < d; j++ {
+				p[j] = cols[j][i]
+			}
+			if dst[m][i] != f.Score(p, qs[m]) {
+				t.Fatalf("query %d record %d: multi %v != Score %v", m, i, dst[m][i], f.Score(p, qs[m]))
+			}
+		}
+	}
+}

@@ -283,6 +283,9 @@ func (c *Coordinator) Stats() Stats {
 		st.Aggregate.DrainedMutations += es.DrainedMutations
 		st.Aggregate.PredicateEvals += es.PredicateEvals
 		st.Aggregate.FenceOpen += es.FenceOpen
+		st.Aggregate.FusedGroups += es.FusedGroups
+		st.Aggregate.FusedQueries += es.FusedQueries
+		st.Aggregate.SharedPageReads += es.SharedPageReads
 		if i == 0 || es.Version < st.Aggregate.Version {
 			st.Aggregate.Version = es.Version
 		}

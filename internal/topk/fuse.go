@@ -1,0 +1,337 @@
+// Fused multi-query BRS: many angularly similar queries share one pass
+// over the index pages.
+//
+// The contract that makes fusion safe to serve through every existing
+// seam (cache fills, GIR phase 2, repair retention) is byte-identity per
+// member: BRSGroup runs each member's EXACT solo traversal — the same
+// heap push/pop sequence, the same floating-point operations in the same
+// order — so Records, T and the resumable heap are bit-equal to BRSWith's.
+// What is shared is the page work: decoded blocks are memoized in a
+// group-level cache (the first member to touch a page pays its one
+// counted read), and on first decode a leaf is scored against every
+// still-active member's query in one block-kernel pass
+// (score.MultiLeafScorer over the queries×records tile), so later members
+// find their score row precomputed and never touch the store. On skewed
+// streams a group's members traverse nearly the same root-to-leaf paths,
+// and the group's page reads collapse to roughly one member's worth.
+package topk
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/girlib/gir/internal/pager"
+	"github.com/girlib/gir/internal/rtree"
+	"github.com/girlib/gir/internal/score"
+	"github.com/girlib/gir/internal/vec"
+)
+
+// FuseCosine is the greedy grouping threshold: a query joins a group when
+// the cosine similarity between its unit weight vector and the group
+// representative's is at least this. Jittered near-repeats of one center
+// (the serving workload fusion targets) sit around 1−1e-6; distinct
+// random centers land far below.
+const FuseCosine = 0.999
+
+// GroupStats reports the page economics of fused traversals.
+type GroupStats struct {
+	// PageReads counts pages decoded (counted store reads).
+	PageReads int64
+	// SharedReads counts page visits served from the group's decode cache
+	// — pages decoded once but traversed again for another member. A solo
+	// BRS never revisits a page, so every shared read is a read fusion
+	// saved.
+	SharedReads int64
+}
+
+func (a *GroupStats) add(b GroupStats) {
+	a.PageReads += b.PageReads
+	a.SharedReads += b.SharedReads
+}
+
+// GroupScratch is the pooled workspace of one fused group traversal: the
+// per-member solo Scratch (reused serially across members), the shared
+// block-decode cache, and the per-page precomputed score rows the
+// multi-query kernel fills at first decode. Like Scratch, everything in
+// it is private to the BRSGroup call using it; results are materialized
+// into owned memory before it is recycled.
+type GroupScratch struct {
+	s     *Scratch
+	cache rtree.BlockCache
+
+	// Per cache-slot side state: rows[slot] holds the leaf's score rows
+	// for members first[slot].. (member-major, blk.Count floats each);
+	// first[slot] < 0 means the slot has no precomputed rows (internal
+	// node, non-bulk scorer, or a last-member decode nobody else will
+	// revisit).
+	rows  [][]float64
+	first []int
+	views [][]float64 // reusable row views handed to the kernel
+
+	stats GroupStats
+}
+
+var groupScratchPool = sync.Pool{New: func() interface{} { return new(GroupScratch) }}
+
+// AcquireGroupScratch returns a fused-traversal workspace sized for
+// queries over tree. Release it when the group's results have been
+// materialized.
+func AcquireGroupScratch(tree *rtree.Tree) *GroupScratch {
+	gs := groupScratchPool.Get().(*GroupScratch)
+	gs.s = AcquireScratch(tree)
+	return gs
+}
+
+// Release returns the workspace to the pool. The caller must not touch it
+// afterwards; Results returned by BRSGroup stay valid (they own their
+// memory).
+func (gs *GroupScratch) Release() {
+	gs.s.Release()
+	gs.s = nil
+	groupScratchPool.Put(gs)
+}
+
+// ensureSlot grows the per-slot side state to cover slot.
+func (gs *GroupScratch) ensureSlot(slot int) {
+	for len(gs.first) <= slot {
+		gs.first = append(gs.first, -1)
+		gs.rows = append(gs.rows, nil)
+	}
+}
+
+// scoreSlot runs the multi-query kernel over a freshly decoded leaf for
+// members m.. (members before m have already finished their traversals
+// and can never visit this page).
+func (gs *GroupScratch) scoreSlot(slot int, blk *rtree.NodeBlock, ml score.MultiLeafScorer, qs []vec.Vector, m int) {
+	g := len(qs) - m
+	need := g * blk.Count
+	buf := gs.rows[slot]
+	if cap(buf) < need {
+		buf = make([]float64, need)
+	}
+	buf = buf[:need]
+	views := gs.views[:0]
+	for i := 0; i < g; i++ {
+		views = append(views, buf[i*blk.Count:(i+1)*blk.Count])
+	}
+	ml.ScoreLeafMulti(views, blk.Cols, qs[m:])
+	gs.views = views[:0]
+	gs.rows[slot], gs.first[slot] = buf, m
+}
+
+// leafRow returns member m's precomputed score row for a cached leaf
+// slot, or nil when the slot has none.
+func (gs *GroupScratch) leafRow(slot, m, count int) []float64 {
+	f := gs.first[slot]
+	if f < 0 {
+		return nil
+	}
+	return gs.rows[slot][(m-f)*count : (m-f+1)*count]
+}
+
+// BRSGroup answers a group of queries over one tree state with a fused
+// traversal: member results are byte-identical to per-query BRSWith calls
+// (same Records, T and resumable heap, bit for bit), but page decodes are
+// shared through the group cache and leaves are block-scored for all
+// still-active members at first decode. Members run in slice order; ks[i]
+// is member i's k. Panics exactly where BRSWith would (k out of range,
+// dimension mismatch, corrupt index).
+//
+// The group should hold angularly similar queries (see FuseGroups) — the
+// traversal is correct for any group, but page sharing only pays when
+// members visit overlapping frontiers.
+func BRSGroup(gs *GroupScratch, tree *rtree.Tree, f score.General, qs []vec.Vector, ks []int) ([]*Result, GroupStats) {
+	if len(qs) != len(ks) {
+		panic(fmt.Sprintf("topk: BRSGroup got %d queries and %d ks", len(qs), len(ks)))
+	}
+	gs.cache.Reset()
+	gs.stats = GroupStats{}
+	out := make([]*Result, len(qs))
+	for m := range qs {
+		out[m] = gs.runMember(tree, f, qs, ks, m)
+	}
+	return out, gs.stats
+}
+
+// runMember is BRSWith with reads routed through the group's decode
+// cache. Every branch that affects the result mirrors BRSWith exactly.
+func (gs *GroupScratch) runMember(tree *rtree.Tree, f score.General, qs []vec.Vector, ks []int, m int) *Result {
+	q, k := qs[m], ks[m]
+	if k <= 0 || k > tree.Len() {
+		panic(fmt.Sprintf("topk: k=%d out of range for %d records", k, tree.Len()))
+	}
+	if len(q) != tree.Dim() {
+		panic("topk: query dimensionality mismatch")
+	}
+	d := tree.Dim()
+	s := gs.s
+	s.reset()
+	ml, multi := f.(score.MultiLeafScorer)
+	ls, bulk := f.(score.LeafScorer)
+
+	readBlock := func(id pager.PageID) (*rtree.NodeBlock, int) {
+		blk, cached, slot := tree.ReadBlockCached(id, &gs.cache)
+		if cached {
+			gs.stats.SharedReads++
+			return blk, slot
+		}
+		gs.stats.PageReads++
+		gs.ensureSlot(slot)
+		if multi && blk.Leaf && m+1 < len(qs) {
+			gs.scoreSlot(slot, blk, ml, qs, m)
+		} else {
+			gs.first[slot] = -1
+		}
+		return blk, slot
+	}
+
+	pushBlock := func(blk *rtree.NodeBlock, slot int) {
+		n := blk.Count
+		if blk.Leaf {
+			sc := gs.leafRow(slot, m, n)
+			if sc == nil {
+				sc = s.scores[:n]
+				if bulk {
+					ls.ScoreLeaf(sc, blk.Cols, q)
+				} else {
+					for i := 0; i < n; i++ {
+						sc[i] = f.Score(blk.Point(i, s.point), q)
+					}
+				}
+			}
+			for i := 0; i < n; i++ {
+				s.heap.push(brsItem{key: sc[i], id: blk.RecIDs[i], ref: s.putPoint(blk, i)})
+			}
+			return
+		}
+		for i := 0; i < n; i++ {
+			lo := vec.Vector(blk.Lo[i*d : (i+1)*d])
+			hi := vec.Vector(blk.Hi[i*d : (i+1)*d])
+			key := f.MaxScore(lo, hi, q)
+			s.heap.push(brsItem{key: key, child: blk.Children[i], node: true, ref: s.putRect(lo, hi)})
+		}
+	}
+	pushBlock(readBlock(tree.Root()))
+
+	for len(s.heap) > 0 && len(s.top) < k {
+		it := s.heap.pop()
+		if it.node {
+			pushBlock(readBlock(it.child))
+			continue
+		}
+		s.top = append(s.top, it)
+	}
+	if len(s.top) < k {
+		panic("topk: heap exhausted before k records (corrupt index)")
+	}
+	return s.materialize(f, q, d, k)
+}
+
+// FuseGroups greedily partitions a query batch into fusion groups of at
+// most limit members: each query is normalized to unit length and joins
+// the first open group whose representative (its first member) lies
+// within FuseCosine of it, else opens its own. Greedy first-fit keeps the
+// planner cost at O(batch × groups × d) — far below one saved page decode
+// — at the price of occasionally splitting a cluster an optimal
+// partitioning would keep whole. Zero vectors and dimension-mismatched
+// queries never join a group. Returned groups hold indices into qs, each
+// in ascending order; limit < 1 is treated as 1 (no fusion).
+func FuseGroups(qs []vec.Vector, limit int) [][]int {
+	n := len(qs)
+	if n == 0 {
+		return nil
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	d := len(qs[0])
+	unit := make([]float64, n*d)
+	assign := make([]int, n)
+	var reps []int // group -> member index of its representative
+	var sizes []int
+	for i, q := range qs {
+		ok := len(q) == d
+		var norm float64
+		if ok {
+			u := unit[i*d : (i+1)*d]
+			for j, x := range q {
+				u[j] = x
+				norm += x * x
+			}
+			if norm > 0 {
+				inv := 1 / math.Sqrt(norm)
+				for j := range u {
+					u[j] *= inv
+				}
+			}
+		}
+		best := -1
+		if ok && norm > 0 && limit > 1 {
+			u := unit[i*d : (i+1)*d]
+			for g, r := range reps {
+				if sizes[g] >= limit {
+					continue
+				}
+				rep := unit[r*d : (r+1)*d]
+				var cos float64
+				for j := range rep {
+					cos += rep[j] * u[j]
+				}
+				if cos >= FuseCosine {
+					best = g
+					break
+				}
+			}
+		}
+		if best < 0 {
+			best = len(reps)
+			reps = append(reps, i)
+			sizes = append(sizes, 0)
+		}
+		assign[i] = best
+		sizes[best]++
+	}
+	// One index slab backs every group, so a batch of singletons does not
+	// allocate per query.
+	groups := make([][]int, len(reps))
+	slab := make([]int, n)
+	off := 0
+	for g, sz := range sizes {
+		groups[g] = slab[off : off : off+sz]
+		off += sz
+	}
+	for i, g := range assign {
+		groups[g] = append(groups[g], i)
+	}
+	return groups
+}
+
+// BatchBRS answers a whole batch by fusing it: FuseGroups partitions the
+// queries, one BRSGroup traversal serves each group, and results land at
+// their query's position. Byte-identical to per-query BRS; the stats
+// aggregate every group.
+func BatchBRS(tree *rtree.Tree, f score.General, qs []vec.Vector, ks []int, limit int) ([]*Result, GroupStats) {
+	if len(qs) != len(ks) {
+		panic(fmt.Sprintf("topk: BatchBRS got %d queries and %d ks", len(qs), len(ks)))
+	}
+	out := make([]*Result, len(qs))
+	gs := AcquireGroupScratch(tree)
+	defer gs.Release()
+	var total GroupStats
+	gqs := make([]vec.Vector, 0, limit)
+	gks := make([]int, 0, limit)
+	for _, g := range FuseGroups(qs, limit) {
+		gqs, gks = gqs[:0], gks[:0]
+		for _, i := range g {
+			gqs = append(gqs, qs[i])
+			gks = append(gks, ks[i])
+		}
+		res, st := BRSGroup(gs, tree, f, gqs, gks)
+		for j, i := range g {
+			out[i] = res[j]
+		}
+		total.add(st)
+	}
+	return out, total
+}

@@ -89,6 +89,36 @@ func DotColumns(dst []float64, q Vector, cols [][]float64) {
 	}
 }
 
+// DotColumnsMulti scores one column-major block of points against a whole
+// block of queries: dst[g][i] = Σ_j qs[g][j]·cols[j][i]. It is the
+// multi-query form of DotColumns — the tile is walked j-outer so each
+// column is streamed once per dimension while it is hot for every query
+// row, which is what lets a fused traversal score a decoded leaf for a
+// whole query group in one pass.
+//
+// Per query the accumulation order is exactly DotColumns' (dimensions
+// ascending, records ascending), so dst[g][i] is bit-identical to
+// Dot(qs[g], p_i): a result served through the fused path cannot be told
+// apart from a solo traversal's. Every dst[g] must have the same length
+// (the record count) and every query the block's dimension.
+func DotColumnsMulti(dst [][]float64, qs []Vector, cols [][]float64) {
+	for _, row := range dst {
+		for i := range row {
+			row[i] = 0
+		}
+	}
+	for j := range cols {
+		for g, q := range qs {
+			w := q[j]
+			row := dst[g]
+			col := cols[j][:len(row)]
+			for i := range row {
+				row[i] += w * col[i]
+			}
+		}
+	}
+}
+
 // Norm returns the Euclidean norm of v.
 func Norm(v Vector) float64 {
 	var s float64

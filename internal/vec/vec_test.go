@@ -231,3 +231,54 @@ func TestMatrixAccessors(t *testing.T) {
 		t.Error("Row must alias the underlying data")
 	}
 }
+
+// TestDotColumnsMultiBitEqual pins the fused-traversal contract: every row
+// of the multi-query kernel is bit-identical (not merely close) to both
+// the single-query column kernel and the scalar Dot loop, across random
+// tiles of every shape the leaf scorer sees.
+func TestDotColumnsMultiBitEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		d := 2 + rng.Intn(7)
+		n := 1 + rng.Intn(120)
+		g := 1 + rng.Intn(9)
+		cols := make([][]float64, d)
+		for j := range cols {
+			cols[j] = make([]float64, n)
+			for i := range cols[j] {
+				cols[j][i] = rng.Float64()
+			}
+		}
+		qs := make([]Vector, g)
+		for m := range qs {
+			qs[m] = make(Vector, d)
+			for j := range qs[m] {
+				qs[m][j] = rng.Float64() * 3
+			}
+		}
+		dst := make([][]float64, g)
+		for m := range dst {
+			dst[m] = make([]float64, n)
+			for i := range dst[m] {
+				dst[m][i] = math.NaN() // the kernel must overwrite, not accumulate
+			}
+		}
+		DotColumnsMulti(dst, qs, cols)
+		solo := make([]float64, n)
+		p := make(Vector, d)
+		for m := range qs {
+			DotColumns(solo, qs[m], cols)
+			for i := 0; i < n; i++ {
+				if dst[m][i] != solo[i] {
+					t.Fatalf("trial %d: row %d record %d: multi %v != DotColumns %v", trial, m, i, dst[m][i], solo[i])
+				}
+				for j := 0; j < d; j++ {
+					p[j] = cols[j][i]
+				}
+				if dst[m][i] != Dot(qs[m], p) {
+					t.Fatalf("trial %d: row %d record %d: multi %v != Dot %v", trial, m, i, dst[m][i], Dot(qs[m], p))
+				}
+			}
+		}
+	}
+}

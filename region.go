@@ -5,6 +5,7 @@ import (
 	"time"
 
 	girint "github.com/girlib/gir/internal/gir"
+	"github.com/girlib/gir/internal/score"
 	"github.com/girlib/gir/internal/topk"
 	"github.com/girlib/gir/internal/vec"
 	"github.com/girlib/gir/internal/viz"
@@ -146,6 +147,92 @@ func (ds *Dataset) topKAndGIR(q []float64, k int, m Method) (*topKFill, error) {
 	out.cand, out.bounds, out.candOK = retainRepairState(res)
 	out.g, out.girErr = ds.computeGIRSnap(sn, res, m, false)
 	return out, nil
+}
+
+// runGroup validates each member of a fusion group against the pinned
+// snapshot and answers the valid ones with one fused traversal
+// (topk.BRSGroup). Validation is re-done here even though the engine
+// already vetted the batch: the pin may be a later version than the one
+// the batch-level check saw, and a racing delete can shrink the dataset
+// below a member's k. Results are positionally aligned with qs, nil where
+// errs[i] is set.
+func runGroup(sn *treeSnap, qs [][]float64, ks []int) ([]*topk.Result, topk.GroupStats, []error) {
+	n := len(qs)
+	results := make([]*topk.Result, n)
+	errs := make([]error, n)
+	vqs := make([]vec.Vector, 0, n)
+	vks := make([]int, 0, n)
+	idx := make([]int, 0, n)
+	for i := range qs {
+		if err := sn.validate(qs[i], ks[i]); err != nil {
+			errs[i] = err
+			continue
+		}
+		vqs = append(vqs, vec.Vector(qs[i]))
+		vks = append(vks, ks[i])
+		idx = append(idx, i)
+	}
+	var stats topk.GroupStats
+	if len(vqs) > 0 {
+		gs := topk.AcquireGroupScratch(sn.tree)
+		var res []*topk.Result
+		res, stats = topk.BRSGroup(gs, sn.tree, score.Linear{}, vqs, vks)
+		gs.Release()
+		for j, i := range idx {
+			results[i] = res[j]
+		}
+	}
+	return results, stats, errs
+}
+
+// topKGroup answers a fusion group of queries under ONE pinned snapshot
+// with a shared traversal, for the engine's no-cache batch path. Every
+// member's records are byte-identical to a solo Dataset.TopK at the
+// pinned version.
+func (ds *Dataset) topKGroup(qs [][]float64, ks []int) ([][]Record, topk.GroupStats, []error) {
+	sn := ds.pinSnap()
+	defer sn.release()
+	results, stats, errs := runGroup(sn, qs, ks)
+	recs := make([][]Record, len(qs))
+	for i, res := range results {
+		if res == nil {
+			continue
+		}
+		out := make([]Record, len(res.Records))
+		for j, r := range res.Records {
+			out[j] = Record{ID: r.ID, Attrs: r.Point, Score: r.Score}
+		}
+		recs[i] = out
+	}
+	return recs, stats, errs
+}
+
+// topKAndGIRGroup is topKGroup for the cache-fill path: one pinned
+// snapshot covers the fused traversal AND every member's GIR build, so
+// each fill's retained heap resumes into exactly the pages its traversal
+// read — the same single-pin discipline topKAndGIR keeps for one query.
+// Fills are positionally aligned with qs, nil where errs[i] is set; a
+// member whose region build fails still carries its records (girErr set,
+// the insert is skipped).
+func (ds *Dataset) topKAndGIRGroup(qs [][]float64, ks []int, m Method) ([]*topKFill, topk.GroupStats, []error) {
+	sn := ds.pinSnap()
+	defer sn.release()
+	results, stats, errs := runGroup(sn, qs, ks)
+	fills := make([]*topKFill, len(qs))
+	for i, res := range results {
+		if res == nil {
+			continue
+		}
+		fill := &topKFill{version: sn.version}
+		fill.recs = make([]Record, len(res.Records))
+		for j, r := range res.Records {
+			fill.recs[j] = Record{ID: r.ID, Attrs: r.Point, Score: r.Score}
+		}
+		fill.cand, fill.bounds, fill.candOK = retainRepairState(res)
+		fill.g, fill.girErr = ds.computeGIRSnap(sn, res, m, false)
+		fills[i] = fill
+	}
+	return fills, stats, errs
 }
 
 // Dim returns the query-space dimensionality.
